@@ -1,0 +1,167 @@
+package tridentsp_test
+
+// One benchmark per table/figure of the paper's evaluation (§5), runnable
+// with `go test -bench=. -benchmem`. Each bench regenerates its experiment
+// at a reduced scale (the cmd/experiments binary runs the full-scale
+// versions) and reports the figure's headline quantity as a custom metric,
+// so `go test -bench` output doubles as a quick shape check:
+//
+//	BenchmarkFigure2/...   speedup_8x8
+//	BenchmarkFigure5/...   speedup_selfrepair
+//	BenchmarkFigure9/...   speedup_sw_only ...
+//
+// Benches intentionally reuse the exp harness rather than duplicating its
+// logic; ns/op here measures the cost of regenerating the experiment.
+
+import (
+	"testing"
+
+	"tridentsp"
+)
+
+// benchOptions is the reduced configuration for benches: small scale, short
+// runs, a three-benchmark suite.
+func benchOptions() tridentsp.ExpOptions {
+	return tridentsp.ExpOptions{
+		Scale:      tridentsp.ScaleSmall,
+		Instrs:     400_000,
+		Benchmarks: []string{"swim", "mcf", "art"},
+	}
+}
+
+// runExperiment executes the experiment once per bench iteration and
+// reports the given cells of its average row as metrics.
+func runExperiment(b *testing.B, id string, metrics map[string]int) {
+	b.Helper()
+	e, ok := tridentsp.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var tbl tridentsp.ExpTable
+	for i := 0; i < b.N; i++ {
+		tbl = e.Run(benchOptions())
+	}
+	if len(tbl.Rows) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+	avg := tbl.Rows[len(tbl.Rows)-1]
+	for name, cell := range metrics {
+		if cell < len(avg.Cells) {
+			b.ReportMetric(avg.Cells[cell], name)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the stream-buffer baseline comparison
+// (paper: 4x4 ~1.35x, 8x8 ~1.40x over no prefetching).
+func BenchmarkFigure2(b *testing.B) {
+	runExperiment(b, "fig2", map[string]int{
+		"speedup_4x4": 3,
+		"speedup_8x8": 4,
+	})
+}
+
+// BenchmarkOverhead regenerates the §5.1 linking-disabled overhead run
+// (paper: ~0.6% total cost).
+func BenchmarkOverhead(b *testing.B) {
+	runExperiment(b, "overhead", map[string]int{
+		"overhead_pct": 2,
+		"helper_pct":   3,
+	})
+}
+
+// BenchmarkFigure3 regenerates the helper-thread occupancy measurement
+// (paper: ~2.2% of cycles).
+func BenchmarkFigure3(b *testing.B) {
+	runExperiment(b, "fig3", map[string]int{"helper_pct": 0})
+}
+
+// BenchmarkFigure4 regenerates the miss-coverage measurement (paper: ~85%
+// of misses inside hot traces, ~55% prefetchable).
+func BenchmarkFigure4(b *testing.B) {
+	runExperiment(b, "fig4", map[string]int{
+		"in_trace_pct": 0,
+		"covered_pct":  1,
+	})
+}
+
+// BenchmarkFigure5 regenerates the headline software-prefetching comparison
+// (paper: basic ~1.11x, self-repairing ~1.23x over the hardware baseline).
+func BenchmarkFigure5(b *testing.B) {
+	runExperiment(b, "fig5", map[string]int{
+		"speedup_basic":       0,
+		"speedup_wholeobject": 1,
+		"speedup_selfrepair":  2,
+	})
+}
+
+// BenchmarkFigure6 regenerates the load-outcome breakdown (paper: misses
+// caused by prefetch displacement are rare; few partial prefetch hits).
+func BenchmarkFigure6(b *testing.B) {
+	runExperiment(b, "fig6", map[string]int{
+		"hit_pct":     0,
+		"miss_pf_pct": 5,
+	})
+}
+
+// BenchmarkFigure7 regenerates the monitoring-window/threshold sensitivity
+// sweep (paper: window 256 with a 3% threshold works best). The metric is
+// the 3% column of the 256-entry window row.
+func BenchmarkFigure7(b *testing.B) {
+	e, _ := tridentsp.ExperimentByID("fig7")
+	var tbl tridentsp.ExpTable
+	for i := 0; i < b.N; i++ {
+		tbl = e.Run(benchOptions())
+	}
+	for _, row := range tbl.Rows {
+		if row.Label == "window 256" && len(row.Cells) > 1 {
+			b.ReportMetric(row.Cells[1], "speedup_256_3pct")
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the DLT-size sensitivity sweep (paper: 1024
+// entries suffice).
+func BenchmarkFigure8(b *testing.B) {
+	runExperiment(b, "fig8", map[string]int{"speedup_dlt1024": 3})
+}
+
+// BenchmarkExtraCache regenerates the §5.4 control: the Trident hardware
+// budget spent as L1 capacity instead (paper: a mere 0.8% gain).
+func BenchmarkExtraCache(b *testing.B) {
+	runExperiment(b, "extracache", map[string]int{"gain_pct": 2})
+}
+
+// BenchmarkFigure9 regenerates the software-vs-hardware-alone comparison
+// (paper: software-only averages ~11% above hardware-only).
+func BenchmarkFigure9(b *testing.B) {
+	runExperiment(b, "fig9", map[string]int{
+		"speedup_hw_only": 0,
+		"speedup_sw_only": 1,
+	})
+}
+
+// BenchmarkAblations regenerates the design-choice ablation table
+// (estimate-init should match self-repair, per §3.5.1's "no gain").
+func BenchmarkAblations(b *testing.B) {
+	runExperiment(b, "ablations", map[string]int{
+		"speedup_selfrepair":   0,
+		"speedup_estimateinit": 1,
+		"speedup_noderef":      2,
+	})
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (simulated
+// instructions per wall-clock second) on the default machine, which bounds
+// how long the full-scale experiment suite takes.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	bm, _ := tridentsp.Benchmark("swim")
+	prog := bm.Build(tridentsp.ScaleSmall)
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res := tridentsp.Run(tridentsp.DefaultConfig(), prog.Clone(), 300_000)
+		instrs += res.OrigInstrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim_instrs/s")
+}

@@ -1,0 +1,87 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                 # run every experiment at full scale
+//	experiments -fig fig5       # one experiment by id
+//	experiments -quick          # reduced scale/suite for a fast look
+//	experiments -list           # list experiments and the machine config
+//	experiments -instrs 5000000 # change the per-run instruction budget
+//	experiments -bench mcf,swim # restrict the benchmark suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tridentsp/internal/core"
+	"tridentsp/internal/exp"
+	"tridentsp/internal/workloads"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "experiment id to run (default: all)")
+		quick  = flag.Bool("quick", false, "reduced scale and suite")
+		list   = flag.Bool("list", false, "list experiments and configuration")
+		instrs = flag.Uint64("instrs", 0, "per-run instruction budget")
+		bench  = flag.String("bench", "", "comma-separated benchmark subset")
+	)
+	flag.Parse()
+
+	if *list {
+		printList()
+		return
+	}
+
+	opts := exp.Options{}
+	if *quick {
+		opts = exp.QuickOptions()
+	}
+	if *instrs != 0 {
+		opts.Instrs = *instrs
+	}
+	if *bench != "" {
+		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	if *fig != "" {
+		e, ok := exp.ByID(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *fig)
+			os.Exit(1)
+		}
+		fmt.Print(e.Run(opts).Render())
+		return
+	}
+	for _, e := range exp.All() {
+		fmt.Print(e.Run(opts).Render())
+		fmt.Println()
+	}
+}
+
+func printList() {
+	fmt.Println("experiments:")
+	for _, e := range exp.All() {
+		fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+	}
+	fmt.Println("\nbenchmarks:")
+	for _, b := range workloads.All() {
+		fmt.Printf("  %-9s %s\n", b.Name, b.Description)
+	}
+	cfg := core.DefaultConfig()
+	fmt.Println("\nmachine (paper Table 1/2 defaults):")
+	fmt.Printf("  core: %d-wide issue, %d-cycle mispredict, overlap window %d\n",
+		cfg.CPU.IssueWidth, cfg.CPU.MispredictPenalty, cfg.CPU.OverlapWindow)
+	fmt.Printf("  L1 %dKB/%d-way/%dc  L2 %dKB/%d-way/%dc  L3 %dMB/%d-way/%dc  mem %dc\n",
+		cfg.Mem.L1.SizeBytes>>10, cfg.Mem.L1.Assoc, cfg.Mem.L1.Latency,
+		cfg.Mem.L2.SizeBytes>>10, cfg.Mem.L2.Assoc, cfg.Mem.L2.Latency,
+		cfg.Mem.L3.SizeBytes>>20, cfg.Mem.L3.Assoc, cfg.Mem.L3.Latency,
+		cfg.Mem.MemLatency)
+	fmt.Printf("  stream buffers: %s; DLT %d entries %d-way, window %d, miss threshold %d\n",
+		cfg.HW, cfg.DLT.Entries, cfg.DLT.Assoc, cfg.DLT.WindowSize, cfg.DLT.MissThreshold)
+	fmt.Printf("  profiler %d entries %d-way; watch table %d; helper startup %d cycles\n",
+		cfg.Profiler.Entries, cfg.Profiler.Assoc, cfg.WatchCapacity, cfg.Cost.StartupLatency)
+}

@@ -1,0 +1,64 @@
+// Command tracedump runs a benchmark under the full self-repairing
+// configuration and prints every hot trace the dynamic optimizer formed —
+// disassembly with inserted prefetch code marked '+', watch-table timing,
+// and the converged prefetch distances. The window into what the optimizer
+// actually did.
+//
+//	tracedump -bench mcf
+//	tracedump -bench swim -instrs 5000000 -hw none
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tridentsp/internal/core"
+	"tridentsp/internal/workloads"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "mcf", "benchmark name")
+		instrs = flag.Uint64("instrs", 3_000_000, "instruction budget")
+		hw     = flag.String("hw", "8x8", "hardware prefetcher: none, 4x4, 8x8")
+		scale  = flag.String("scale", "full", "working-set scale: test, small, full")
+	)
+	flag.Parse()
+
+	bm, ok := workloads.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	cfg := core.DefaultConfig()
+	switch *hw {
+	case "none":
+		cfg.HW = core.HWNone
+	case "4x4":
+		cfg.HW = core.HW4x4
+	case "8x8":
+		cfg.HW = core.HW8x8
+	default:
+		fmt.Fprintf(os.Stderr, "unknown hw config %q\n", *hw)
+		os.Exit(1)
+	}
+	var sc workloads.Scale
+	switch *scale {
+	case "test":
+		sc = workloads.ScaleTest
+	case "small":
+		sc = workloads.ScaleSmall
+	case "full":
+		sc = workloads.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+
+	sys := core.NewSystem(cfg, bm.Build(sc))
+	res := sys.Run(*instrs)
+	fmt.Print(res.String())
+	fmt.Println()
+	fmt.Print(sys.TraceReport())
+}

@@ -1,0 +1,123 @@
+// Command tridentsim runs one benchmark on one simulated machine and prints
+// its statistics — the single-run counterpart of cmd/experiments.
+//
+// Usage:
+//
+//	tridentsim -bench mcf                  # self-repairing default machine
+//	tridentsim -bench swim -sw off -hw 8x8 # hardware prefetching only
+//	tridentsim -bench art -sw basic -hw none -instrs 5000000
+//	tridentsim -bench mcf -scale small -v  # verbose: per-outcome breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tridentsp/internal/core"
+	"tridentsp/internal/memsys"
+	"tridentsp/internal/workloads"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "mcf", "benchmark name")
+		hw      = flag.String("hw", "8x8", "hardware prefetcher: none, 4x4, 8x8")
+		sw      = flag.String("sw", "self-repair", "software prefetching: off, basic, whole-object, self-repair")
+		trident = flag.Bool("trident", true, "enable the Trident framework")
+		link    = flag.Bool("link", true, "link optimized traces (false = §5.1 overhead mode)")
+		backout = flag.Bool("backout", false, "enable under-performing trace back-out")
+		valspec = flag.Bool("valspec", false, "enable dynamic value specialization")
+		phase   = flag.Bool("phase", false, "enable phase-triggered mature clearing")
+		instrs  = flag.Uint64("instrs", 2_000_000, "instruction budget")
+		scale   = flag.String("scale", "full", "working-set scale: test, small, full")
+		verbose = flag.Bool("v", false, "print the full outcome breakdown")
+	)
+	flag.Parse()
+
+	bm, ok := workloads.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	cfg := core.DefaultConfig()
+	switch *hw {
+	case "none":
+		cfg.HW = core.HWNone
+	case "4x4":
+		cfg.HW = core.HW4x4
+	case "8x8":
+		cfg.HW = core.HW8x8
+	default:
+		fmt.Fprintf(os.Stderr, "unknown hw config %q\n", *hw)
+		os.Exit(1)
+	}
+	switch *sw {
+	case "off":
+		cfg.SW = core.SWOff
+	case "basic":
+		cfg.SW = core.SWBasic
+	case "whole-object":
+		cfg.SW = core.SWWholeObject
+	case "self-repair":
+		cfg.SW = core.SWSelfRepair
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sw mode %q\n", *sw)
+		os.Exit(1)
+	}
+	cfg.Trident = *trident
+	cfg.LinkTraces = *link
+	cfg.Backout = *backout
+	cfg.ValueSpecialize = *valspec
+	cfg.PhaseClearMature = *phase
+	if cfg.SW == core.SWOff {
+		// Plain baseline unless Trident was explicitly requested.
+		cfg.Trident = *trident && flagWasSet("trident")
+	}
+
+	var sc workloads.Scale
+	switch *scale {
+	case "test":
+		sc = workloads.ScaleTest
+	case "small":
+		sc = workloads.ScaleSmall
+	case "full":
+		sc = workloads.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+
+	p := bm.Build(sc)
+	res := core.NewSystem(cfg, p).Run(*instrs)
+	fmt.Print(res.String())
+	if *verbose {
+		fmt.Println("outcome breakdown:")
+		for out := 0; out < memsys.NumOutcomes; out++ {
+			pct := 0.0
+			if res.Mem.Loads > 0 {
+				pct = 100 * float64(res.Mem.ByOutcome[out]) / float64(res.Mem.Loads)
+			}
+			fmt.Printf("  %-22s %10d  %6.2f%%\n", memsys.Outcome(out), res.Mem.ByOutcome[out], pct)
+		}
+		fmt.Printf("  prefetches: issued=%d redundant=%d dropped=%d wasted=%d\n",
+			res.Mem.PrefetchesIssued, res.Mem.PrefetchesRedundant,
+			res.Mem.PrefetchesDropped, res.Mem.WastedPrefetches)
+		fmt.Printf("  stream buffers: supplies=%d fills=%d\n", res.SBSupplies, res.SBFills)
+		fmt.Printf("  branch accuracy: %.3f\n", res.BranchAccuracy)
+		fmt.Printf("  events: raised=%d dropped=%d; code cache %d bytes, %d live traces\n",
+			res.EventsRaised, res.EventsDropped, res.CodeCacheBytes, res.LiveTraces)
+		fmt.Printf("  extensions: backed-out=%d specialized=%d phase-clears=%d\n",
+			res.TracesBackedOut, res.TracesSpecialized, res.PhaseClears)
+	}
+}
+
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

@@ -1,0 +1,71 @@
+// Asmdemo writes a workload in assembler text, runs it through the full
+// system, and dumps what the dynamic optimizer did to it — including the
+// final prefetch distance the self-repairing loop converged to.
+//
+//	go run ./examples/asmdemo
+package main
+
+import (
+	"fmt"
+
+	"tridentsp"
+)
+
+const source = `
+; saxpy-style sweep over two 8 MB arrays, 64-byte stride
+	.org   0x1000
+	.data  0x100000
+	.space x, 8388608
+	.space y, 8388608
+
+	ldi  r6, 4000000000       ; effectively endless outer loop
+outer:
+	ldi  r1, x
+	ldi  r2, y
+	ldi  r4, 131071
+top:
+	ld   r10, 0(r1)
+	ld   r11, 0(r2)
+	fmul r12, r10, r11
+	fadd r13, r13, r12
+	fadd r14, r14, r12
+	fadd r15, r15, r13
+	fadd r13, r13, r14
+	fadd r14, r14, r12
+	fadd r15, r15, r13
+	fadd r13, r13, r14
+	addi r1, r1, 64
+	addi r2, r2, 64
+	subi r4, r4, 1
+	bne  r4, top
+	subi r6, r6, 1
+	bne  r6, outer
+	halt
+`
+
+func main() {
+	prog, err := tridentsp.Assemble("saxpy", source)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("assembled %d instructions\n\n", len(prog.Code))
+
+	cfg := tridentsp.DefaultConfig()
+	cfg.HW = tridentsp.HWNone // isolate the software prefetcher
+	sys := tridentsp.NewSystem(cfg, prog)
+	res := sys.Run(2_000_000)
+
+	fmt.Print(res.String())
+	fmt.Printf("\nprefetches: %d issued, %d redundant (dropped), %d wasted\n",
+		res.Mem.PrefetchesIssued, res.Mem.PrefetchesRedundant, res.Mem.WastedPrefetches)
+
+	// Ask the optimizer what distance each load converged to.
+	fmt.Println("\nconverged prefetch distances (load PC -> iterations ahead):")
+	for head := prog.Base; head < prog.CodeEnd(); head += 8 {
+		for load := prog.Base; load < prog.CodeEnd(); load += 8 {
+			if d := sys.Optimizer().Distance(head, load); d > 0 {
+				fmt.Printf("  trace@%#x load@%#x  distance %d\n", head, load, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module tridentsp
+
+go 1.22

@@ -1,0 +1,252 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"tridentsp/internal/branchpred"
+	"tridentsp/internal/cpu"
+	"tridentsp/internal/isa"
+	"tridentsp/internal/memsys"
+	"tridentsp/internal/program"
+)
+
+// exec runs an assembled program to halt and returns the thread.
+func exec(t *testing.T, p *program.Program) *cpu.Thread {
+	t.Helper()
+	th := cpu.New(cpu.DefaultConfig(), cpu.NewProgramSpace(p), p.Entry,
+		program.NewMemory(p), memsys.New(memsys.DefaultConfig()),
+		branchpred.New(branchpred.DefaultConfig()))
+	for i := 0; i < 1_000_000 && !th.Halted(); i++ {
+		th.Step()
+	}
+	if !th.Halted() {
+		t.Fatal("assembled program did not halt")
+	}
+	return th
+}
+
+func TestAssembleSumLoop(t *testing.T) {
+	p, err := Assemble("sum", `
+		; sum the three words at buf
+		.org  0x1000
+		.data 0x100000
+		.word buf, 10, 20, 30
+
+		    ldi  r1, buf
+		    ldi  r4, 3
+		    ldi  r3, 0
+		top:
+		    ld   r2, 0(r1)
+		    add  r3, r3, r2
+		    addi r1, r1, 8
+		    subi r4, r4, 1
+		    bne  r4, top
+		    halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := exec(t, p)
+	if th.Reg(3) != 60 {
+		t.Fatalf("sum = %d, want 60", th.Reg(3))
+	}
+}
+
+func TestAssembleForwardBranchAndEqu(t *testing.T) {
+	p, err := Assemble("fwd", `
+		.equ  BIG, 0x123456
+		    ldi r1, BIG
+		    beq rz, done    ; always taken (rz == 0)
+		    ldi r1, 0       ; skipped
+		done:
+		    halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := exec(t, p)
+	if th.Reg(1) != 0x123456 {
+		t.Fatalf("r1 = %#x", th.Reg(1))
+	}
+}
+
+func TestAssembleMemoryForms(t *testing.T) {
+	p, err := Assemble("mem", `
+		.word cell, 7
+		    ldi r1, cell
+		    ld  r2, (r1)
+		    st  r2, 8(r1)
+		    ld  r3, 8(r1)
+		    ldnf r4, 512(r1)
+		    prefetch 64(r1)
+		    halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := exec(t, p)
+	if th.Reg(2) != 7 || th.Reg(3) != 7 {
+		t.Fatalf("r2=%d r3=%d", th.Reg(2), th.Reg(3))
+	}
+	if th.Reg(4) != 0 {
+		t.Fatalf("ldnf of unmapped = %d", th.Reg(4))
+	}
+}
+
+func TestAssembleSpaceAndChase(t *testing.T) {
+	p, err := Assemble("chase", `
+		.word n0, n1
+		.word n1, n2
+		.word n2, 0
+		.space pad, 128
+		    ldi r1, n0
+		    ldi r5, 0
+		walk:
+		    addi r5, r5, 1
+		    ld   r1, 0(r1)
+		    bne  r1, walk
+		    halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := exec(t, p)
+	if th.Reg(5) != 3 {
+		t.Fatalf("walked %d nodes, want 3", th.Reg(5))
+	}
+}
+
+func TestAssembleJmpIndirect(t *testing.T) {
+	p, err := Assemble("jmp", `
+		    ldi r1, target
+		    jmp (r1)
+		    halt           ; skipped
+		target:
+		    ldi r2, 9
+		    halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := exec(t, p)
+	if th.Reg(2) != 9 {
+		t.Fatalf("r2 = %d", th.Reg(2))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"frob r1, r2", "unknown mnemonic"},
+		{"ldi r99, 5", "bad operands"},
+		{"bne r1, nowhere\nhalt", "undefined symbol"},
+		{"x: nop\nx: nop", "duplicate symbol"},
+		{".org 0x100\nnop\n.org 0x200", ".org after code"},
+		{".equ N", ".equ needs"},
+		{"ld r1, r2", "bad operands"},
+		{".bogus 1", "unknown directive"},
+	}
+	for _, tc := range cases {
+		_, err := Assemble("bad", tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("src %q: err = %v, want contains %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestAssembleErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("bad", "nop\nnop\nfrob\n")
+	ae, ok := err.(*Error)
+	if !ok || ae.Line != 3 {
+		t.Fatalf("err = %#v, want line 3", err)
+	}
+}
+
+func TestAssembleCommentsAndBlankLines(t *testing.T) {
+	p, err := Assemble("c", `
+		# hash comment
+		; semicolon comment
+		    ldi r1, 1 ; trailing
+		    halt      # trailing
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 2 {
+		t.Fatalf("code len = %d", len(p.Code))
+	}
+}
+
+func TestRoundTripWithDisassembler(t *testing.T) {
+	// Every mnemonic the disassembler prints must re-assemble to the same
+	// instruction (for the forms the assembler supports).
+	ins := []isa.Inst{
+		{Op: isa.ADD, Rd: 1, Ra: 2, Rb: 3},
+		{Op: isa.ADDI, Rd: 1, Ra: 2, Imm: -5},
+		{Op: isa.LD, Rd: 4, Ra: 5, Imm: 16},
+		{Op: isa.ST, Rb: 6, Ra: 7, Imm: 8},
+		{Op: isa.PREFETCH, Ra: 8, Imm: 128},
+		{Op: isa.MOVE, Rd: 9, Ra: 10},
+		{Op: isa.LDI, Rd: 11, Imm: 42},
+		{Op: isa.HALT},
+		{Op: isa.NOP},
+		{Op: isa.FMUL, Rd: 1, Ra: 2, Rb: 3},
+	}
+	var src strings.Builder
+	for _, in := range ins {
+		src.WriteString(in.String())
+		src.WriteByte('\n')
+	}
+	p, err := Assemble("rt", src.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != len(ins) {
+		t.Fatalf("count %d != %d", len(p.Code), len(ins))
+	}
+	for i, want := range ins {
+		if got := isa.Decode(p.Code[i]); got != want {
+			t.Errorf("inst %d: %v != %v", i, got, want)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic")
+		}
+	}()
+	MustAssemble("bad", "frob")
+}
+
+func TestAssembleRunsUnderFullSystem(t *testing.T) {
+	// An assembled hot loop must flow through the whole Trident pipeline.
+	p := MustAssemble("hotloop", `
+		.space arr, 1048576
+		    ldi  r6, 1000000
+		outer:
+		    ldi  r1, arr
+		    ldi  r4, 16384
+		top:
+		    ld   r2, 0(r1)
+		    add  r3, r3, r2
+		    addi r1, r1, 64
+		    subi r4, r4, 1
+		    bne  r4, top
+		    subi r6, r6, 1
+		    bne  r6, outer
+		    halt
+	`)
+	if len(p.Code) == 0 {
+		t.Fatal("no code")
+	}
+	// Smoke: decodes to valid ops.
+	for _, w := range p.Code {
+		if !isa.Decode(w).Op.Valid() {
+			t.Fatal("invalid instruction emitted")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package branchpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x1000)
+	for i := 0; i < 10; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Fatal("always-taken branch predicted not-taken after training")
+	}
+}
+
+func TestAlwaysNotTakenLearned(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x2000)
+	for i := 0; i < 10; i++ {
+		p.Update(pc, false)
+	}
+	if p.Predict(pc) {
+		t.Fatal("never-taken branch predicted taken after training")
+	}
+}
+
+func TestLoopBranchAccuracy(t *testing.T) {
+	// A loop branch taken 99 times then not taken once should reach very
+	// high accuracy.
+	p := New(DefaultConfig())
+	pc := uint64(0x3000)
+	correct, total := 0, 0
+	for iter := 0; iter < 50; iter++ {
+		for i := 0; i < 100; i++ {
+			outcome := i != 99
+			if p.Update(pc, outcome) {
+				correct++
+			}
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.95 {
+		t.Fatalf("loop branch accuracy = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestAlternatingPatternLearnedByGshare(t *testing.T) {
+	// Strict alternation is perfectly predictable with global history.
+	p := New(DefaultConfig())
+	pc := uint64(0x4000)
+	correct := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if p.Update(pc, i%2 == 0) {
+			correct++
+		}
+	}
+	// Count only the second half, after warmup.
+	correct = 0
+	for i := 0; i < n; i++ {
+		if p.Update(pc, i%2 == 0) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(n); acc < 0.99 {
+		t.Fatalf("alternating accuracy = %.3f, want >= 0.99", acc)
+	}
+}
+
+func TestRandomBranchNearChance(t *testing.T) {
+	p := New(DefaultConfig())
+	r := rand.New(rand.NewSource(7))
+	pc := uint64(0x5000)
+	correct := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.Update(pc, r.Intn(2) == 0) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(n)
+	if acc < 0.4 || acc > 0.7 {
+		t.Fatalf("random branch accuracy = %.3f, expected near 0.5", acc)
+	}
+}
+
+func TestAccuracyCounter(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.Accuracy() != 1 {
+		t.Fatal("empty predictor accuracy should be 1")
+	}
+	for i := 0; i < 100; i++ {
+		p.Update(0x100, true)
+	}
+	if p.Lookups != 100 {
+		t.Fatalf("lookups = %d", p.Lookups)
+	}
+	if a := p.Accuracy(); a <= 0.9 {
+		t.Fatalf("accuracy = %.3f after monotone training", a)
+	}
+}
+
+func TestTableSizesPowerOfTwo(t *testing.T) {
+	p := New(Config{GshareEntries: 1000, BimodalEntries: 100, MetaEntries: 5000, HistoryBits: 12})
+	for _, n := range []int{len(p.gshare), len(p.bimodal), len(p.meta)} {
+		if n&(n-1) != 0 || n == 0 {
+			t.Fatalf("table size %d not a power of two", n)
+		}
+	}
+	if len(p.gshare) > 1000 || len(p.bimodal) > 100 || len(p.meta) > 5000 {
+		t.Fatal("table rounded up instead of down")
+	}
+}
+
+func TestDistinctBranchesIndependent(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 20; i++ {
+		p.Update(0x1000, true)
+		p.Update(0x8000, false)
+	}
+	if !p.Predict(0x1000) || p.Predict(0x8000) {
+		t.Fatal("aliasing between distant branch PCs in bimodal path")
+	}
+}

@@ -1,0 +1,207 @@
+// Package core wires every substrate into the simulated machine the paper
+// evaluates: the SMT core, the memory hierarchy with hardware stream
+// buffers, the Trident monitoring hardware and helper-thread scheduler, the
+// delinquent load table, and the self-repairing prefetch optimizer. It owns
+// the simulation loop, the honest original-instruction IPC accounting, and
+// the statistics every figure of the paper is regenerated from.
+package core
+
+import (
+	"tridentsp/internal/cpu"
+	"tridentsp/internal/dlt"
+	"tridentsp/internal/memsys"
+	"tridentsp/internal/prefetch"
+	"tridentsp/internal/streambuf"
+	"tridentsp/internal/trace"
+	"tridentsp/internal/trident"
+)
+
+// HWPrefetch selects the hardware stream-buffer configuration (Figure 2).
+type HWPrefetch uint8
+
+// Hardware prefetcher configurations.
+const (
+	HWNone HWPrefetch = iota
+	HW4x4
+	HW8x8
+)
+
+// String names the configuration.
+func (h HWPrefetch) String() string {
+	switch h {
+	case HW4x4:
+		return "hw-4x4"
+	case HW8x8:
+		return "hw-8x8"
+	}
+	return "hw-none"
+}
+
+// SWMode selects the software prefetching scheme (Figure 5).
+type SWMode uint8
+
+// Software prefetching modes.
+const (
+	SWOff SWMode = iota
+	SWBasic
+	SWWholeObject
+	SWSelfRepair
+)
+
+// String names the mode.
+func (m SWMode) String() string {
+	switch m {
+	case SWBasic:
+		return "sw-basic"
+	case SWWholeObject:
+		return "sw-whole-object"
+	case SWSelfRepair:
+		return "sw-self-repair"
+	}
+	return "sw-off"
+}
+
+// Config describes one simulated machine.
+type Config struct {
+	CPU cpu.Config
+	Mem memsys.Config
+
+	// HW selects the baseline hardware stream buffers.
+	HW HWPrefetch
+	// SW selects dynamic software prefetching; SWOff disables Trident's
+	// prefetch optimizer (trace formation still runs if Trident is on).
+	SW SWMode
+
+	// Trident enables the dynamic optimization framework (trace formation
+	// and the monitoring hardware). Without it the machine is the plain
+	// baseline of Figure 2.
+	Trident bool
+	// LinkTraces, when false, runs the full optimizer but never patches
+	// the original binary — the §5.1 overhead experiment.
+	LinkTraces bool
+
+	DLT           dlt.Config
+	Profiler      trident.ProfilerConfig
+	WatchCapacity int
+	Form          trace.FormConfig
+	Cost          trident.CostModel
+	EventQueueCap int
+
+	// PFLineSize etc. for the optimizer are derived from Mem; ScratchReg
+	// is the register reserved for inserted dereference code.
+	ScratchReg uint8
+	// MaxDistanceCap bounds prefetch distances.
+	MaxDistanceCap int64
+	// DerefPointers enables §3.4.3 pointer dereference prefetching.
+	DerefPointers bool
+	// InitFromEstimate starts self-repair at the equation-2 estimate
+	// instead of distance 1 (the paper's "no gain" variant, §3.5.1).
+	InitFromEstimate bool
+
+	// Backout unlinks loop traces whose executions rarely complete a
+	// traversal (the captured path was unrepresentative); Trident's watch
+	// table exists partly "to identify and back out of hot traces that
+	// are under-performing" (§3.1).
+	Backout bool
+	// BackoutMinEntries is how many trace entries to observe first.
+	BackoutMinEntries uint64
+	// BackoutRatio is the minimum completed-traversals/entries ratio a
+	// loop trace must sustain.
+	BackoutRatio float64
+
+	// ValueSpecialize enables dynamic value specialization of hot traces
+	// (the prior Trident work's optimization, PACT 2005, which this
+	// paper's framework inherits): quasi-invariant loads found by a value
+	// profile table get a guard + constant substitution so the classical
+	// passes can fold downstream computation.
+	ValueSpecialize bool
+	// VPT sizes the value profile table.
+	VPT trident.VPTConfig
+	// GuardReg is the second scratch register specialization guards use.
+	GuardReg uint8
+
+	// PhaseClearMature periodically clears the DLT's mature flags when
+	// the miss rate shifts — the paper's suggested future work for
+	// adapting to working-set and phase changes (§3.5.2).
+	PhaseClearMature bool
+	// PhaseWindow is the instruction window for phase detection.
+	PhaseWindow uint64
+	// PhaseDelta is the relative miss-rate change that signals a phase.
+	PhaseDelta float64
+}
+
+// DefaultConfig is the paper's evaluated machine: Table 1 core and memory,
+// 8x8 stream buffers, Trident with self-repairing prefetching.
+func DefaultConfig() Config {
+	return Config{
+		CPU:            cpu.DefaultConfig(),
+		Mem:            memsys.DefaultConfig(),
+		HW:             HW8x8,
+		SW:             SWSelfRepair,
+		Trident:        true,
+		LinkTraces:     true,
+		DLT:            dlt.DefaultConfig(),
+		Profiler:       trident.DefaultProfilerConfig(),
+		WatchCapacity:  256,
+		Form:           trace.DefaultFormConfig(),
+		Cost:           trident.DefaultCostModel(),
+		EventQueueCap:  32,
+		ScratchReg:     30,
+		MaxDistanceCap: 64,
+		DerefPointers:  true,
+
+		VPT:      trident.DefaultVPTConfig(),
+		GuardReg: 29,
+
+		BackoutMinEntries: 512,
+		BackoutRatio:      0.25,
+		PhaseWindow:       500_000,
+		PhaseDelta:        0.5,
+	}
+}
+
+// BaselineConfig is Figure 2's machine: hardware prefetching only, no
+// Trident.
+func BaselineConfig(hw HWPrefetch) Config {
+	c := DefaultConfig()
+	c.HW = hw
+	c.SW = SWOff
+	c.Trident = false
+	return c
+}
+
+// prefetchConfig derives the optimizer configuration.
+func (c Config) prefetchConfig() prefetch.Config {
+	mode := prefetch.ModeSelfRepair
+	switch c.SW {
+	case SWBasic:
+		mode = prefetch.ModeBasic
+	case SWWholeObject:
+		mode = prefetch.ModeWholeObject
+	}
+	return prefetch.Config{
+		Mode:             mode,
+		LineSize:         int64(c.Mem.LineSize),
+		ScratchReg:       isaReg(c.ScratchReg),
+		MemLatency:       c.Mem.MemLatency,
+		L1Latency:        c.Mem.L1.Latency,
+		MaxDistanceCap:   c.MaxDistanceCap,
+		DerefPointers:    c.DerefPointers,
+		InitFromEstimate: c.InitFromEstimate,
+	}
+}
+
+// streambufConfig derives the stream-buffer configuration.
+func (c Config) streambufConfig() (streambuf.Config, bool) {
+	switch c.HW {
+	case HW4x4:
+		sc := streambuf.Config4x4()
+		sc.LineSize = c.Mem.LineSize
+		return sc, true
+	case HW8x8:
+		sc := streambuf.DefaultConfig()
+		sc.LineSize = c.Mem.LineSize
+		return sc, true
+	}
+	return streambuf.Config{}, false
+}

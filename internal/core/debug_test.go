@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestDebugTrace is a diagnostic: run the stride workload and dump the
+// optimization pipeline's counters stage by stage.
+func TestDebugTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	p := strideWorkload(131072, 64, 4)
+	cfg := DefaultConfig()
+	cfg.HW = HWNone
+	sys := NewSystem(cfg, p)
+	res := sys.Run(3_000_000)
+	t.Logf("cycles=%d IPC=%.4f", res.Cycles, res.IPC())
+	t.Logf("traces=%d insertions=%d repairs=%d matured=%d",
+		res.TracesFormed, res.Insertions, res.Repairs, res.Matured)
+	t.Logf("events raised=%d dropped=%d helperInv=%d", res.EventsRaised, res.EventsDropped, res.HelperInvocations)
+	t.Logf("prefetches issued=%d redundant=%d dropped=%d", res.Mem.PrefetchesIssued, res.Mem.PrefetchesRedundant, res.Mem.PrefetchesDropped)
+	t.Logf("outcomes=%v", res.Mem.ByOutcome)
+	t.Logf("missesTotal=%d inTrace=%d covered=%d", res.MissesTotal, res.MissesInTrace, res.MissesCovered)
+	t.Logf("traversals=%d", sys.stats.traceTraversal)
+	if we, ok := sys.watch.ByStart(0x1000 + 4*8); ok {
+		t.Logf("watch head: %+v", we)
+	}
+	for pc := p.Base; pc < p.CodeEnd(); pc += 8 {
+		if ts, ok := sys.opt.TraceID(pc); ok {
+			t.Logf("trace head %#x id=%d", pc, ts)
+			if we, ok := sys.watch.ByStart(pc); ok {
+				t.Logf("  watch: min=%d avg=%d trav=%d optflag=%v", we.MinExecTime, we.AvgExecTime(), we.Traversals, we.OptFlag)
+			}
+			for lpc := p.Base; lpc < p.CodeEnd(); lpc += 8 {
+				if d := sys.opt.Distance(pc, lpc); d > 0 {
+					t.Logf("  load %#x distance=%d", lpc, d)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"tridentsp/internal/isa"
+	"tridentsp/internal/program"
+)
+
+// Regression tests for bugs found and fixed during development. Each test
+// names the failure mode it guards against.
+
+// TestSupersededTraceDrains guards the retirement bug: after a trace is
+// re-optimized, execution looping inside the old version must drain into
+// the new one via the re-patched loop branch, or prefetch code never runs.
+func TestSupersededTraceDrains(t *testing.T) {
+	p := strideWorkload(131072, 64, 4)
+	cfg := DefaultConfig()
+	cfg.HW = HWNone
+	sys := NewSystem(cfg, p)
+	res := sys.Run(2_000_000)
+	if res.Insertions == 0 {
+		t.Skip("no insertion to drain into")
+	}
+	if res.Mem.PrefetchesIssued == 0 {
+		t.Fatal("prefetches never executed: execution stranded in the superseded trace")
+	}
+	// The thread must be executing a LIVE placement (or original code),
+	// never a retired one.
+	pc := sys.Thread().PC()
+	if sys.cache.Contains(pc) {
+		if pl, ok := sys.cache.PlacementAt(pc); ok && !pl.Live {
+			t.Fatalf("execution inside retired trace at %#x", pc)
+		}
+	}
+}
+
+// TestSuppressedEventUnfreezesWindow guards the frozen-counter leak: a
+// delinquent event suppressed by the trace's optimization flag must reset
+// the load's monitoring window, or the load never raises another event and
+// repair stalls after a handful of steps.
+func TestSuppressedEventUnfreezesWindow(t *testing.T) {
+	// swim-like: three concurrent delinquent loads force suppression
+	// collisions (one event in flight while others fire).
+	b := program.NewBuilder("tri", 0x1000, 0x1000000)
+	size := uint64(8 << 20)
+	x := b.Alloc(size)
+	y := b.Alloc(size)
+	z := b.Alloc(size)
+	b.Ldi(6, 1<<40)
+	b.Label("outer")
+	b.Ldi(1, x)
+	b.Ldi(2, y)
+	b.Ldi(3, z)
+	b.Ldi(4, size/64-1)
+	b.Label("top")
+	b.Ld(10, 1, 0)
+	b.Ld(11, 2, 0)
+	b.Ld(12, 3, 0)
+	for i := 0; i < 12; i++ {
+		b.Op(isa.FADD, 13, 13, 10)
+	}
+	b.OpI(isa.ADDI, 1, 1, 64)
+	b.OpI(isa.ADDI, 2, 2, 64)
+	b.OpI(isa.ADDI, 3, 3, 64)
+	b.OpI(isa.SUBI, 4, 4, 1)
+	b.CondBr(isa.BNE, 4, "top")
+	b.OpI(isa.SUBI, 6, 6, 1)
+	b.CondBr(isa.BNE, 6, "outer")
+	b.Halt()
+	p := b.MustBuild()
+
+	cfg := DefaultConfig()
+	cfg.HW = HWNone
+	res := NewSystem(cfg, p).Run(3_000_000)
+	// All three loads must keep repairing; the leak capped repairs at ~2
+	// per load.
+	if res.Repairs < 10 {
+		t.Fatalf("only %d repairs: monitoring windows froze", res.Repairs)
+	}
+}
+
+// TestNoDuplicateTraceForHead guards the double-capture bug: a hot head
+// captured twice before its first trace links would form a duplicate trace
+// and strand execution in the unoptimized copy.
+func TestNoDuplicateTraceForHead(t *testing.T) {
+	p := strideWorkload(65536, 64, 4)
+	cfg := DefaultConfig()
+	cfg.HW = HWNone
+	sys := NewSystem(cfg, p)
+	sys.Run(1_500_000)
+	// Count live base traces per head: each head has at most one live
+	// lineage.
+	heads := map[uint64]int{}
+	for id := 1; ; id++ {
+		pl, ok := sys.cache.PlacementByID(id)
+		if !ok {
+			break
+		}
+		if pl.Live {
+			heads[pl.Trace.StartPC]++
+		}
+	}
+	for head, n := range heads {
+		if n > 1 {
+			t.Fatalf("head %#x has %d live traces", head, n)
+		}
+	}
+}
+
+// TestStreamBufferFillsDoNotWarmCaches guards the fill-installation bug:
+// stream-buffer fills must not act as L2/L3 warmers, or a thrashing
+// prefetcher looks beneficial.
+func TestStreamBufferFillsDoNotWarmCaches(t *testing.T) {
+	// art thrashes the buffers by design; its HW-only run must not get
+	// closer than ~30% to the issue-bound IPC it would reach with free
+	// L2 warming.
+	bm := artProgram()
+	base := NewSystem(BaselineConfig(HWNone), artProgram()).Run(1_000_000)
+	hw := NewSystem(BaselineConfig(HW8x8), bm).Run(1_000_000)
+	if sp := Speedup(hw, base); sp > 1.6 {
+		t.Fatalf("thrashing stream buffers gained %.2fx: fills are warming caches", sp)
+	}
+}
+
+// artProgram builds a 16-stream kernel like workloads.Art without importing
+// it (core tests stay below workloads in the package DAG).
+func artProgram() *program.Program {
+	b := program.NewBuilder("art16", 0x1000, 0x1000000)
+	size := uint64(10 << 20)
+	w := b.Alloc(size)
+	const planes = 16
+	plane := size / planes
+	b.Ldi(6, 1<<40)
+	b.Label("outer")
+	b.Ldi(1, w)
+	b.Ldi(4, plane/8-8)
+	b.Label("top")
+	for k := 0; k < planes; k++ {
+		b.Ld(10, 1, int64(uint64(k)*plane))
+		b.Op(isa.FADD, 13, 13, 10)
+	}
+	for i := 0; i < 24; i++ {
+		b.Op(isa.FMUL, 14, 14, 13)
+	}
+	b.OpI(isa.ADDI, 1, 1, 8)
+	b.OpI(isa.SUBI, 4, 4, 1)
+	b.CondBr(isa.BNE, 4, "top")
+	b.OpI(isa.SUBI, 6, 6, 1)
+	b.CondBr(isa.BNE, 6, "outer")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestPatchedHeadAccountsWeightOnce guards double-counting at patched
+// heads: the BR patch itself is weight-0 because the trace's first
+// instruction carries the head's original weight.
+func TestPatchedHeadAccountsWeightOnce(t *testing.T) {
+	build := func() *program.Program { return strideFinite(48, 2048) }
+	ref := NewSystem(BaselineConfig(HWNone), build()).Run(1 << 62)
+	opt := NewSystem(DefaultConfig(), build()).Run(1 << 62)
+	if ref.OrigInstrs != opt.OrigInstrs {
+		t.Fatalf("patched head mis-accounted: %d vs %d", ref.OrigInstrs, opt.OrigInstrs)
+	}
+}
+
+// TestTraceReportMentionsPrefetches exercises the diagnostic report.
+func TestTraceReportMentionsPrefetches(t *testing.T) {
+	p := strideWorkload(131072, 64, 4)
+	cfg := DefaultConfig()
+	cfg.HW = HWNone
+	sys := NewSystem(cfg, p)
+	sys.Run(2_000_000)
+	rep := sys.TraceReport()
+	for _, want := range []string{"trace 1", "prefetch", "orig 0x"} {
+		if !containsStr(rep, want) {
+			t.Fatalf("report missing %q:\n%.600s", want, rep)
+		}
+	}
+	// A Trident-less system reports that plainly.
+	plain := NewSystem(BaselineConfig(HWNone), strideFinite(2, 64))
+	plain.Run(1 << 62)
+	if !containsStr(plain.TraceReport(), "trident disabled") {
+		t.Fatal("non-Trident report wrong")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tridentsp/internal/isa"
+)
+
+// TraceReport renders every trace currently in the code cache: placement
+// metadata, watch-table timing, and a disassembly with the optimizer's
+// inserted prefetch code marked. cmd/tracedump exposes it; it is the main
+// window into what the dynamic optimizer actually did to a program.
+func (s *System) TraceReport() string {
+	if !s.cfg.Trident {
+		return "trident disabled: no traces\n"
+	}
+	var sb strings.Builder
+	ids := make([]int, 0, 8)
+	for id := 1; ; id++ {
+		if _, ok := s.cache.PlacementByID(id); !ok {
+			break
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	if len(ids) == 0 {
+		sb.WriteString("no traces formed\n")
+		return sb.String()
+	}
+	for _, id := range ids {
+		pl, _ := s.cache.PlacementByID(id)
+		state := "retired"
+		if pl.Live {
+			state = "live"
+		}
+		fmt.Fprintf(&sb, "trace %d (%s): head %#x, placed at %#x, %d instructions\n",
+			id, state, pl.Trace.StartPC, pl.Start, pl.Trace.Len())
+		if we, ok := s.watch.ByID(id); ok {
+			fmt.Fprintf(&sb, "  watch: min traversal %d cycles, avg %d, %d traversals\n",
+				we.MinExecTime, we.AvgExecTime(), we.Traversals)
+		}
+		if s.opt != nil {
+			dists := map[uint64]int64{}
+			for i := range pl.Trace.Insts {
+				ti := &pl.Trace.Insts[i]
+				if ti.OrigPC != 0 {
+					if d := s.opt.Distance(pl.Trace.StartPC, ti.OrigPC); d > 0 {
+						dists[ti.OrigPC] = d
+					}
+				}
+			}
+			if len(dists) > 0 {
+				pcs := make([]uint64, 0, len(dists))
+				for pc := range dists {
+					pcs = append(pcs, pc)
+				}
+				sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+				sb.WriteString("  prefetch distances:")
+				for _, pc := range pcs {
+					fmt.Fprintf(&sb, " load@%#x=%d", pc, dists[pc])
+				}
+				sb.WriteByte('\n')
+			}
+		}
+		for i := range pl.Trace.Insts {
+			ti := &pl.Trace.Insts[i]
+			pc := pl.Start + uint64(i)*isa.WordSize
+			in, _ := s.cache.Fetch(pc) // current (possibly patched) bits
+			mark := "  "
+			if ti.Inserted {
+				mark = "+ "
+			}
+			orig := ""
+			if ti.OrigPC != 0 {
+				orig = fmt.Sprintf("  ; orig %#x", ti.OrigPC)
+			}
+			fmt.Fprintf(&sb, "  %s%#08x: %-32s%s\n", mark, pc, isa.Disassemble(pc, in), orig)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"tridentsp/internal/memsys"
+)
+
+// Results summarizes one run; every figure of the paper is computed from
+// these fields.
+type Results struct {
+	Name   string
+	Config string
+
+	// Cycles is the final simulation clock; OrigInstrs counts committed
+	// instructions of the *original* program (inserted prefetch code and
+	// removed redundancies excluded), per §4.1.
+	Cycles     int64
+	OrigInstrs uint64
+	// Committed counts raw committed instructions, including inserted
+	// prefetch code.
+	Committed uint64
+
+	// Memory behaviour (Figure 6's breakdown lives in Mem.ByOutcome).
+	Mem memsys.Stats
+
+	// Branch prediction accuracy.
+	BranchAccuracy float64
+
+	// Trident activity (Figures 3 and the §5.1 overhead).
+	HelperActiveCycles int64
+	HelperInvocations  uint64
+	TracesFormed       uint64
+	TracesBackedOut    uint64
+	TracesSpecialized  uint64
+	PhaseClears        uint64
+	EventsRaised       uint64
+	EventsDropped      uint64
+	CodeCacheBytes     int
+	LiveTraces         int
+
+	// ApplyErrors counts optimizations whose apply step failed (should
+	// always be zero; surfaced so misconfigurations are visible).
+	ApplyErrors uint64
+
+	// Optimizer activity.
+	Insertions       uint64
+	Repairs          uint64
+	Matured          uint64
+	PrefetchesPlaced uint64
+	DerefChains      uint64
+
+	// Coverage (Figure 4).
+	MissesTotal   uint64
+	MissesInTrace uint64
+	MissesCovered uint64
+
+	// Stream buffer activity.
+	SBSupplies uint64
+	SBFills    uint64
+}
+
+// IPC returns original instructions per cycle.
+func (r Results) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.OrigInstrs) / float64(r.Cycles)
+}
+
+// HelperActiveFraction is helper-thread active cycles over total cycles
+// (Figure 3).
+func (r Results) HelperActiveFraction() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.HelperActiveCycles) / float64(r.Cycles)
+}
+
+// TraceMissCoverage is the fraction of L1 misses occurring inside hot
+// traces (Figure 4's lower bar segment).
+func (r Results) TraceMissCoverage() float64 {
+	if r.MissesTotal == 0 {
+		return 0
+	}
+	return float64(r.MissesInTrace) / float64(r.MissesTotal)
+}
+
+// PrefetchMissCoverage is the fraction of L1 misses from loads the
+// prefetcher targets (Figure 4's upper segment).
+func (r Results) PrefetchMissCoverage() float64 {
+	if r.MissesTotal == 0 {
+		return 0
+	}
+	return float64(r.MissesCovered) / float64(r.MissesTotal)
+}
+
+// Speedup returns this run's IPC relative to a baseline run.
+func Speedup(r, baseline Results) float64 {
+	b := baseline.IPC()
+	if b == 0 {
+		return 0
+	}
+	return r.IPC() / b
+}
+
+// String renders a compact human-readable summary.
+func (r Results) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s [%s]\n", r.Name, r.Config)
+	fmt.Fprintf(&sb, "  cycles=%d orig-instrs=%d IPC=%.4f\n", r.Cycles, r.OrigInstrs, r.IPC())
+	fmt.Fprintf(&sb, "  loads=%d misses=%d (in-trace %.1f%%, covered %.1f%%)\n",
+		r.Mem.Loads, r.MissesTotal, 100*r.TraceMissCoverage(), 100*r.PrefetchMissCoverage())
+	fmt.Fprintf(&sb, "  traces=%d insertions=%d repairs=%d matured=%d helper=%.2f%%\n",
+		r.TracesFormed, r.Insertions, r.Repairs, r.Matured, 100*r.HelperActiveFraction())
+	return sb.String()
+}
+
+// results snapshots the system's statistics.
+func (s *System) results() Results {
+	s.hier.Drain(s.thread.Now())
+	r := Results{
+		Name:          s.pristine.Name,
+		Config:        fmt.Sprintf("%s/%s", s.cfg.HW, s.cfg.SW),
+		Cycles:        s.thread.Now(),
+		OrigInstrs:    s.origInstrs,
+		Committed:     s.thread.Committed(),
+		Mem:           s.hier.Stats,
+		MissesTotal:   s.stats.missesTotal,
+		MissesInTrace: s.stats.missesInTrace,
+		MissesCovered: s.stats.missesCovered,
+	}
+	r.BranchAccuracy = s.bp.Accuracy()
+	if s.sb != nil {
+		r.SBSupplies = s.sb.Stats.Supplies
+		r.SBFills = s.sb.Stats.Fills
+	}
+	if s.cfg.Trident {
+		r.HelperActiveCycles = s.helper.ActiveCycles
+		r.HelperInvocations = s.helper.Invocations
+		r.TracesFormed = s.stats.tracesFormed
+		r.TracesBackedOut = s.stats.tracesBackedOut
+		r.TracesSpecialized = s.stats.tracesSpecialized
+		r.PhaseClears = s.stats.phaseClears
+		r.EventsRaised = s.queue.Raised
+		r.EventsDropped = s.queue.Dropped
+		r.CodeCacheBytes = s.cache.Size()
+		r.LiveTraces = s.cache.LiveTraces()
+		r.ApplyErrors = s.stats.applyErrors
+	}
+	if s.opt != nil {
+		r.Insertions = s.opt.Stats.Insertions
+		r.Repairs = s.opt.Stats.Repairs
+		r.Matured = s.opt.Stats.Matured
+		r.PrefetchesPlaced = s.opt.Stats.PrefetchesPlaced
+		r.DerefChains = s.opt.Stats.DerefChainsPlaced
+	}
+	return r
+}

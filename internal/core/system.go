@@ -1,0 +1,625 @@
+package core
+
+import (
+	"fmt"
+
+	"tridentsp/internal/branchpred"
+	"tridentsp/internal/cpu"
+	"tridentsp/internal/dlt"
+	"tridentsp/internal/isa"
+	"tridentsp/internal/memsys"
+	"tridentsp/internal/prefetch"
+	"tridentsp/internal/program"
+	"tridentsp/internal/streambuf"
+	"tridentsp/internal/trace"
+	"tridentsp/internal/trident"
+)
+
+func isaReg(v uint8) isa.Reg { return isa.Reg(v) }
+
+// codeCacheOffset places the code cache well above any program image.
+const codeCacheOffset = 64 << 20
+
+// System is one simulated machine running one program.
+type System struct {
+	cfg Config
+
+	pristine *program.Program
+	mem      *program.Memory
+	hier     *memsys.Hierarchy
+	sb       *streambuf.StreamBuffers
+	bp       *branchpred.Predictor
+	live     *cpu.ProgramSpace
+	cache    *trident.CodeCache
+	thread   *cpu.Thread
+
+	prof   *trident.Profiler
+	watch  *trident.WatchTable
+	table  *dlt.Table
+	vpt    *trident.VPT
+	queue  *trident.Queue
+	helper *trident.Helper
+	opt    *prefetch.Optimizer
+
+	// Execution-loop state.
+	curPl          *trident.Placement
+	traversalStart int64
+	inTraversal    bool
+	lastNow        int64
+	patched        map[uint64]bool
+	apply          func() error
+	applyAt        int64
+	interfering    bool
+
+	// Trace back-out bookkeeping (per live trace ID).
+	activity map[int]*traceActivity
+
+	// Phase detection state.
+	phaseMarkInstrs uint64
+	phaseMarkMisses uint64
+	phaseRate       float64
+	phaseRateValid  bool
+
+	// Accounting.
+	origInstrs uint64
+	stats      runStats
+}
+
+// runStats accumulates core-level statistics during Run.
+type runStats struct {
+	tracesFormed      uint64
+	tracesBackedOut   uint64
+	tracesSpecialized uint64
+	phaseClears       uint64
+	missesTotal       uint64
+	missesInTrace     uint64
+	missesCovered     uint64
+	loadsInTrace      uint64
+	loadsTotal        uint64
+	applyErrors       uint64
+	traceTraversal    uint64
+}
+
+// traceActivity tracks a loop trace's usefulness for the back-out policy.
+type traceActivity struct {
+	entries    uint64
+	traversals uint64
+	hasLoop    bool
+	hasLoopSet bool
+}
+
+// NewSystem builds a machine for the program.
+func NewSystem(cfg Config, prog *program.Program) *System {
+	s := &System{
+		cfg:      cfg,
+		pristine: prog.Clone(),
+		mem:      program.NewMemory(prog),
+		hier:     memsys.New(cfg.Mem),
+		bp:       branchpred.New(branchpred.DefaultConfig()),
+		patched:  make(map[uint64]bool),
+		activity: make(map[int]*traceActivity),
+	}
+	if sc, ok := cfg.streambufConfig(); ok {
+		s.sb = streambuf.New(sc, s.hier)
+		s.hier.SetPrefetcher(s.sb)
+	}
+	s.live = cpu.NewProgramSpace(prog)
+	s.cache = trident.NewCodeCache(prog.CodeEnd() + codeCacheOffset)
+	s.thread = cpu.New(cfg.CPU, s, prog.Entry, s.mem, s.hier, s.bp)
+
+	if cfg.Trident {
+		s.prof = trident.NewProfiler(cfg.Profiler)
+		s.watch = trident.NewWatchTable(cfg.WatchCapacity)
+		s.table = dlt.New(cfg.DLT)
+		s.queue = trident.NewQueue(cfg.EventQueueCap)
+		s.helper = trident.NewHelper(cfg.Cost)
+		if cfg.ValueSpecialize {
+			s.vpt = trident.NewVPT(cfg.VPT)
+		}
+		if cfg.SW != SWOff {
+			s.opt = prefetch.New(cfg.prefetchConfig(), s.table, s.cache,
+				s.watch, linkerFunc(s.linkTrace), cfg.Cost)
+		}
+	}
+	return s
+}
+
+// linkerFunc adapts a function to prefetch.Linker.
+type linkerFunc func(startPC, addr uint64) error
+
+func (f linkerFunc) LinkTrace(startPC, addr uint64) error { return f(startPC, addr) }
+
+// Fetch implements cpu.CodeSpace, composing the code cache over the live
+// (patched) program image.
+func (s *System) Fetch(pc uint64) (isa.Inst, bool) {
+	if s.cache.Contains(pc) {
+		return s.cache.Fetch(pc)
+	}
+	return s.live.Fetch(pc)
+}
+
+// linkTrace patches the original binary so startPC branches into the code
+// cache. In the §5.1 overhead experiment (LinkTraces=false) it is a no-op:
+// the optimizer does all its work but execution never uses it.
+func (s *System) linkTrace(startPC, addr uint64) error {
+	if !s.cfg.LinkTraces {
+		return nil
+	}
+	br := isa.Inst{Op: isa.BR, Rd: isa.ZeroReg, Imm: isa.BranchDisp(startPC, addr)}
+	w, err := isa.EncodeChecked(br)
+	if err != nil {
+		return err
+	}
+	if err := s.live.Patch(startPC, w); err != nil {
+		return err
+	}
+	s.patched[startPC] = true
+	return nil
+}
+
+// Thread exposes the main hardware context (register setup for workloads).
+func (s *System) Thread() *cpu.Thread { return s.thread }
+
+// Hierarchy exposes the memory system (examples and tests inspect stats).
+func (s *System) Hierarchy() *memsys.Hierarchy { return s.hier }
+
+// Optimizer exposes the prefetch optimizer (nil when SW is off).
+func (s *System) Optimizer() *prefetch.Optimizer { return s.opt }
+
+// DLT exposes the delinquent load table (nil without Trident).
+func (s *System) DLT() *dlt.Table { return s.table }
+
+// Run executes until origInstrs original instructions have committed (or
+// the program halts), returning the results.
+func (s *System) Run(limit uint64) Results {
+	for s.origInstrs < limit && !s.thread.Halted() {
+		s.step()
+	}
+	return s.results()
+}
+
+// step advances the machine by one committed instruction.
+func (s *System) step() {
+	info := s.thread.Step()
+	if info.Halted {
+		return
+	}
+	pc := info.PC
+	now := info.Now
+
+	// Placement tracking: which hot trace (if any) is executing.
+	var pl *trident.Placement
+	if s.cache.Contains(pc) {
+		if s.curPl != nil && pc >= s.curPl.Start && pc < s.curPl.End {
+			pl = s.curPl
+		} else if p, ok := s.cache.PlacementAt(pc); ok {
+			pl = p
+		}
+	}
+
+	// Original-instruction accounting (§4.1).
+	switch {
+	case pl != nil:
+		s.origInstrs += uint64(s.cache.Weight(pc))
+	case s.patched[pc]:
+		// The patch branch replaces an instruction the trace accounts for.
+	default:
+		s.origInstrs++
+	}
+
+	// Watch-table traversal timing.
+	if s.cfg.Trident {
+		s.trackTraversal(pl, pc, now)
+	}
+
+	// Load monitoring. Coverage statistics count "would-be misses": true
+	// misses plus prefetched hits (loads that would have missed without a
+	// prefetch), so Figure 4's ratios stay meaningful once prefetching
+	// starts eliminating the very misses it covers.
+	if info.IsLoad {
+		s.stats.loadsTotal++
+		if wouldMiss(info.LoadRes) {
+			s.stats.missesTotal++
+		}
+		if s.cfg.Trident {
+			s.monitorLoad(pl, pc, info)
+		}
+	}
+
+	// Branch profiling (original code only: in-trace loop branches target
+	// the code cache and must not seed new traces).
+	if s.cfg.Trident && pl == nil && !s.cache.Contains(pc) {
+		switch info.Branch {
+		case cpu.BranchTaken, cpu.BranchNotTaken:
+			taken := info.Branch == cpu.BranchTaken
+			target := isa.BranchTarget(pc, info.Inst)
+			if hot, fired := s.prof.OnCondBranch(pc, target, taken); fired {
+				s.enqueueHot(hot, now)
+			}
+		case cpu.BranchJump:
+			if info.Inst.Op == isa.BR {
+				s.prof.OnJump(pc, isa.BranchTarget(pc, info.Inst))
+			}
+		}
+	}
+
+	// Phase detection: a shifted miss rate re-arms matured loads.
+	if s.cfg.Trident && s.cfg.PhaseClearMature &&
+		s.origInstrs-s.phaseMarkInstrs >= s.cfg.PhaseWindow {
+		s.checkPhase()
+	}
+
+	// Helper thread: apply finished optimizations, start new ones.
+	if s.cfg.Trident {
+		s.pump(now)
+		busy := s.helper.Busy(now)
+		if busy != s.interfering {
+			s.interfering = busy
+			s.thread.SetInterference(busy)
+		}
+	}
+
+	s.curPl = pl
+	s.lastNow = now
+}
+
+// checkPhase compares the last window's miss rate against the previous
+// window's; a large relative change clears the DLT's mature flags (§3.5.2's
+// future-work suggestion).
+func (s *System) checkPhase() {
+	dInstrs := s.origInstrs - s.phaseMarkInstrs
+	dMisses := s.stats.missesTotal - s.phaseMarkMisses
+	s.phaseMarkInstrs = s.origInstrs
+	s.phaseMarkMisses = s.stats.missesTotal
+	rate := float64(dMisses) / float64(dInstrs)
+	defer func() { s.phaseRate, s.phaseRateValid = rate, true }()
+	if !s.phaseRateValid {
+		return
+	}
+	ref := s.phaseRate
+	if ref < 1e-6 {
+		ref = 1e-6
+	}
+	if rate > ref*(1+s.cfg.PhaseDelta) || rate < ref*(1-s.cfg.PhaseDelta) {
+		s.table.ClearAllMature()
+		if s.opt != nil {
+			s.opt.ClearMaturity()
+		}
+		s.stats.phaseClears++
+	}
+}
+
+// wouldMiss reports whether a load access either missed or only hit
+// because a prefetch covered it.
+func wouldMiss(r memsys.Result) bool {
+	return r.L1Miss || r.Outcome == memsys.HitPrefetched
+}
+
+// trackTraversal updates the watch table's per-traversal timing: a
+// traversal completes when the trace loops back to its own start.
+func (s *System) trackTraversal(pl *trident.Placement, pc uint64, now int64) {
+	switch {
+	case pl == nil:
+		s.inTraversal = false
+	case pl != s.curPl:
+		// Entered a trace.
+		s.traversalStart = s.lastNow
+		s.inTraversal = true
+		if s.cfg.Backout {
+			s.noteEntry(pl)
+		}
+	case pc == pl.Start && s.inTraversal:
+		// Loop-back: one full traversal.
+		if we, ok := s.watch.ByID(pl.TraceID); ok {
+			we.RecordTraversal(s.lastNow - s.traversalStart)
+		}
+		s.stats.traceTraversal++
+		s.traversalStart = s.lastNow
+		if s.cfg.Backout {
+			if a := s.activity[pl.TraceID]; a != nil {
+				a.traversals++
+			}
+		}
+	}
+}
+
+// noteEntry counts a trace entry and backs the trace out if it keeps
+// exiting without completing a traversal — the captured path was not the
+// hot path after all, so the head is unpatched and the profiler re-armed
+// to capture a better bitmap.
+func (s *System) noteEntry(pl *trident.Placement) {
+	a := s.activity[pl.TraceID]
+	if a == nil {
+		a = &traceActivity{}
+		s.activity[pl.TraceID] = a
+	}
+	if !a.hasLoopSet {
+		a.hasLoopSet = true
+		for i := range pl.Trace.Insts {
+			if pl.Trace.Insts[i].Kind == trace.LoopBranch {
+				a.hasLoop = true
+				break
+			}
+		}
+	}
+	a.entries++
+	if !a.hasLoop || !pl.Live || a.entries < s.cfg.BackoutMinEntries {
+		return
+	}
+	if float64(a.traversals) >= s.cfg.BackoutRatio*float64(a.entries) {
+		return
+	}
+	s.backOut(pl)
+}
+
+// backOut unlinks an under-performing trace: the original head instruction
+// is restored, the placement retired and drained, the watch entry dropped,
+// and the profiler re-armed for this head.
+func (s *System) backOut(pl *trident.Placement) {
+	head := pl.Trace.StartPC
+	if w, ok := s.pristine.WordAt(head); ok && s.patched[head] {
+		if err := s.live.Patch(head, w); err == nil {
+			delete(s.patched, head)
+		}
+	}
+	s.cache.Retire(pl.TraceID)
+	if err := s.cache.RetargetLoops(pl.TraceID, head); err != nil {
+		s.stats.applyErrors++
+	}
+	s.watch.Remove(pl.TraceID)
+	s.prof.ClearFormed(head)
+	if s.opt != nil {
+		s.opt.ForgetTrace(head)
+	}
+	if s.vpt != nil {
+		// A specialized trace whose guard started failing drains here;
+		// re-arm the profiler's value entries so a new stable value can
+		// be discovered.
+		s.vpt.Despecialize()
+	}
+	delete(s.activity, pl.TraceID)
+	s.stats.tracesBackedOut++
+}
+
+// monitorLoad feeds the DLT for loads executing inside hot traces and
+// raises delinquent-load events. In the link-disabled overhead experiment
+// no trace ever executes, so — exactly as in the paper's §5.1 setup — the
+// DLT stays silent and only trace-formation events occupy the helper.
+func (s *System) monitorLoad(pl *trident.Placement, pc uint64, info cpu.StepInfo) {
+	if pl == nil {
+		return
+	}
+	idx := (pc - pl.Start) / isa.WordSize
+	ti := &pl.Trace.Insts[idx]
+	if ti.Inserted || ti.OrigPC == 0 {
+		return
+	}
+	origPC, headPC := ti.OrigPC, pl.Trace.StartPC
+
+	s.stats.loadsInTrace++
+	if s.vpt != nil && s.vpt.Update(origPC, info.LoadValue) {
+		ev := trident.Event{Kind: trident.EventInvariantLoad, Raised: info.Now, LoadPC: origPC}
+		ev.Hot.StartPC = headPC
+		s.queue.Push(ev)
+	}
+	if wouldMiss(info.LoadRes) {
+		s.stats.missesInTrace++
+		if s.opt != nil && s.opt.Covered(headPC, origPC) {
+			s.stats.missesCovered++
+		}
+	}
+	miss := info.LoadRes.L1Miss
+	var missLat int64
+	if miss {
+		missLat = info.LoadRes.Latency
+	}
+	if !s.table.Update(origPC, info.LoadAddr, miss, missLat) {
+		return
+	}
+	// Delinquent-load event. Suppressed while the trace is already being
+	// re-optimized (§3.2's watch-table optimization flag).
+	if s.opt == nil {
+		s.table.ClearCounters(origPC)
+		return
+	}
+	we, ok := s.watch.ByStart(headPC)
+	if !ok || we.OptFlag {
+		// Event suppressed (the trace is already being re-optimized):
+		// restart this load's monitoring window, or it would stay frozen
+		// forever and never raise another event.
+		s.table.ClearCounters(origPC)
+		return
+	}
+	ev := trident.Event{
+		Kind:    trident.EventDelinquentLoad,
+		Raised:  info.Now,
+		LoadPC:  origPC,
+		TraceID: we.TraceID,
+	}
+	ev.Hot.StartPC = headPC
+	if s.queue.Push(ev) {
+		we.OptFlag = true
+	} else {
+		s.table.ClearCounters(origPC)
+	}
+}
+
+// enqueueHot raises a hot-trace event.
+func (s *System) enqueueHot(hot trident.HotTrace, now int64) {
+	if _, exists := s.watch.ByStart(hot.StartPC); exists {
+		s.prof.MarkFormed(hot.StartPC)
+		return
+	}
+	s.queue.Push(trident.Event{Kind: trident.EventHotTrace, Raised: now, Hot: hot})
+}
+
+// pump applies a completed optimization and dispatches the next queued
+// event to the helper thread.
+func (s *System) pump(now int64) {
+	if s.apply != nil && now >= s.applyAt {
+		if err := s.apply(); err != nil {
+			s.stats.applyErrors++
+			if DebugLog != nil {
+				DebugLog("apply error: " + err.Error())
+			}
+		}
+		s.apply = nil
+	}
+	if s.apply != nil || s.helper.Busy(now) {
+		return
+	}
+	ev, ok := s.queue.Pop()
+	if !ok {
+		return
+	}
+	switch ev.Kind {
+	case trident.EventHotTrace:
+		s.processHotTrace(ev, now)
+	case trident.EventDelinquentLoad:
+		s.processDelinquent(ev, now)
+	case trident.EventInvariantLoad:
+		s.processInvariant(ev, now)
+	}
+}
+
+// processHotTrace forms, optimizes, places, and links a new hot trace.
+func (s *System) processHotTrace(ev trident.Event, now int64) {
+	if _, exists := s.watch.ByStart(ev.Hot.StartPC); exists {
+		// A queued duplicate: the head already has a trace.
+		return
+	}
+	tr, err := trace.Form(s.pristine, ev.Hot.StartPC, ev.Hot.Bitmap, s.cfg.Form)
+	if err != nil || tr.Len() < 3 {
+		// Unformable or degenerate: charge a minimal probe cost.
+		s.helper.Begin(now, s.cfg.Cost.FormBase)
+		s.prof.MarkFormed(ev.Hot.StartPC)
+		return
+	}
+	trace.Optimize(tr)
+	cost := s.cfg.Cost.FormBase + s.cfg.Cost.FormPerInst*int64(tr.Len())
+	done := s.helper.Begin(now, cost)
+	s.applyAt = done
+	s.apply = func() error {
+		pl, err := s.cache.Place(tr)
+		if err != nil {
+			return err
+		}
+		s.watch.Add(&trident.WatchEntry{
+			StartPC: tr.StartPC,
+			TraceID: pl.TraceID,
+			Length:  tr.Len(),
+		})
+		if s.opt != nil {
+			s.opt.RegisterTrace(tr.StartPC, tr, pl.TraceID)
+		}
+		s.prof.MarkFormed(tr.StartPC)
+		s.stats.tracesFormed++
+		return s.linkTrace(tr.StartPC, pl.Start)
+	}
+}
+
+// DebugLog, when non-nil, receives one line per optimization event.
+var DebugLog func(string)
+
+// processInvariant value-specializes a trace around a quasi-invariant load
+// (the prior Trident work's optimization). Specialization regenerates the
+// trace, so it defers to prefetching when prefetch code is already placed —
+// the prefetch state would not survive the rebuild.
+func (s *System) processInvariant(ev trident.Event, now int64) {
+	head := ev.Hot.StartPC
+	we, ok := s.watch.ByStart(head)
+	if !ok || we.OptFlag {
+		return
+	}
+	pl, ok := s.cache.PlacementByID(we.TraceID)
+	if !ok || !pl.Live {
+		return
+	}
+	value, stable := s.vpt.Value(ev.LoadPC)
+	if !stable {
+		return
+	}
+	// Specialize the prefetch-free base version; any prefetch code is
+	// re-inserted by later delinquent events on top of the specialized
+	// body (distances restart, which the repair loop re-converges).
+	var clone *trace.Trace
+	if s.opt != nil {
+		if base, ok := s.opt.BaseTrace(head); ok {
+			clone = base
+		}
+	}
+	if clone == nil {
+		clone = pl.Trace.Clone()
+	}
+	idx := -1
+	for i := range clone.Insts {
+		if !clone.Insts[i].Inserted && clone.Insts[i].OrigPC == ev.LoadPC &&
+			clone.Insts[i].Inst.Op == isa.LD {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || !trace.SpecializeLoad(clone, idx, value, isaReg(s.cfg.GuardReg)) {
+		return
+	}
+	trace.Optimize(clone)
+
+	cost := s.cfg.Cost.FormBase + s.cfg.Cost.FormPerInst*int64(clone.Len())
+	done := s.helper.Begin(now, cost)
+	oldID := we.TraceID
+	s.applyAt = done
+	s.apply = func() error {
+		npl, err := s.cache.Place(clone)
+		if err != nil {
+			return err
+		}
+		s.cache.Retire(oldID)
+		if err := s.cache.RetargetLoops(oldID, head); err != nil {
+			return err
+		}
+		ne := &trident.WatchEntry{StartPC: head, TraceID: npl.TraceID, Length: clone.Len()}
+		if oe, ok := s.watch.ByID(oldID); ok {
+			ne.MinExecTime = oe.MinExecTime
+			ne.TotalExecTime = oe.TotalExecTime
+			ne.Traversals = oe.Traversals
+		}
+		s.watch.Remove(oldID)
+		s.watch.Add(ne)
+		if s.opt != nil {
+			s.opt.RegisterTrace(head, clone, npl.TraceID)
+		}
+		s.stats.tracesSpecialized++
+		return s.linkTrace(head, npl.Start)
+	}
+}
+
+// processDelinquent runs the prefetch optimizer for one event.
+func (s *System) processDelinquent(ev trident.Event, now int64) {
+	res := s.opt.ProcessEvent(ev.Hot.StartPC, ev.LoadPC)
+	if DebugLog != nil {
+		minExec := int64(-1)
+		if we, ok := s.watch.ByStart(ev.Hot.StartPC); ok {
+			minExec = we.MinExecTime
+		}
+		DebugLog(fmt.Sprintf("delinquent head=%#x load=%#x -> %v cost=%d dist=%d minExec=%d",
+			ev.Hot.StartPC, ev.LoadPC, res.Kind, res.Cost,
+			s.opt.Distance(ev.Hot.StartPC, ev.LoadPC), minExec))
+	}
+	cost := res.Cost
+	if cost <= 0 {
+		cost = s.cfg.Cost.RepairCost
+	}
+	done := s.helper.Begin(now, cost)
+	startPC := ev.Hot.StartPC
+	inner := res.Apply
+	s.applyAt = done
+	s.apply = func() error {
+		if we, ok := s.watch.ByStart(startPC); ok {
+			we.OptFlag = false
+		}
+		if inner != nil {
+			return inner()
+		}
+		return nil
+	}
+}

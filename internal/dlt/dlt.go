@@ -1,0 +1,288 @@
+// Package dlt implements the Delinquent Load Table, the hardware structure
+// this paper adds to Trident (§3.3): a small associative cache, tagged by
+// load PC, that monitors loads executing inside hot traces over fixed-size
+// monitoring windows and raises delinquent-load events for loads whose miss
+// count and average miss latency cross the configured thresholds. Each
+// entry also runs the per-load stride predictor (last address, stride, and
+// a 4-bit confidence counter updated +1 on a matching stride and −7 on a
+// mismatch; a load is stride-predictable at confidence 15) and carries the
+// prefetch mature flag.
+package dlt
+
+// Config sizes the table and sets the delinquency thresholds (Table 2).
+type Config struct {
+	// Entries is the total table size (default 1024).
+	Entries int
+	// Assoc is the set associativity (2).
+	Assoc int
+	// WindowSize is the load monitoring window: counters are evaluated and
+	// reset every WindowSize accesses (256).
+	WindowSize uint32
+	// MissThreshold is the miss count within a window that makes a load
+	// delinquent (8, i.e. ~3% of 256).
+	MissThreshold uint32
+	// LatencyThreshold is the average miss latency a delinquent load must
+	// exceed; the paper uses half of the L2 miss latency.
+	LatencyThreshold int64
+}
+
+// DefaultConfig mirrors Table 2 with the paper's latency criterion for the
+// default memory hierarchy (L2 miss latency 35, halved).
+func DefaultConfig() Config {
+	return Config{
+		Entries:          1024,
+		Assoc:            2,
+		WindowSize:       256,
+		MissThreshold:    8,
+		LatencyThreshold: 17,
+	}
+}
+
+// StrideConfidenceMax is the saturation value at which a load is considered
+// stride predictable.
+const StrideConfidenceMax = 15
+
+// strideMissPenalty is how much a stride mismatch costs (§3.3:
+// "decremented by 7 if they are different").
+const strideMissPenalty = 7
+
+// Entry is one monitored load.
+type Entry struct {
+	PC uint64
+
+	// Monitoring-window counters.
+	Access      uint32
+	Miss        uint32
+	MissLatency int64
+
+	// Stride predictor state (updated on every commit, not just misses).
+	LastAddr   uint64
+	Stride     int64
+	Confidence uint8
+	seenAddr   bool
+
+	// Mature suppresses further delinquent events for this load until the
+	// entry is evicted (§3.3 "prefetch mature flag").
+	Mature bool
+
+	// frozen stops window counting after a delinquent event until the
+	// optimizer clears the counters (§3.3: "these counters and total miss
+	// latency stay unchanged and will be cleared later by the helper
+	// thread during optimization").
+	frozen bool
+
+	valid bool
+}
+
+// StridePredictable reports whether the confidence counter is saturated.
+func (e *Entry) StridePredictable() bool {
+	return e.Confidence >= StrideConfidenceMax
+}
+
+// AvgMissLatency returns the mean latency of the window's misses.
+func (e *Entry) AvgMissLatency() int64 {
+	if e.Miss == 0 {
+		return 0
+	}
+	return e.MissLatency / int64(e.Miss)
+}
+
+// AvgAccessLatency estimates the mean latency over all accesses in the
+// window, counting hits at hitLatency; the self-repairing optimizer tracks
+// this to detect when a longer prefetch distance starts hurting (§3.5.2).
+func (e *Entry) AvgAccessLatency(hitLatency int64) int64 {
+	if e.Access == 0 {
+		return hitLatency
+	}
+	hits := int64(e.Access) - int64(e.Miss)
+	return (e.MissLatency + hits*hitLatency) / int64(e.Access)
+}
+
+// Table is the delinquent load table.
+type Table struct {
+	cfg     Config
+	sets    [][]Entry // recency ordered, index 0 = MRU
+	numSets uint64
+
+	// Stats.
+	Events    uint64
+	Evictions uint64
+}
+
+// New builds a table.
+func New(cfg Config) *Table {
+	numSets := cfg.Entries / cfg.Assoc
+	if numSets <= 0 {
+		numSets = 1
+	}
+	t := &Table{cfg: cfg, numSets: uint64(numSets)}
+	t.sets = make([][]Entry, numSets)
+	for i := range t.sets {
+		t.sets[i] = make([]Entry, 0, cfg.Assoc)
+	}
+	return t
+}
+
+// Config returns the table's configuration.
+func (t *Table) Config() Config { return t.cfg }
+
+func (t *Table) setIndex(pc uint64) uint64 { return (pc >> 3) % t.numSets }
+
+// lookup returns the entry for pc, refreshing recency; nil if absent.
+func (t *Table) lookup(pc uint64) *Entry {
+	set := t.sets[t.setIndex(pc)]
+	for i := range set {
+		if set[i].valid && set[i].PC == pc {
+			if i != 0 {
+				e := set[i]
+				copy(set[1:i+1], set[0:i])
+				set[0] = e
+			}
+			return &set[0]
+		}
+	}
+	return nil
+}
+
+// Lookup returns the entry for pc without allocating (the optimizer scans
+// trace loads this way, accepting partial-window statistics).
+func (t *Table) Lookup(pc uint64) (*Entry, bool) {
+	e := t.lookup(pc)
+	return e, e != nil
+}
+
+// Update records one committed in-trace load. miss and missLatency describe
+// the access's cache behaviour. It returns true when this access completes
+// a window that classifies the load as delinquent — the hardware
+// delinquent-load event.
+func (t *Table) Update(pc, addr uint64, miss bool, missLatency int64) bool {
+	e := t.lookup(pc)
+	if e == nil {
+		e = t.allocate(pc)
+	}
+
+	// Stride predictor: updated on every commit (§3.3).
+	if e.seenAddr {
+		stride := int64(addr) - int64(e.LastAddr)
+		if stride == e.Stride {
+			if e.Confidence < StrideConfidenceMax {
+				e.Confidence++
+			}
+		} else {
+			if e.Confidence > strideMissPenalty {
+				e.Confidence -= strideMissPenalty
+			} else {
+				e.Confidence = 0
+			}
+			e.Stride = stride
+		}
+	}
+	e.LastAddr = addr
+	e.seenAddr = true
+
+	if e.frozen || e.Mature {
+		return false
+	}
+
+	e.Access++
+	if miss {
+		e.Miss++
+		e.MissLatency += missLatency
+	}
+
+	if e.Access < t.cfg.WindowSize {
+		return false
+	}
+	// Window boundary: evaluate delinquency.
+	if e.Miss >= t.cfg.MissThreshold && e.AvgMissLatency() > t.cfg.LatencyThreshold {
+		// Counters freeze for the optimizer to read; it clears them.
+		e.frozen = true
+		t.Events++
+		return true
+	}
+	e.Access, e.Miss, e.MissLatency = 0, 0, 0
+	return false
+}
+
+// allocate inserts a fresh entry for pc, evicting LRU if needed.
+func (t *Table) allocate(pc uint64) *Entry {
+	si := t.setIndex(pc)
+	set := t.sets[si]
+	if len(set) < t.cfg.Assoc {
+		set = append(set, Entry{})
+	} else {
+		t.Evictions++
+	}
+	copy(set[1:], set[0:len(set)-1])
+	set[0] = Entry{PC: pc, valid: true}
+	t.sets[si] = set
+	return &set[0]
+}
+
+// ClearCounters resets pc's window counters and unfreezes monitoring; the
+// optimizer calls this when it finishes processing the load.
+func (t *Table) ClearCounters(pc uint64) {
+	if e := t.lookup(pc); e != nil {
+		e.Access, e.Miss, e.MissLatency = 0, 0, 0
+		e.frozen = false
+	}
+}
+
+// SetMature marks pc as tuned-out: it will raise no more events until the
+// entry is evicted.
+func (t *Table) SetMature(pc uint64) {
+	if e := t.lookup(pc); e != nil {
+		e.Mature = true
+		e.frozen = false
+	}
+}
+
+// ClearAllMature clears every mature flag — the paper's suggested response
+// to a working-set or phase change (§3.5.2): loads written off under the
+// old behaviour get a fresh chance.
+func (t *Table) ClearAllMature() int {
+	n := 0
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].valid && set[i].Mature {
+				set[i].Mature = false
+				set[i].Access, set[i].Miss, set[i].MissLatency = 0, 0, 0
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// IsDelinquent applies the delinquency criteria to pc's current (possibly
+// partial) window, as the optimizer does when it scans the other loads of a
+// trace ("if a load has not yet completed execution of a full monitoring
+// window, its miss rate and latency are calculated using current counter
+// values in a partial monitoring window", §3.4.1). Mature loads are never
+// delinquent.
+func (t *Table) IsDelinquent(pc uint64) bool {
+	e := t.lookup(pc)
+	if e == nil || e.Mature || e.Access == 0 {
+		return false
+	}
+	// Scale the miss threshold to the partial window, keeping the same
+	// miss-rate criterion; require at least a quarter window of history
+	// before judging.
+	if e.Access < t.cfg.WindowSize/4 {
+		return false
+	}
+	needMisses := uint64(t.cfg.MissThreshold) * uint64(e.Access) / uint64(t.cfg.WindowSize)
+	if needMisses == 0 {
+		needMisses = 1
+	}
+	return uint64(e.Miss) >= needMisses && e.AvgMissLatency() > t.cfg.LatencyThreshold
+}
+
+// Len counts valid entries (test helper).
+func (t *Table) Len() int {
+	n := 0
+	for _, set := range t.sets {
+		n += len(set)
+	}
+	return n
+}

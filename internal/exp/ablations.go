@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"tridentsp/internal/core"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out, as average
+// speedup over the hardware-prefetching baseline across the suite:
+//
+//   - self-repair: the paper's full scheme (the reference).
+//   - estimate-init: repair starting from the equation-2 estimate instead
+//     of 1 — the paper reports "no gain" (§3.5.1), so this row should
+//     match the reference.
+//   - no-deref: §3.4.3 dereference prefetching disabled — the jump-pointer
+//     coverage of mcf/fma3d/vis disappears.
+//   - backout: under-performing loop traces are unlinked and re-formed.
+//   - phase-clear: mature flags cleared on phase changes (§3.5.2 future
+//     work).
+//   - value-spec: dynamic value specialization of quasi-invariant loads
+//     (the prior Trident work's optimization, PACT 2005).
+func Ablations(o Options) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:    "ablations",
+		Title: "Design-choice ablations (speedup over HW baseline)",
+		Paper: "estimate-init ≈ self-repair (§3.5.1 'no gain'); deref carries the pointer benchmarks",
+		Columns: []string{
+			"self-repair", "estimate-init", "no-deref", "backout", "phase-clear", "value-spec",
+		},
+	}
+	variants := []func(*core.Config){
+		func(c *core.Config) {},
+		func(c *core.Config) { c.InitFromEstimate = true },
+		func(c *core.Config) { c.DerefPointers = false },
+		func(c *core.Config) { c.Backout = true },
+		func(c *core.Config) { c.PhaseClearMature = true },
+		func(c *core.Config) { c.ValueSpecialize = true },
+	}
+	for _, bm := range o.suite() {
+		base := run(bm, core.BaselineConfig(core.HW8x8), o)
+		row := Row{Label: bm.Name}
+		for _, tweak := range variants {
+			cfg := core.DefaultConfig()
+			tweak(&cfg)
+			res := run(bm, cfg, o)
+			row.Cells = append(row.Cells, core.Speedup(res, base))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	meanRow(&t)
+	return t
+}

@@ -1,0 +1,164 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (§5): the stream-buffer baseline comparison (Figure 2), optimizer
+// overhead (§5.1), helper-thread occupancy (Figure 3), miss coverage
+// (Figure 4), the three software prefetching schemes (Figure 5), the load-
+// outcome breakdown (Figure 6), the sensitivity sweeps (Figures 7 and 8),
+// the extra-cache control experiment (§5.4), and software-vs-hardware
+// prefetching (Figure 9).
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"tridentsp/internal/core"
+	"tridentsp/internal/workloads"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	// Scale selects working-set sizes (default ScaleFull, like the paper's
+	// memory-bound inputs).
+	Scale workloads.Scale
+	// Instrs is the per-run instruction budget. The paper simulates 100M
+	// instructions; the default here is 5M, which reaches prefetch-distance
+	// steady state on these kernels while keeping the full suite runnable
+	// in minutes.
+	Instrs uint64
+	// Benchmarks restricts the suite (nil = all 14).
+	Benchmarks []string
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Instrs == 0 {
+		o.Instrs = 5_000_000
+	}
+	if o.Scale == 0 {
+		o.Scale = workloads.ScaleFull
+	}
+	return o
+}
+
+// QuickOptions returns a reduced configuration for tests and benches.
+func QuickOptions() Options {
+	return Options{
+		Scale:      workloads.ScaleSmall,
+		Instrs:     300_000,
+		Benchmarks: []string{"swim", "mcf", "art"},
+	}
+}
+
+// suite resolves the benchmark list.
+func (o Options) suite() []workloads.Benchmark {
+	if len(o.Benchmarks) == 0 {
+		return workloads.All()
+	}
+	var out []workloads.Benchmark
+	for _, name := range o.Benchmarks {
+		if bm, ok := workloads.ByName(name); ok {
+			out = append(out, bm)
+		}
+	}
+	return out
+}
+
+// run executes one benchmark under one configuration.
+func run(bm workloads.Benchmark, cfg core.Config, o Options) core.Results {
+	p := bm.Build(o.Scale)
+	return core.NewSystem(cfg, p).Run(o.Instrs)
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Paper   string // what the paper reports, for EXPERIMENTS.md comparison
+	Columns []string
+	Rows    []Row
+	Note    string
+}
+
+// Row is one table line.
+type Row struct {
+	Label string
+	Cells []float64
+}
+
+// Render formats the table as aligned text.
+func (t Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Paper != "" {
+		fmt.Fprintf(&sb, "paper: %s\n", t.Paper)
+	}
+	fmt.Fprintf(&sb, "%-12s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&sb, "%14s", c)
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-12s", r.Label)
+		for _, v := range r.Cells {
+			fmt.Fprintf(&sb, "%14.3f", v)
+		}
+		sb.WriteByte('\n')
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&sb, "note: %s\n", t.Note)
+	}
+	return sb.String()
+}
+
+// meanRow appends an arithmetic-mean row over the existing rows.
+func meanRow(t *Table) {
+	if len(t.Rows) == 0 {
+		return
+	}
+	n := len(t.Rows[0].Cells)
+	sums := make([]float64, n)
+	for _, r := range t.Rows {
+		for i, v := range r.Cells {
+			sums[i] += v
+		}
+	}
+	cells := make([]float64, n)
+	for i := range sums {
+		cells[i] = sums[i] / float64(len(t.Rows))
+	}
+	t.Rows = append(t.Rows, Row{Label: "average", Cells: cells})
+}
+
+// Experiment couples an id to its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) Table
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig2", "Baseline performance of hardware stream buffers", Figure2},
+		{"overhead", "Optimizer overhead with linking disabled (§5.1)", Overhead},
+		{"fig3", "Helper-thread occupancy", Figure3},
+		{"fig4", "Load-miss coverage by hot traces and the prefetcher", Figure4},
+		{"fig5", "Software prefetching schemes over the HW baseline", Figure5},
+		{"fig6", "Dynamic load outcome breakdown", Figure6},
+		{"fig7", "Sensitivity to monitoring window and miss threshold", Figure7},
+		{"fig8", "Sensitivity to DLT size", Figure8},
+		{"extracache", "DLT bits spent on extra L1 capacity instead (§5.4)", ExtraCache},
+		{"fig9", "Software vs hardware prefetching alone", Figure9},
+		{"ablations", "Design-choice ablations (not in the paper)", Ablations},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	ids := []string{"fig2", "overhead", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "extracache", "fig9", "ablations"}
+	if len(All()) != len(ids) {
+		t.Fatalf("experiments = %d, want %d", len(All()), len(ids))
+	}
+	for _, id := range ids {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("unknown experiment found")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		ID:      "x",
+		Title:   "demo",
+		Paper:   "p",
+		Columns: []string{"a", "b"},
+		Rows:    []Row{{Label: "r1", Cells: []float64{1.5, 2}}},
+		Note:    "n",
+	}
+	s := tbl.Render()
+	for _, want := range []string{"demo", "paper: p", "r1", "1.500", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMeanRow(t *testing.T) {
+	tbl := Table{Rows: []Row{
+		{Label: "a", Cells: []float64{1, 2}},
+		{Label: "b", Cells: []float64{3, 4}},
+	}}
+	meanRow(&tbl)
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last.Label != "average" || last.Cells[0] != 2 || last.Cells[1] != 3 {
+		t.Fatalf("mean row = %+v", last)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Instrs == 0 {
+		t.Fatal("default instrs unset")
+	}
+	if len(o.suite()) != 14 {
+		t.Fatalf("default suite = %d", len(o.suite()))
+	}
+	q := QuickOptions()
+	if len(q.suite()) != 3 {
+		t.Fatalf("quick suite = %d", len(q.suite()))
+	}
+}
+
+func TestFigure2Quick(t *testing.T) {
+	tbl := Figure2(QuickOptions())
+	if len(tbl.Rows) != 4 { // 3 benchmarks + average
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	avg := tbl.Rows[len(tbl.Rows)-1]
+	// Stream buffers must help these stride-heavy kernels.
+	if avg.Cells[4] < 1.0 {
+		t.Errorf("8x8 average speedup %.3f < 1.0", avg.Cells[4])
+	}
+	if avg.Cells[4] < avg.Cells[3]-0.15 {
+		t.Errorf("8x8 (%.3f) much worse than 4x4 (%.3f)", avg.Cells[4], avg.Cells[3])
+	}
+}
+
+func TestFigure5Quick(t *testing.T) {
+	tbl := Figure5(QuickOptions())
+	avg := tbl.Rows[len(tbl.Rows)-1]
+	if len(avg.Cells) != 3 {
+		t.Fatalf("cells = %v", avg.Cells)
+	}
+	// Self-repair must not be catastrophically worse than basic even in
+	// the quick configuration.
+	if avg.Cells[2] < 0.8 {
+		t.Errorf("self-repair average %.3f implausibly low", avg.Cells[2])
+	}
+}
+
+func TestFigure4Quick(t *testing.T) {
+	tbl := Figure4(QuickOptions())
+	for _, r := range tbl.Rows {
+		if r.Cells[0] < 0 || r.Cells[0] > 100 || r.Cells[1] < 0 || r.Cells[1] > 100 {
+			t.Errorf("%s coverage out of range: %v", r.Label, r.Cells)
+		}
+		if r.Cells[1] > r.Cells[0]+1e-9 {
+			t.Errorf("%s: covered (%f) exceeds in-trace (%f)", r.Label, r.Cells[1], r.Cells[0])
+		}
+	}
+}
+
+func TestFigure6Quick(t *testing.T) {
+	tbl := Figure6(QuickOptions())
+	for _, r := range tbl.Rows {
+		sum := 0.0
+		for _, c := range r.Cells {
+			sum += c
+		}
+		if sum < 99.0 || sum > 101.0 {
+			t.Errorf("%s: outcome percentages sum to %.2f", r.Label, sum)
+		}
+	}
+}
+
+func TestOverheadQuick(t *testing.T) {
+	tbl := Overhead(QuickOptions())
+	avg := tbl.Rows[len(tbl.Rows)-1]
+	if avg.Cells[2] > 5 {
+		t.Errorf("unlinked-optimizer overhead %.2f%% implausibly high", avg.Cells[2])
+	}
+	if avg.Cells[2] < -5 {
+		t.Errorf("unlinked optimizer sped the program up by %.2f%%?", -avg.Cells[2])
+	}
+}

@@ -1,0 +1,278 @@
+package exp
+
+import (
+	"fmt"
+
+	"tridentsp/internal/core"
+	"tridentsp/internal/memsys"
+)
+
+// Figure2 reproduces the baseline comparison: IPC without prefetching and
+// speedups of the 4x4 and 8x8 stream-buffer configurations (paper: 35% and
+// 40% average).
+func Figure2(o Options) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:      "fig2",
+		Title:   "Baseline SMT performance: stream buffers vs none",
+		Paper:   "4x4 averages ~1.35x, 8x8 ~1.40x over no prefetching",
+		Columns: []string{"IPC none", "IPC 4x4", "IPC 8x8", "spd 4x4", "spd 8x8"},
+	}
+	for _, bm := range o.suite() {
+		none := run(bm, core.BaselineConfig(core.HWNone), o)
+		hw44 := run(bm, core.BaselineConfig(core.HW4x4), o)
+		hw88 := run(bm, core.BaselineConfig(core.HW8x8), o)
+		t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: []float64{
+			none.IPC(), hw44.IPC(), hw88.IPC(),
+			core.Speedup(hw44, none), core.Speedup(hw88, none),
+		}})
+	}
+	meanRow(&t)
+	return t
+}
+
+// Overhead reproduces §5.1: the optimizer runs (forming and optimizing
+// traces, inserting prefetches) but never links, so the only cost is
+// helper-thread interference. The paper reports 0.6% total.
+func Overhead(o Options) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:      "overhead",
+		Title:   "Main-thread slowdown from a linking-disabled optimizer",
+		Paper:   "total cost ~0.6%, under 1% with self-repairing",
+		Columns: []string{"IPC base", "IPC unlinked", "overhead %", "helper %"},
+	}
+	for _, bm := range o.suite() {
+		base := run(bm, core.BaselineConfig(core.HW8x8), o)
+		cfg := core.DefaultConfig()
+		cfg.LinkTraces = false
+		unlinked := run(bm, cfg, o)
+		ovh := 0.0
+		if unlinked.IPC() > 0 {
+			ovh = (base.IPC()/unlinked.IPC() - 1) * 100
+		}
+		t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: []float64{
+			base.IPC(), unlinked.IPC(), ovh, 100 * unlinked.HelperActiveFraction(),
+		}})
+	}
+	meanRow(&t)
+	return t
+}
+
+// Figure3 reproduces the helper-thread occupancy measurement (paper: 2.2%
+// of total cycles on average, at most ~25% more with self-repairing).
+func Figure3(o Options) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:      "fig3",
+		Title:   "Optimization-thread active cycles relative to execution",
+		Paper:   "average ~2.2% of cycles",
+		Columns: []string{"helper %", "invocations", "traces"},
+	}
+	for _, bm := range o.suite() {
+		res := run(bm, core.DefaultConfig(), o)
+		t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: []float64{
+			100 * res.HelperActiveFraction(),
+			float64(res.HelperInvocations),
+			float64(res.TracesFormed),
+		}})
+	}
+	meanRow(&t)
+	return t
+}
+
+// Figure4 reproduces the miss-coverage measurement: the share of L1 misses
+// inside hot traces (paper: >85%) and the share from loads the prefetcher
+// targets (paper: ~55%; dot and parser low, gap high within its traces).
+func Figure4(o Options) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:      "fig4",
+		Title:   "Percentage of load misses covered by traces and prefetches",
+		Paper:   "~85% of misses inside hot traces; ~55% prefetchable",
+		Columns: []string{"in-trace %", "covered %"},
+	}
+	for _, bm := range o.suite() {
+		res := run(bm, core.DefaultConfig(), o)
+		t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: []float64{
+			100 * res.TraceMissCoverage(),
+			100 * res.PrefetchMissCoverage(),
+		}})
+	}
+	meanRow(&t)
+	return t
+}
+
+// Figure5 reproduces the headline result: speedups of basic, whole-object,
+// and self-repairing software prefetching over the 8x8 hardware baseline
+// (paper: ~11%, intermediate, ~23%; applu/facerec/fma3d gain nothing from
+// repair).
+func Figure5(o Options) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:      "fig5",
+		Title:   "Software prefetching speedup over hardware prefetching",
+		Paper:   "basic ~1.11x, whole-object between, self-repairing ~1.23x",
+		Columns: []string{"basic", "whole-obj", "self-repair"},
+	}
+	for _, bm := range o.suite() {
+		base := run(bm, core.BaselineConfig(core.HW8x8), o)
+		row := Row{Label: bm.Name}
+		for _, sw := range []core.SWMode{core.SWBasic, core.SWWholeObject, core.SWSelfRepair} {
+			cfg := core.DefaultConfig()
+			cfg.SW = sw
+			res := run(bm, cfg, o)
+			row.Cells = append(row.Cells, core.Speedup(res, base))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	meanRow(&t)
+	return t
+}
+
+// Figure6 reproduces the dynamic-load breakdown under self-repairing
+// prefetching (paper: misses due to prefetching rare, few partial prefetch
+// hits).
+func Figure6(o Options) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:    "fig6",
+		Title: "Dynamic load outcomes (% of all loads)",
+		Paper: "prefetch-displacement misses rare; low partial prefetch hits",
+		Columns: []string{
+			"hit", "hit-pf", "part-pf", "part-dem", "miss", "miss-pf",
+		},
+	}
+	for _, bm := range o.suite() {
+		res := run(bm, core.DefaultConfig(), o)
+		total := float64(res.Mem.Loads)
+		if total == 0 {
+			total = 1
+		}
+		row := Row{Label: bm.Name}
+		for out := 0; out < memsys.NumOutcomes; out++ {
+			row.Cells = append(row.Cells, 100*float64(res.Mem.ByOutcome[out])/total)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	meanRow(&t)
+	return t
+}
+
+// Figure7 reproduces the sensitivity sweep over load-monitoring window
+// sizes (128/256/512) and miss-rate thresholds (1/3/6/12%), reporting the
+// average self-repairing speedup over the hardware baseline for each
+// combination (paper: 256 accesses with 3% — 8 misses — works best).
+func Figure7(o Options) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:      "fig7",
+		Title:   "Average speedup by monitoring window and miss threshold",
+		Paper:   "best at window 256, threshold 3% (8 misses)",
+		Columns: []string{"1%", "3%", "6%", "12%"},
+	}
+	suite := o.suite()
+	bases := make([]core.Results, len(suite))
+	for i, bm := range suite {
+		bases[i] = run(bm, core.BaselineConfig(core.HW8x8), o)
+	}
+	for _, window := range []uint32{128, 256, 512} {
+		row := Row{Label: fmt.Sprintf("window %d", window)}
+		for _, pct := range []uint32{1, 3, 6, 12} {
+			miss := window * pct / 100
+			if miss == 0 {
+				miss = 1
+			}
+			sum := 0.0
+			for i, bm := range suite {
+				cfg := core.DefaultConfig()
+				cfg.DLT.WindowSize = window
+				cfg.DLT.MissThreshold = miss
+				res := run(bm, cfg, o)
+				sum += core.Speedup(res, bases[i])
+			}
+			row.Cells = append(row.Cells, sum/float64(len(suite)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Figure8 reproduces the DLT-size sensitivity sweep (paper: most programs
+// near-flat; dot and parser want a bigger table; 1024 entries suffice).
+func Figure8(o Options) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:      "fig8",
+		Title:   "Average speedup by DLT size",
+		Paper:   "slight growth with size; 1024 entries enough",
+		Columns: []string{"128", "256", "512", "1024", "2048"},
+	}
+	suite := o.suite()
+	bases := make([]core.Results, len(suite))
+	for i, bm := range suite {
+		bases[i] = run(bm, core.BaselineConfig(core.HW8x8), o)
+	}
+	for i, bm := range suite {
+		row := Row{Label: bm.Name}
+		for _, entries := range []int{128, 256, 512, 1024, 2048} {
+			cfg := core.DefaultConfig()
+			cfg.DLT.Entries = entries
+			res := run(bm, cfg, o)
+			row.Cells = append(row.Cells, core.Speedup(res, bases[i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	meanRow(&t)
+	return t
+}
+
+// ExtraCache reproduces the §5.4 control: spending the DLT and watch-table
+// bits on extra L1 capacity instead (paper: a mere 0.8% gain).
+func ExtraCache(o Options) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:      "extracache",
+		Title:   "Trident hardware budget spent as extra L1 capacity",
+		Paper:   "~0.8% over the baseline",
+		Columns: []string{"IPC 64KB", "IPC +20KB", "gain %"},
+	}
+	// The DLT (1024 entries x ~20B) plus watch table is ~20KB of state.
+	for _, bm := range o.suite() {
+		base := run(bm, core.BaselineConfig(core.HW8x8), o)
+		cfg := core.BaselineConfig(core.HW8x8)
+		cfg.Mem.L1 = memsys.CacheConfig{SizeBytes: 84 << 10, Assoc: 2, Latency: 3}
+		big := run(bm, cfg, o)
+		gain := (core.Speedup(big, base) - 1) * 100
+		t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: []float64{
+			base.IPC(), big.IPC(), gain,
+		}})
+	}
+	meanRow(&t)
+	return t
+}
+
+// Figure9 reproduces the software-vs-hardware comparison: each alone over
+// the no-prefetch baseline (paper: software ~11% ahead on average; hardware
+// wins on the short-stride codes equake and swim; dot moderate).
+func Figure9(o Options) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:      "fig9",
+		Title:   "Hardware-only vs software-only prefetching speedup",
+		Paper:   "software-only averages ~11% above hardware-only",
+		Columns: []string{"hw-only", "sw-only"},
+	}
+	for _, bm := range o.suite() {
+		none := run(bm, core.BaselineConfig(core.HWNone), o)
+		hw := run(bm, core.BaselineConfig(core.HW8x8), o)
+		cfg := core.DefaultConfig()
+		cfg.HW = core.HWNone
+		sw := run(bm, cfg, o)
+		t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: []float64{
+			core.Speedup(hw, none), core.Speedup(sw, none),
+		}})
+	}
+	meanRow(&t)
+	return t
+}

@@ -1,0 +1,348 @@
+// Package isa defines the synthetic Alpha-like RISC instruction set used by
+// the simulator, together with a fixed-width 64-bit binary encoding, a
+// decoder, and a disassembler.
+//
+// The instruction set stands in for the Alpha ISA the paper's Trident
+// framework operates on. It is deliberately small but complete enough that
+// every transformation the paper performs on binaries is performed here on
+// real encoded instruction words: hot-trace formation streamlines decoded
+// instructions, the code cache patches entry points with branch words, and
+// the self-repairing optimizer rewrites the immediate field of an encoded
+// prefetch instruction in place ("we just update the prefetch instruction
+// bits with the new distance", §3.5.1).
+//
+// Encoding layout (one instruction per 64-bit word, PC step = 8 bytes):
+//
+//	bits 63..56  opcode
+//	bits 55..51  rd  (destination register)
+//	bits 50..46  ra  (first source / base register)
+//	bits 45..41  rb  (second source register)
+//	bits 40..33  reserved (must be zero)
+//	bits 32..0   imm (33-bit two's-complement immediate, ±4 GiB displacement)
+package isa
+
+import "fmt"
+
+// WordSize is the size in bytes of one encoded instruction; PCs advance by
+// this amount.
+const WordSize = 8
+
+// NumRegs is the number of architectural integer registers. Register 31 is
+// hardwired to zero, following the Alpha convention.
+const NumRegs = 32
+
+// ZeroReg reads as zero and ignores writes.
+const ZeroReg = 31
+
+// Reg identifies an architectural register, 0..NumRegs-1.
+type Reg uint8
+
+// String renders a register in the conventional "r7" form.
+func (r Reg) String() string {
+	if r == ZeroReg {
+		return "rz"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Instruction opcodes. The set mirrors the subset of Alpha the paper's
+// optimizer manipulates: simple ALU recurrences (LDA/ADD/SUB) that define
+// stride loads, loads/stores, a non-faulting load (LDNF) and PREFETCH for
+// the inserted prefetch code, and conditional/unconditional control flow
+// used for trace formation.
+const (
+	NOP Op = iota
+
+	// ALU register-register: rd <- ra OP rb.
+	ADD
+	SUB
+	MUL
+	AND
+	OR
+	XOR
+	SLL   // shift left logical by rb&63
+	SRL   // shift right logical by rb&63
+	CMPLT // rd <- (ra < rb) ? 1 : 0, signed
+	CMPEQ // rd <- (ra == rb) ? 1 : 0
+
+	// ALU register-immediate: rd <- ra OP imm.
+	ADDI
+	SUBI
+	MULI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	CMPLTI
+	CMPEQI
+
+	// LDA computes an effective address: rd <- ra + imm. It is the "single
+	// simple arithmetic instruction" the paper's stride classifier looks
+	// for (§3.4.1).
+	LDA
+
+	// MOVE copies a register: rd <- ra. The paper assumes this instruction
+	// is added to the ISA by Trident's store/load conversion (§3.2).
+	MOVE
+
+	// LDI loads a 33-bit sign-extended immediate: rd <- imm.
+	LDI
+	// LDIH shifts the current value left 32 bits and ors an immediate:
+	// rd <- (ra << 32) | (imm & 0xffffffff); used to build 64-bit constants.
+	LDIH
+
+	// Memory: 8-byte loads and stores, effective address ra + imm.
+	LD   // rd <- mem[ra+imm]
+	ST   // mem[ra+imm] <- rb  (rd unused)
+	LDNF // non-faulting load: like LD but yields 0 on invalid address
+
+	// PREFETCH requests the cache line at ra + imm. Non-binding,
+	// non-faulting, never stalls. The self-repairing optimizer patches the
+	// imm field in place to change the prefetch distance.
+	PREFETCH
+
+	// FP arithmetic. Values are treated as opaque 64-bit payloads with
+	// integer semantics but FP issue latency; this keeps the FP benchmarks'
+	// port pressure honest without implementing IEEE semantics the paper
+	// never relies on.
+	FADD
+	FMUL
+	FDIV
+
+	// Control flow. Branch targets are PC-relative in instruction words:
+	// target = pc + WordSize + imm*WordSize.
+	BR   // unconditional branch (rd optionally receives return PC)
+	BEQ  // branch if ra == 0
+	BNE  // branch if ra != 0
+	BLT  // branch if ra < 0 (signed)
+	BGE  // branch if ra >= 0 (signed)
+	JMP  // indirect jump to ra (rd optionally receives return PC)
+	HALT // stop the thread
+
+	numOps
+)
+
+var opNames = [...]string{
+	NOP: "nop", ADD: "add", SUB: "sub", MUL: "mul", AND: "and", OR: "or",
+	XOR: "xor", SLL: "sll", SRL: "srl", CMPLT: "cmplt", CMPEQ: "cmpeq",
+	ADDI: "addi", SUBI: "subi", MULI: "muli", ANDI: "andi", ORI: "ori",
+	XORI: "xori", SLLI: "slli", SRLI: "srli", CMPLTI: "cmplti",
+	CMPEQI: "cmpeqi", LDA: "lda", MOVE: "move", LDI: "ldi", LDIH: "ldih",
+	LD: "ld", ST: "st", LDNF: "ldnf", PREFETCH: "prefetch",
+	FADD: "fadd", FMUL: "fmul", FDIV: "fdiv",
+	BR: "br", BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", JMP: "jmp",
+	HALT: "halt",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// Class groups opcodes by their role in the pipeline and the optimizer.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassNop Class = iota
+	ClassALU
+	ClassFP
+	ClassLoad
+	ClassStore
+	ClassPrefetch
+	ClassBranch // conditional
+	ClassJump   // unconditional direct or indirect
+	ClassHalt
+)
+
+var opClasses = [numOps]Class{
+	NOP: ClassNop,
+	ADD: ClassALU, SUB: ClassALU, MUL: ClassALU, AND: ClassALU, OR: ClassALU,
+	XOR: ClassALU, SLL: ClassALU, SRL: ClassALU, CMPLT: ClassALU, CMPEQ: ClassALU,
+	ADDI: ClassALU, SUBI: ClassALU, MULI: ClassALU, ANDI: ClassALU, ORI: ClassALU,
+	XORI: ClassALU, SLLI: ClassALU, SRLI: ClassALU, CMPLTI: ClassALU, CMPEQI: ClassALU,
+	LDA: ClassALU, MOVE: ClassALU, LDI: ClassALU, LDIH: ClassALU,
+	LD: ClassLoad, LDNF: ClassLoad, ST: ClassStore, PREFETCH: ClassPrefetch,
+	FADD: ClassFP, FMUL: ClassFP, FDIV: ClassFP,
+	BR: ClassJump, JMP: ClassJump,
+	BEQ: ClassBranch, BNE: ClassBranch, BLT: ClassBranch, BGE: ClassBranch,
+	HALT: ClassHalt,
+}
+
+// Class returns the pipeline class of the opcode.
+func (o Op) Class() Class {
+	if o < numOps {
+		return opClasses[o]
+	}
+	return ClassNop
+}
+
+// IsCondBranch reports whether o is a conditional branch.
+func (o Op) IsCondBranch() bool { return o.Class() == ClassBranch }
+
+// IsMem reports whether o accesses data memory (loads and stores, not
+// prefetches).
+func (o Op) IsMem() bool { c := o.Class(); return c == ClassLoad || c == ClassStore }
+
+// HasImm reports whether the immediate field is meaningful for o.
+func (o Op) HasImm() bool {
+	switch o {
+	case ADDI, SUBI, MULI, ANDI, ORI, XORI, SLLI, SRLI, CMPLTI, CMPEQI,
+		LDA, LDI, LDIH, LD, ST, LDNF, PREFETCH, BR, BEQ, BNE, BLT, BGE:
+		return true
+	}
+	return false
+}
+
+// Inst is a decoded instruction. The zero value is a NOP.
+type Inst struct {
+	Op  Op
+	Rd  Reg   // destination (or unused)
+	Ra  Reg   // first source / base register
+	Rb  Reg   // second source / store value register
+	Imm int64 // sign-extended 33-bit immediate
+}
+
+// immBits is the width of the encoded immediate field.
+const immBits = 33
+
+// ImmMin and ImmMax bound the encodable immediate range.
+const (
+	ImmMin = -(1 << (immBits - 1))
+	ImmMax = 1<<(immBits-1) - 1
+)
+
+// Encode packs the instruction into its 64-bit binary word. It panics if a
+// field is out of range; use EncodeChecked when the input is untrusted.
+func Encode(in Inst) uint64 {
+	w, err := EncodeChecked(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// EncodeChecked packs the instruction into its 64-bit binary word, reporting
+// out-of-range fields as errors.
+func EncodeChecked(in Inst) (uint64, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: invalid opcode %d", uint8(in.Op))
+	}
+	if in.Rd >= NumRegs || in.Ra >= NumRegs || in.Rb >= NumRegs {
+		return 0, fmt.Errorf("isa: register out of range in %v", in)
+	}
+	if in.Imm < ImmMin || in.Imm > ImmMax {
+		return 0, fmt.Errorf("isa: immediate %d out of range for %v", in.Imm, in.Op)
+	}
+	w := uint64(in.Op)<<56 |
+		uint64(in.Rd)<<51 |
+		uint64(in.Ra)<<46 |
+		uint64(in.Rb)<<41 |
+		uint64(in.Imm)&((1<<immBits)-1)
+	return w, nil
+}
+
+// Decode unpacks a 64-bit instruction word. Reserved bits are ignored so
+// that patched words produced by older encoders remain decodable.
+func Decode(w uint64) Inst {
+	imm := int64(w & ((1 << immBits) - 1))
+	// Sign-extend from 33 bits.
+	imm = imm << (64 - immBits) >> (64 - immBits)
+	return Inst{
+		Op:  Op(w >> 56),
+		Rd:  Reg(w >> 51 & 31),
+		Ra:  Reg(w >> 46 & 31),
+		Rb:  Reg(w >> 41 & 31),
+		Imm: imm,
+	}
+}
+
+// PatchImm returns the instruction word w with its immediate field replaced
+// by imm, leaving every other field intact. This is the primitive the
+// self-repairing optimizer uses to change a prefetch distance without
+// regenerating the trace.
+func PatchImm(w uint64, imm int64) (uint64, error) {
+	if imm < ImmMin || imm > ImmMax {
+		return 0, fmt.Errorf("isa: patched immediate %d out of range", imm)
+	}
+	w &^= (1 << immBits) - 1
+	w |= uint64(imm) & ((1 << immBits) - 1)
+	return w, nil
+}
+
+// BranchTarget computes the target PC of a direct branch or jump at pc.
+// Targets are encoded as word displacements relative to the next
+// instruction.
+func BranchTarget(pc uint64, in Inst) uint64 {
+	return pc + WordSize + uint64(in.Imm*WordSize)
+}
+
+// BranchDisp computes the immediate that makes an instruction at pc branch
+// to target.
+func BranchDisp(pc, target uint64) int64 {
+	return (int64(target) - int64(pc) - WordSize) / WordSize
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	switch in.Op {
+	case NOP:
+		return "nop"
+	case HALT:
+		return "halt"
+	case ADD, SUB, MUL, AND, OR, XOR, SLL, SRL, CMPLT, CMPEQ, FADD, FMUL, FDIV:
+		return fmt.Sprintf("%s %v, %v, %v", in.Op, in.Rd, in.Ra, in.Rb)
+	case ADDI, SUBI, MULI, ANDI, ORI, XORI, SLLI, SRLI, CMPLTI, CMPEQI, LDA, LDIH:
+		return fmt.Sprintf("%s %v, %v, %d", in.Op, in.Rd, in.Ra, in.Imm)
+	case MOVE:
+		return fmt.Sprintf("move %v, %v", in.Rd, in.Ra)
+	case LDI:
+		return fmt.Sprintf("ldi %v, %d", in.Rd, in.Imm)
+	case LD, LDNF:
+		return fmt.Sprintf("%s %v, %d(%v)", in.Op, in.Rd, in.Imm, in.Ra)
+	case ST:
+		return fmt.Sprintf("st %v, %d(%v)", in.Rb, in.Imm, in.Ra)
+	case PREFETCH:
+		return fmt.Sprintf("prefetch %d(%v)", in.Imm, in.Ra)
+	case BR:
+		if in.Rd != ZeroReg {
+			return fmt.Sprintf("br %v, %+d", in.Rd, in.Imm)
+		}
+		return fmt.Sprintf("br %+d", in.Imm)
+	case BEQ, BNE, BLT, BGE:
+		return fmt.Sprintf("%s %v, %+d", in.Op, in.Ra, in.Imm)
+	case JMP:
+		if in.Rd != ZeroReg {
+			return fmt.Sprintf("jmp %v, (%v)", in.Rd, in.Ra)
+		}
+		return fmt.Sprintf("jmp (%v)", in.Ra)
+	default:
+		return fmt.Sprintf("%s rd=%v ra=%v rb=%v imm=%d", in.Op, in.Rd, in.Ra, in.Rb, in.Imm)
+	}
+}
+
+// Disassemble renders the instruction at pc, resolving direct branch targets
+// to absolute addresses for readability.
+func Disassemble(pc uint64, in Inst) string {
+	switch in.Op {
+	case BR, BEQ, BNE, BLT, BGE:
+		t := BranchTarget(pc, in)
+		switch in.Op {
+		case BR:
+			return fmt.Sprintf("br 0x%x", t)
+		default:
+			return fmt.Sprintf("%s %v, 0x%x", in.Op, in.Ra, t)
+		}
+	}
+	return in.String()
+}

@@ -1,0 +1,230 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{},
+		{Op: ADD, Rd: 1, Ra: 2, Rb: 3},
+		{Op: LD, Rd: 5, Ra: 6, Imm: 1024},
+		{Op: LD, Rd: 5, Ra: 6, Imm: -1024},
+		{Op: PREFETCH, Ra: 9, Imm: ImmMax},
+		{Op: PREFETCH, Ra: 9, Imm: ImmMin},
+		{Op: BEQ, Ra: 4, Imm: -1},
+		{Op: HALT},
+		{Op: LDI, Rd: 30, Imm: 1 << 30},
+		{Op: ST, Rb: 17, Ra: 3, Imm: 8},
+	}
+	for _, in := range cases {
+		got := Decode(Encode(in))
+		if got != in {
+			t.Errorf("round trip %v: got %v", in, got)
+		}
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	// encode∘decode = identity over the entire valid instruction space.
+	f := func(op uint8, rd, ra, rb uint8, imm int64) bool {
+		in := Inst{
+			Op:  Op(op % uint8(numOps)),
+			Rd:  Reg(rd % NumRegs),
+			Ra:  Reg(ra % NumRegs),
+			Rb:  Reg(rb % NumRegs),
+			Imm: imm%(ImmMax+1) - imm%2, // keep in range, both signs
+		}
+		if in.Imm < ImmMin || in.Imm > ImmMax {
+			in.Imm = 0
+		}
+		return Decode(Encode(in)) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeCheckedRejectsBadFields(t *testing.T) {
+	bad := []Inst{
+		{Op: numOps},
+		{Op: Op(255)},
+		{Op: ADD, Rd: 32},
+		{Op: ADD, Ra: 40},
+		{Op: ADD, Rb: 99},
+		{Op: LDI, Imm: ImmMax + 1},
+		{Op: LDI, Imm: ImmMin - 1},
+	}
+	for _, in := range bad {
+		if _, err := EncodeChecked(in); err == nil {
+			t.Errorf("EncodeChecked(%+v): want error", in)
+		}
+	}
+}
+
+func TestEncodePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode on invalid opcode did not panic")
+		}
+	}()
+	Encode(Inst{Op: Op(200)})
+}
+
+func TestPatchImm(t *testing.T) {
+	in := Inst{Op: PREFETCH, Ra: 7, Imm: 64}
+	w := Encode(in)
+	for _, imm := range []int64{0, 128, -64, ImmMax, ImmMin} {
+		pw, err := PatchImm(w, imm)
+		if err != nil {
+			t.Fatalf("PatchImm(%d): %v", imm, err)
+		}
+		got := Decode(pw)
+		want := in
+		want.Imm = imm
+		if got != want {
+			t.Errorf("PatchImm(%d): got %v want %v", imm, got, want)
+		}
+	}
+	if _, err := PatchImm(w, ImmMax+1); err == nil {
+		t.Error("PatchImm out of range: want error")
+	}
+}
+
+func TestPatchImmPreservesOtherFieldsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		in := Inst{
+			Op:  Op(r.Intn(int(numOps))),
+			Rd:  Reg(r.Intn(NumRegs)),
+			Ra:  Reg(r.Intn(NumRegs)),
+			Rb:  Reg(r.Intn(NumRegs)),
+			Imm: r.Int63n(ImmMax) - r.Int63n(-ImmMin),
+		}
+		imm := r.Int63n(ImmMax) - r.Int63n(-ImmMin)
+		pw, err := PatchImm(Encode(in), imm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Decode(pw)
+		if got.Op != in.Op || got.Rd != in.Rd || got.Ra != in.Ra || got.Rb != in.Rb {
+			t.Fatalf("PatchImm changed non-imm fields: %v -> %v", in, got)
+		}
+		if got.Imm != imm {
+			t.Fatalf("PatchImm: imm %d -> %d", imm, got.Imm)
+		}
+	}
+}
+
+func TestBranchTargetDisp(t *testing.T) {
+	for _, tc := range []struct {
+		pc, target uint64
+	}{
+		{0, 8}, {0, 0}, {64, 8}, {8, 64}, {1024, 1024 + 8},
+	} {
+		d := BranchDisp(tc.pc, tc.target)
+		in := Inst{Op: BR, Rd: ZeroReg, Imm: d}
+		if got := BranchTarget(tc.pc, in); got != tc.target {
+			t.Errorf("pc=%d target=%d: disp=%d resolves to %d", tc.pc, tc.target, d, got)
+		}
+	}
+}
+
+func TestBranchTargetDispProperty(t *testing.T) {
+	f := func(pcw uint32, tw uint32) bool {
+		pc, target := uint64(pcw)*WordSize, uint64(tw)*WordSize
+		d := BranchDisp(pc, target)
+		if d < ImmMin || d > ImmMax {
+			return true // not encodable; out of scope
+		}
+		return BranchTarget(pc, Inst{Op: BR, Imm: d}) == target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	for _, tc := range []struct {
+		op   Op
+		cls  Class
+		mem  bool
+		cond bool
+	}{
+		{LD, ClassLoad, true, false},
+		{LDNF, ClassLoad, true, false},
+		{ST, ClassStore, true, false},
+		{PREFETCH, ClassPrefetch, false, false},
+		{BEQ, ClassBranch, false, true},
+		{BR, ClassJump, false, false},
+		{JMP, ClassJump, false, false},
+		{ADD, ClassALU, false, false},
+		{FDIV, ClassFP, false, false},
+		{HALT, ClassHalt, false, false},
+		{NOP, ClassNop, false, false},
+	} {
+		if got := tc.op.Class(); got != tc.cls {
+			t.Errorf("%v.Class() = %v, want %v", tc.op, got, tc.cls)
+		}
+		if got := tc.op.IsMem(); got != tc.mem {
+			t.Errorf("%v.IsMem() = %v, want %v", tc.op, got, tc.mem)
+		}
+		if got := tc.op.IsCondBranch(); got != tc.cond {
+			t.Errorf("%v.IsCondBranch() = %v, want %v", tc.op, got, tc.cond)
+		}
+	}
+}
+
+func TestEveryOpHasNameAndClass(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if s := op.String(); s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no name", uint8(op))
+		}
+		if op != NOP && op.Class() == ClassNop {
+			t.Errorf("opcode %v has no class", op)
+		}
+	}
+}
+
+func TestDisassembleForms(t *testing.T) {
+	for _, tc := range []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, Rd: 1, Ra: 2, Rb: 3}, "add r1, r2, r3"},
+		{Inst{Op: LD, Rd: 4, Ra: 5, Imm: 16}, "ld r4, 16(r5)"},
+		{Inst{Op: ST, Rb: 6, Ra: 7, Imm: -8}, "st r6, -8(r7)"},
+		{Inst{Op: PREFETCH, Ra: 8, Imm: 192}, "prefetch 192(r8)"},
+		{Inst{Op: LDI, Rd: 9, Imm: 42}, "ldi r9, 42"},
+		{Inst{Op: MOVE, Rd: 1, Ra: 2}, "move r1, r2"},
+		{Inst{Op: HALT}, "halt"},
+		{Inst{Op: NOP}, "nop"},
+		{Inst{Op: BEQ, Ra: 3, Imm: -2}, "beq r3, -2"},
+		{Inst{Op: JMP, Rd: ZeroReg, Ra: 12}, "jmp (r12)"},
+	} {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String(%+v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	// Disassemble resolves targets.
+	in := Inst{Op: BEQ, Ra: 3, Imm: -2}
+	if got, want := Disassemble(32, in), "beq r3, 0x18"; got != want {
+		t.Errorf("Disassemble = %q, want %q", got, want)
+	}
+	in = Inst{Op: BR, Rd: ZeroReg, Imm: 4}
+	if got, want := Disassemble(0, in), "br 0x28"; got != want {
+		t.Errorf("Disassemble = %q, want %q", got, want)
+	}
+}
+
+func TestZeroRegString(t *testing.T) {
+	if Reg(31).String() != "rz" {
+		t.Errorf("r31 should render as rz")
+	}
+	if Reg(0).String() != "r0" {
+		t.Errorf("r0 renders as %s", Reg(0).String())
+	}
+}

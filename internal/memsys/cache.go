@@ -1,0 +1,149 @@
+// Package memsys implements the simulated data-memory hierarchy: L1/L2/L3
+// set-associative caches with LRU replacement, a memory bus with occupancy,
+// in-flight fill tracking, and the prefetch-aware access classification the
+// paper's Figure 6 reports (hits, prefetched hits, partial hits, misses, and
+// misses caused by prefetch displacement).
+//
+// The hierarchy is purely a timing and bookkeeping model: data values live in
+// program.Memory; memsys answers "how long does this access take and why".
+package memsys
+
+import "fmt"
+
+// CacheConfig sizes one cache level.
+type CacheConfig struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// Latency is the total access latency in cycles for a hit at this
+	// level (cumulative from the processor, as in the paper's Table 1).
+	Latency int64
+}
+
+// Lines returns the number of cache lines given the line size.
+func (c CacheConfig) Lines(lineSize int) int { return c.SizeBytes / lineSize }
+
+// line is one cache line's state.
+type line struct {
+	tag   uint64 // full line address
+	valid bool
+	// prefetched marks a line brought in by a prefetch (software prefetch,
+	// or a stream-buffer supply) that has not yet been referenced by a
+	// demand access. The first demand access counts as a prefetched hit
+	// and clears the flag (paper §5.3: "the first load access to this
+	// block is counted as a Hit-prefetched, but any subsequent accesses
+	// are counted as Hits-none").
+	prefetched bool
+}
+
+// cache is one set-associative level with LRU replacement. Ways within a set
+// are kept in recency order: index 0 is the most recently used.
+type cache struct {
+	sets    [][]line
+	numSets uint64
+	assoc   int
+	latency int64
+}
+
+func newCache(cfg CacheConfig, lineSize int) *cache {
+	lines := cfg.Lines(lineSize)
+	if cfg.Assoc <= 0 || lines < cfg.Assoc {
+		panic(fmt.Sprintf("memsys: bad cache config %+v", cfg))
+	}
+	numSets := lines / cfg.Assoc
+	c := &cache{
+		sets:    make([][]line, numSets),
+		numSets: uint64(numSets),
+		assoc:   cfg.Assoc,
+		latency: cfg.Latency,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, 0, cfg.Assoc)
+	}
+	return c
+}
+
+// lookup probes for lineAddr; on hit it refreshes recency and returns the
+// line.
+func (c *cache) lookup(lineAddr uint64) *line {
+	set := c.sets[lineAddr%c.numSets]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			if i != 0 {
+				hit := set[i]
+				copy(set[1:i+1], set[0:i])
+				set[0] = hit
+			}
+			return &set[0]
+		}
+	}
+	return nil
+}
+
+// contains probes without updating recency.
+func (c *cache) contains(lineAddr uint64) bool {
+	set := c.sets[lineAddr%c.numSets]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// insert installs lineAddr as most-recently-used, returning the evicted
+// line (valid=false if none was evicted). If the line is already present it
+// is refreshed in place and no eviction occurs.
+func (c *cache) insert(lineAddr uint64, prefetched bool) (evicted line) {
+	si := lineAddr % c.numSets
+	set := c.sets[si]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			// Re-install: refresh recency; a demand re-install clears the
+			// prefetched mark, a prefetch to a present line leaves it.
+			hit := set[i]
+			if !prefetched {
+				hit.prefetched = false
+			}
+			copy(set[1:i+1], set[0:i])
+			set[0] = hit
+			return line{}
+		}
+	}
+	nl := line{tag: lineAddr, valid: true, prefetched: prefetched}
+	if len(set) < c.assoc {
+		set = append(set, line{})
+		copy(set[1:], set[0:len(set)-1])
+		set[0] = nl
+		c.sets[si] = set
+		return line{}
+	}
+	evicted = set[len(set)-1]
+	copy(set[1:], set[0:len(set)-1])
+	set[0] = nl
+	return evicted
+}
+
+// invalidate removes lineAddr if present, reporting whether it was found.
+func (c *cache) invalidate(lineAddr uint64) bool {
+	si := lineAddr % c.numSets
+	set := c.sets[si]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			copy(set[i:], set[i+1:])
+			c.sets[si] = set[:len(set)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// occupancy returns the number of valid lines (test/debug helper).
+func (c *cache) occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		n += len(set)
+	}
+	return n
+}

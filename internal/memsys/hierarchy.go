@@ -1,0 +1,457 @@
+package memsys
+
+// Config describes the whole memory hierarchy. The defaults reproduce the
+// paper's Table 1.
+type Config struct {
+	LineSize int
+
+	L1, L2, L3 CacheConfig
+
+	// MemLatency is the cycles for an access that misses every cache.
+	MemLatency int64
+
+	// BusOccupancy is how many cycles one memory-level fill holds the
+	// shared bus; queued fills wait. This is what makes over-aggressive
+	// prefetching cost something beyond pollution.
+	BusOccupancy int64
+
+	// MaxInFlight bounds outstanding fills (MSHR-like). Prefetches beyond
+	// the bound are dropped; demand misses always proceed.
+	MaxInFlight int
+
+	// VictimHistory bounds how many prefetch-displaced victim tags are
+	// remembered for miss-due-to-prefetching classification.
+	VictimHistory int
+}
+
+// DefaultConfig returns the paper's Table 1 memory parameters: 64 KB 2-way
+// L1 (3 cycles), 512 KB 8-way L2 (11 cycles), 4 MB 16-way L3 (35 cycles),
+// 350-cycle memory.
+func DefaultConfig() Config {
+	return Config{
+		LineSize:      64,
+		L1:            CacheConfig{SizeBytes: 64 << 10, Assoc: 2, Latency: 3},
+		L2:            CacheConfig{SizeBytes: 512 << 10, Assoc: 8, Latency: 11},
+		L3:            CacheConfig{SizeBytes: 4 << 20, Assoc: 16, Latency: 35},
+		MemLatency:    350,
+		BusOccupancy:  16,
+		MaxInFlight:   32,
+		VictimHistory: 4096,
+	}
+}
+
+// Outcome classifies one demand load access, matching the categories of the
+// paper's Figure 6.
+type Outcome uint8
+
+// Outcomes.
+const (
+	// HitNone: L1 hit on a line not (or no longer) marked prefetched.
+	HitNone Outcome = iota
+	// HitPrefetched: first demand access to a prefetched line that arrived
+	// in time (including stream-buffer supplies that are ready).
+	HitPrefetched
+	// PartialPrefetch: the line was being prefetched but had not arrived;
+	// the load waits the residual latency.
+	PartialPrefetch
+	// PartialDemand: the line was being fetched by an earlier demand miss.
+	PartialDemand
+	// Miss: an ordinary miss served by L2/L3/memory.
+	Miss
+	// MissDueToPrefetch: a miss on a line that was displaced from L1 by a
+	// prefetch-installed line (paper §5.3 victim-tag mechanism).
+	MissDueToPrefetch
+)
+
+var outcomeNames = [...]string{
+	HitNone: "hit", HitPrefetched: "hit-prefetched",
+	PartialPrefetch: "partial-prefetch", PartialDemand: "partial-demand",
+	Miss: "miss", MissDueToPrefetch: "miss-due-to-prefetch",
+}
+
+// String names the outcome.
+func (o Outcome) String() string { return outcomeNames[o] }
+
+// NumOutcomes is the number of Outcome values.
+const NumOutcomes = len(outcomeNames)
+
+// FillSource records what initiated a fill.
+type FillSource uint8
+
+// Fill sources.
+const (
+	FillDemand FillSource = iota
+	FillSWPrefetch
+	FillStreamBuffer
+)
+
+// Result describes one demand load access.
+type Result struct {
+	// Latency is the total observed cycles for the load.
+	Latency int64
+	// Outcome is the Figure-6 classification.
+	Outcome Outcome
+	// L1Miss reports whether the access took longer than an L1 hit; the
+	// delinquent load table counts these as misses.
+	L1Miss bool
+}
+
+// Prefetcher is an optional hardware prefetch engine (the stream buffers)
+// consulted on L1 misses and trained on every load.
+type Prefetcher interface {
+	// Lookup is consulted on an L1 miss. If the prefetcher holds (or is
+	// fetching) the line it returns the cycle the data is ready and true;
+	// the hierarchy then installs the line into L1 marked prefetched.
+	// Lookup consumes the supplying entry and lets the stream run ahead.
+	Lookup(lineAddr uint64, now int64) (ready int64, ok bool)
+	// Contains reports whether the prefetcher holds or is fetching the
+	// line, without consuming it; used to squash redundant software
+	// prefetches.
+	Contains(lineAddr uint64) bool
+	// Train observes a committed load.
+	Train(pc, addr uint64, now int64, l1Miss bool)
+}
+
+// fill is an in-flight line fetch. The L1 way is reserved eagerly when the
+// fill starts (so replacement and pollution happen at the right time); the
+// fill entry carries the residual timing until the data arrives.
+type fill struct {
+	ready  int64
+	source FillSource
+}
+
+// Stats aggregates hierarchy activity.
+type Stats struct {
+	Loads     uint64
+	Stores    uint64
+	ByOutcome [NumOutcomes]uint64
+
+	L1Hits, L2Hits, L3Hits, MemAccesses uint64
+
+	PrefetchesIssued    uint64 // software prefetch instructions seen
+	PrefetchesRedundant uint64 // dropped: line present or already in flight
+	PrefetchesDropped   uint64 // dropped: MSHR full
+	WastedPrefetches    uint64 // prefetched lines evicted before first use
+
+	TotalLoadLatency int64
+	TotalMissLatency int64 // latency of accesses with L1Miss
+}
+
+// L1Misses returns the number of loads that did not hit in L1.
+func (s *Stats) L1Misses() uint64 {
+	return s.ByOutcome[PartialPrefetch] + s.ByOutcome[PartialDemand] +
+		s.ByOutcome[Miss] + s.ByOutcome[MissDueToPrefetch]
+}
+
+// Hierarchy is the simulated memory system.
+type Hierarchy struct {
+	cfg        Config
+	lineShift  uint
+	l1, l2, l3 *cache
+	inflight   map[uint64]*fill
+	busFree    int64
+	prefetcher Prefetcher
+	victims    *victimSet
+
+	// Stats is exported for the stats collector; it is not safe for
+	// concurrent mutation (the simulator is single-goroutine).
+	Stats Stats
+}
+
+// New builds a hierarchy from cfg.
+func New(cfg Config) *Hierarchy {
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	if 1<<shift != cfg.LineSize {
+		panic("memsys: line size must be a power of two")
+	}
+	return &Hierarchy{
+		cfg:       cfg,
+		lineShift: shift,
+		l1:        newCache(cfg.L1, cfg.LineSize),
+		l2:        newCache(cfg.L2, cfg.LineSize),
+		l3:        newCache(cfg.L3, cfg.LineSize),
+		inflight:  make(map[uint64]*fill),
+		victims:   newVictimSet(cfg.VictimHistory),
+	}
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// SetPrefetcher attaches a hardware prefetch engine (nil to disable).
+func (h *Hierarchy) SetPrefetcher(p Prefetcher) { h.prefetcher = p }
+
+// Line returns the line address containing addr.
+func (h *Hierarchy) Line(addr uint64) uint64 { return addr >> h.lineShift }
+
+// L1Latency returns the L1 hit latency; loads slower than this are counted
+// as misses by the delinquent load table.
+func (h *Hierarchy) L1Latency() int64 { return h.cfg.L1.Latency }
+
+// L2MissLatency returns the cost of an access that misses in L2 (an L3
+// hit); the DLT's delinquency test compares average miss latency against
+// half of this, per §3.3.
+func (h *Hierarchy) L2MissLatency() int64 { return h.cfg.L3.Latency }
+
+// MemLatency returns the full memory access latency; the optimizer divides
+// it by a trace's minimal execution time to bound the prefetch distance.
+func (h *Hierarchy) MemLatency() int64 { return h.cfg.MemLatency }
+
+// Load performs a demand load by the main thread at cycle now.
+func (h *Hierarchy) Load(pc, addr uint64, now int64) Result {
+	la := h.Line(addr)
+	h.sweep(now)
+	h.Stats.Loads++
+
+	res := h.loadLine(la, now)
+
+	h.Stats.TotalLoadLatency += res.Latency
+	if res.L1Miss {
+		h.Stats.TotalMissLatency += res.Latency
+	}
+	h.Stats.ByOutcome[res.Outcome]++
+	if h.prefetcher != nil {
+		h.prefetcher.Train(pc, addr, now, res.L1Miss)
+	}
+	return res
+}
+
+func (h *Hierarchy) loadLine(la uint64, now int64) Result {
+	// In-flight fill probe: a line whose data has not arrived yet gives a
+	// partial hit for the residual latency; the first use of a prefetch
+	// is consumed by that partial hit.
+	if f, ok := h.inflight[la]; ok {
+		if f.ready > now {
+			lat := f.ready - now + h.cfg.L1.Latency
+			out := PartialDemand
+			if f.source != FillDemand {
+				out = PartialPrefetch
+				if l := h.l1.lookup(la); l != nil {
+					l.prefetched = false
+				}
+			}
+			return Result{Latency: lat, Outcome: out, L1Miss: true}
+		}
+		delete(h.inflight, la)
+	}
+
+	// L1 probe.
+	if l := h.l1.lookup(la); l != nil {
+		h.Stats.L1Hits++
+		out := HitNone
+		if l.prefetched {
+			out = HitPrefetched
+			l.prefetched = false
+		}
+		return Result{Latency: h.cfg.L1.Latency, Outcome: out}
+	}
+
+	// Stream-buffer probe. A supplied line enters the cache hierarchy on
+	// use (L1 plus the lower levels); lines that die unused in a buffer
+	// never pollute the caches.
+	if h.prefetcher != nil {
+		if ready, ok := h.prefetcher.Lookup(la, now); ok {
+			ev := h.l1.insert(la, false) // first use consumed immediately
+			h.noteEviction(ev, FillStreamBuffer)
+			h.l2.insert(la, false)
+			h.l3.insert(la, false)
+			if ready <= now {
+				return Result{Latency: h.cfg.L1.Latency, Outcome: HitPrefetched}
+			}
+			return Result{Latency: ready - now + h.cfg.L1.Latency, Outcome: PartialPrefetch, L1Miss: true}
+		}
+	}
+
+	// Miss: find the supplying level, reserve the L1 way now, and track
+	// the fill so that nearby accesses to the same line see partial hits
+	// rather than paying twice.
+	lat, _ := h.probeBelow(la, now, true, true)
+	out := Miss
+	if h.victims.remove(la) {
+		out = MissDueToPrefetch
+	}
+	ev := h.l1.insert(la, false)
+	h.noteEviction(ev, FillDemand)
+	h.inflight[la] = &fill{ready: now + lat, source: FillDemand}
+	return Result{Latency: lat, Outcome: out, L1Miss: true}
+}
+
+// Store performs a demand store. Stores are write-through and non-blocking:
+// they update recency if the line is present but never allocate or stall.
+func (h *Hierarchy) Store(addr uint64, now int64) {
+	h.Stats.Stores++
+	la := h.Line(addr)
+	h.l1.lookup(la)
+}
+
+// Prefetch handles a software prefetch instruction: non-binding, non-
+// faulting, never stalls. The fill installs into L1 (marked prefetched) and
+// L2 when it completes.
+func (h *Hierarchy) Prefetch(addr uint64, now int64) {
+	la := h.Line(addr)
+	h.sweep(now)
+	h.Stats.PrefetchesIssued++
+	if h.l1.contains(la) {
+		h.Stats.PrefetchesRedundant++
+		return
+	}
+	if _, ok := h.inflight[la]; ok {
+		h.Stats.PrefetchesRedundant++
+		return
+	}
+	if h.prefetcher != nil && h.prefetcher.Contains(la) {
+		h.Stats.PrefetchesRedundant++
+		return
+	}
+	if len(h.inflight) >= h.cfg.MaxInFlight {
+		h.Stats.PrefetchesDropped++
+		return
+	}
+	lat, _ := h.probeBelow(la, now, true, true)
+	ev := h.l1.insert(la, true)
+	h.noteEviction(ev, FillSWPrefetch)
+	h.inflight[la] = &fill{ready: now + lat, source: FillSWPrefetch}
+}
+
+// StartFill initiates a line fetch on behalf of the hardware stream
+// buffers. The line is fetched toward the buffer only — it does not
+// allocate in any cache level — and the hierarchy accounts for the source
+// latency and bus occupancy. ok is false when the line is already cached
+// in L1 or being fetched there (the buffer should not duplicate it).
+func (h *Hierarchy) StartFill(lineAddr uint64, now int64) (ready int64, ok bool) {
+	if h.l1.contains(lineAddr) {
+		return 0, false
+	}
+	if _, inflight := h.inflight[lineAddr]; inflight {
+		return 0, false
+	}
+	lat, _ := h.probeBelow(lineAddr, now, true, false)
+	return now + lat, true
+}
+
+// probeBelow determines the latency of fetching a line from below L1,
+// optionally consuming bus bandwidth for memory-level fetches. When
+// install is set (demand misses and software prefetches) the line is
+// installed into the levels it passes on the way up; stream-buffer fills
+// go to the buffer only.
+func (h *Hierarchy) probeBelow(la uint64, now int64, occupyBus, install bool) (lat int64, level int) {
+	if h.l2.lookup(la) != nil {
+		h.Stats.L2Hits++
+		return h.cfg.L2.Latency, 2
+	}
+	if h.l3.lookup(la) != nil {
+		h.Stats.L3Hits++
+		if install {
+			h.l2.insert(la, false)
+		}
+		return h.cfg.L3.Latency, 3
+	}
+	h.Stats.MemAccesses++
+	lat = h.cfg.MemLatency
+	if occupyBus {
+		if h.busFree > now {
+			lat += h.busFree - now
+			h.busFree += h.cfg.BusOccupancy
+		} else {
+			h.busFree = now + h.cfg.BusOccupancy
+		}
+	}
+	if install {
+		h.l3.insert(la, false)
+		h.l2.insert(la, false)
+	}
+	return lat, 4
+}
+
+// noteEviction records statistics for an evicted L1 line.
+func (h *Hierarchy) noteEviction(ev line, by FillSource) {
+	if !ev.valid {
+		return
+	}
+	if ev.prefetched {
+		h.Stats.WastedPrefetches++
+	}
+	if by != FillDemand {
+		h.victims.add(ev.tag)
+	}
+}
+
+// sweep retires completed fills so they stop counting against the MSHR
+// budget. Lines were installed eagerly when the fill started, so retiring
+// is just deletion. To keep the hot path cheap it only scans when the
+// in-flight set is at capacity.
+func (h *Hierarchy) sweep(now int64) {
+	if len(h.inflight) < h.cfg.MaxInFlight {
+		return
+	}
+	for la, f := range h.inflight {
+		if f.ready <= now {
+			delete(h.inflight, la)
+		}
+	}
+}
+
+// Drain retires every fill completed by now; tests use it to reach a
+// settled state.
+func (h *Hierarchy) Drain(now int64) {
+	for la, f := range h.inflight {
+		if f.ready <= now {
+			delete(h.inflight, la)
+		}
+	}
+}
+
+// InFlight returns the number of outstanding fills.
+func (h *Hierarchy) InFlight() int { return len(h.inflight) }
+
+// ContainsL1 reports whether the line holding addr is resident in L1
+// (test helper).
+func (h *Hierarchy) ContainsL1(addr uint64) bool { return h.l1.contains(h.Line(addr)) }
+
+// victimSet is a bounded set of line tags displaced from L1 by prefetches,
+// used to classify later misses as caused by prefetching. It evicts FIFO.
+type victimSet struct {
+	set   map[uint64]int // tag -> ring index
+	ring  []uint64
+	next  int
+	valid []bool
+}
+
+func newVictimSet(capacity int) *victimSet {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &victimSet{
+		set:   make(map[uint64]int, capacity),
+		ring:  make([]uint64, capacity),
+		valid: make([]bool, capacity),
+	}
+}
+
+func (v *victimSet) add(tag uint64) {
+	if _, ok := v.set[tag]; ok {
+		return
+	}
+	if v.valid[v.next] {
+		delete(v.set, v.ring[v.next])
+	}
+	v.ring[v.next] = tag
+	v.valid[v.next] = true
+	v.set[tag] = v.next
+	v.next = (v.next + 1) % len(v.ring)
+}
+
+func (v *victimSet) remove(tag uint64) bool {
+	i, ok := v.set[tag]
+	if !ok {
+		return false
+	}
+	delete(v.set, tag)
+	v.valid[i] = false
+	return true
+}
+
+func (v *victimSet) len() int { return len(v.set) }

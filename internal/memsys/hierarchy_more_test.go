@@ -1,0 +1,117 @@
+package memsys
+
+import "testing"
+
+func TestStreamBufferSupplyEntersLowerLevels(t *testing.T) {
+	// A line supplied by the stream buffers must land in L2/L3 on use, so
+	// later re-references (after L1 eviction) stay on-chip.
+	h := New(smallConfig())
+	sb := &fakeSupplier{ready: map[uint64]int64{h.Line(0xA000): 0}}
+	h.SetPrefetcher(sb)
+	h.Load(0x100, 0xA000, 100)
+	delete(sb.ready, h.Line(0xA000))
+	// Evict from the 8-set L1 with three conflicting demand lines.
+	for i := uint64(1); i <= 3; i++ {
+		h.Load(0x100, 0xA000+i*8*64, int64(100+i*1000))
+	}
+	h.Drain(1 << 20)
+	r := h.Load(0x100, 0xA000, 1<<20)
+	if r.Latency >= h.Config().MemLatency {
+		t.Fatalf("supplied line re-fetched from memory (latency %d)", r.Latency)
+	}
+}
+
+func TestStartFillDoesNotInstall(t *testing.T) {
+	h := New(smallConfig())
+	la := h.Line(0xC000)
+	if _, ok := h.StartFill(la, 0); !ok {
+		t.Fatal("fill refused")
+	}
+	// The line must not be in L1 (buffer-only fill)...
+	if h.ContainsL1(0xC000) {
+		t.Fatal("StartFill installed into L1")
+	}
+	// ...and a later demand miss pays a full memory fetch (nothing was
+	// installed below either).
+	r := h.Load(0x100, 0xC000, 1<<20)
+	if r.Latency < h.Config().MemLatency {
+		t.Fatalf("StartFill warmed a cache level (latency %d)", r.Latency)
+	}
+}
+
+func TestStartFillRefusesCachedAndInflight(t *testing.T) {
+	h := New(smallConfig())
+	h.Load(0x100, 0xC000, 0) // now in L1 (reserved) + in flight
+	if _, ok := h.StartFill(h.Line(0xC000), 10); ok {
+		t.Fatal("fill accepted for an in-flight line")
+	}
+	h.Drain(1 << 20)
+	if _, ok := h.StartFill(h.Line(0xC000), 1<<20); ok {
+		t.Fatal("fill accepted for a cached line")
+	}
+}
+
+func TestDrainRetiresCompletedOnly(t *testing.T) {
+	h := New(smallConfig())
+	h.Prefetch(0xD000, 0)    // ready at 350
+	h.Prefetch(0xE000, 1000) // ready at ~1350
+	h.Drain(500)
+	if h.InFlight() != 1 {
+		t.Fatalf("in flight after partial drain = %d, want 1", h.InFlight())
+	}
+	h.Drain(5000)
+	if h.InFlight() != 0 {
+		t.Fatalf("in flight after full drain = %d", h.InFlight())
+	}
+}
+
+func TestStoreDoesNotAllocate(t *testing.T) {
+	h := New(smallConfig())
+	h.Store(0xF000, 0)
+	if h.ContainsL1(0xF000) {
+		t.Fatal("store allocated a line")
+	}
+	if h.Stats.Stores != 1 {
+		t.Fatalf("stores = %d", h.Stats.Stores)
+	}
+}
+
+func TestLatencyAccumulators(t *testing.T) {
+	h := New(smallConfig())
+	r1 := h.Load(0x100, 0x4000, 0)
+	h.Drain(1 << 20)
+	r2 := h.Load(0x100, 0x4000, 1<<20)
+	if h.Stats.TotalLoadLatency != r1.Latency+r2.Latency {
+		t.Fatalf("total load latency %d != %d+%d",
+			h.Stats.TotalLoadLatency, r1.Latency, r2.Latency)
+	}
+	if h.Stats.TotalMissLatency != r1.Latency {
+		t.Fatalf("total miss latency %d != %d", h.Stats.TotalMissLatency, r1.Latency)
+	}
+}
+
+func TestHierarchyAccessors(t *testing.T) {
+	h := New(DefaultConfig())
+	if h.L1Latency() != 3 || h.L2MissLatency() != 35 || h.MemLatency() != 350 {
+		t.Fatal("latency accessors wrong")
+	}
+	if h.Line(0) != 0 || h.Line(63) != 0 || h.Line(64) != 1 {
+		t.Fatal("line mapping wrong")
+	}
+}
+
+func TestNonPowerOfTwoL1Sets(t *testing.T) {
+	// The §5.4 extra-cache experiment uses an 84 KB L1 (1344 lines, 672
+	// sets): non-power-of-two set counts must work.
+	cfg := DefaultConfig()
+	cfg.L1 = CacheConfig{SizeBytes: 84 << 10, Assoc: 2, Latency: 3}
+	h := New(cfg)
+	for i := 0; i < 3000; i++ {
+		h.Load(0x100, uint64(i*64), int64(i*10))
+	}
+	h.Drain(1 << 30)
+	r := h.Load(0x100, uint64(2999*64), 1<<30)
+	if r.Outcome != HitNone {
+		t.Fatalf("recently loaded line missed: %+v", r)
+	}
+}

@@ -1,0 +1,276 @@
+// Package prefetch implements the paper's primary contribution: the dynamic
+// prefetch optimizer that runs as Trident's helper thread. It identifies
+// the delinquent loads of a hot trace (§3.4.1), classifies them as Stride,
+// Pointer, or Same-Object, inserts prefetch instructions (§3.4.2, §3.4.3),
+// estimates or adapts the prefetch distance (§3.5), and performs the
+// self-repairing adjustment by patching prefetch instruction bits in the
+// code cache (§3.5.1, §3.5.2).
+package prefetch
+
+import (
+	"sort"
+
+	"tridentsp/internal/dlt"
+	"tridentsp/internal/isa"
+	"tridentsp/internal/trace"
+)
+
+// LoadClass is the §3.4.1 classification of a delinquent load.
+type LoadClass uint8
+
+// Load classes.
+const (
+	ClassNone LoadClass = iota
+	ClassStride
+	ClassPointer
+)
+
+// String names the class.
+func (c LoadClass) String() string {
+	switch c {
+	case ClassStride:
+		return "stride"
+	case ClassPointer:
+		return "pointer"
+	}
+	return "none"
+}
+
+// Member is one delinquent load inside a group.
+type Member struct {
+	OrigPC uint64
+	Offset int64
+	Index  int // instruction index in the base trace
+	Class  LoadClass
+	// Stride is the per-iteration stride (code-derived or from the DLT);
+	// meaningful when Class is ClassStride.
+	Stride int64
+}
+
+// Group is a same-object group: delinquent loads sharing a live base
+// register (§3.4.1). The degenerate case is a single load.
+type Group struct {
+	BaseReg isa.Reg
+	// Gen disambiguates base-register generations: loads using the same
+	// register after it was redefined belong to different objects.
+	Gen     int
+	Members []Member
+	// StrideOK marks the group stride-address-predictable: at least one
+	// member is a Stride load (§3.4.2).
+	StrideOK bool
+	// Stride is the group's per-iteration stride when StrideOK.
+	Stride int64
+	// PointerBase marks a group whose base register is itself produced by
+	// a pointer load (multiple fields of a pointed-to object). When the
+	// producing load is itself stride-predictable, the group can be
+	// prefetched by dereferencing the producer at the prefetch distance —
+	// the paper's "multiple loads using the same base register which has
+	// been identified as a pointer" same-object case.
+	PointerBase bool
+	// Producer describes the load that defines the base register, when
+	// PointerBase and the producer's own base strides. ProducerAddend is a
+	// trace-invariant register added to the loaded pointer before use
+	// (base = *producer + addend); the zero register when the pointer is
+	// used directly.
+	ProducerOK     bool
+	ProducerBase   isa.Reg
+	ProducerOff    int64
+	ProducerIdx    int
+	ProducerStride int64
+	ProducerAddend isa.Reg
+}
+
+// MinOffset returns the smallest member offset (the group prefetch anchor).
+func (g *Group) MinOffset() int64 {
+	m := g.Members[0].Offset
+	for _, mm := range g.Members[1:] {
+		if mm.Offset < m {
+			m = mm.Offset
+		}
+	}
+	return m
+}
+
+// classifyTrace scans a base trace, finds its delinquent loads per the DLT,
+// classifies each, and builds same-object groups. Inserted instructions are
+// ignored. grouping=false (the basic mode of Figure 5) produces one
+// degenerate group per load.
+func classifyTrace(tr *trace.Trace, table *dlt.Table, grouping bool) []*Group {
+	return classify(tr, table, grouping, false)
+}
+
+// classifyAll classifies every load of the trace regardless of current
+// delinquency — the "potentially software prefetched" population behind
+// Figure 4.
+func classifyAll(tr *trace.Trace, table *dlt.Table) []*Group {
+	return classify(tr, table, true, true)
+}
+
+func classify(tr *trace.Trace, table *dlt.Table, grouping, all bool) []*Group {
+	// Register generation numbering: regGen[r] increments at each write.
+	type genKey struct {
+		r   isa.Reg
+		gen int
+	}
+	regGen := map[isa.Reg]int{}
+	groupsByKey := map[genKey]*Group{}
+	var groups []*Group
+
+	// Pass 1: find self-add recurrences per register (the §3.4.1 stride
+	// criterion: a single simple arithmetic instruction over a constant
+	// and the base register).
+	recurrences := map[isa.Reg][]int64{} // register -> list of add constants
+	writes := map[isa.Reg]int{}          // register -> total writes in trace
+	for i := range tr.Insts {
+		ti := &tr.Insts[i]
+		if ti.Inserted {
+			continue
+		}
+		in := ti.Inst
+		if rd, ok := trace.Writes(in); ok {
+			writes[rd]++
+			switch in.Op {
+			case isa.ADDI, isa.LDA:
+				if in.Rd == in.Ra {
+					recurrences[rd] = append(recurrences[rd], in.Imm)
+				}
+			case isa.SUBI:
+				if in.Rd == in.Ra {
+					recurrences[rd] = append(recurrences[rd], -in.Imm)
+				}
+			}
+		}
+	}
+	codeStride := func(r isa.Reg) (int64, bool) {
+		recs := recurrences[r]
+		// Exactly one recurrence instruction and no other writes.
+		if len(recs) == 1 && writes[r] == 1 {
+			return recs[0], true
+		}
+		return 0, false
+	}
+
+	// Pass 2: walk the trace, tracking base-register generations, and
+	// collect delinquent loads into groups. ptrOrigin follows pointer
+	// values from the load that produced them through one level of
+	// trace-invariant arithmetic (base = *producer + addend), which covers
+	// row-pointer and object-table idioms.
+	type ptrOrigin struct {
+		prodIdx int
+		addend  isa.Reg
+	}
+	origins := map[genKey]ptrOrigin{}
+	invariant := func(r isa.Reg) bool { return r == isa.ZeroReg || writes[r] == 0 }
+	for i := range tr.Insts {
+		ti := &tr.Insts[i]
+		in := ti.Inst
+		if !ti.Inserted && in.Op.Class() == isa.ClassLoad && ti.OrigPC != 0 &&
+			(all || table.IsDelinquent(ti.OrigPC)) {
+			m := Member{OrigPC: ti.OrigPC, Offset: in.Imm, Index: i}
+
+			// Stride classification: code recurrence, else DLT
+			// stride-predictability.
+			if s, ok := codeStride(in.Ra); ok && s != 0 {
+				m.Class = ClassStride
+				m.Stride = s
+			} else if e, ok := table.Lookup(ti.OrigPC); ok &&
+				e.StridePredictable() && e.Stride != 0 {
+				m.Class = ClassStride
+				m.Stride = e.Stride
+			} else if isPointerLoad(tr, i) {
+				m.Class = ClassPointer
+			}
+
+			key := genKey{r: in.Ra, gen: regGen[in.Ra]}
+			if !grouping {
+				// Degenerate: one group per load.
+				key = genKey{r: in.Ra, gen: -(i + 1)}
+			}
+			g, ok := groupsByKey[key]
+			if !ok {
+				g = &Group{BaseReg: in.Ra, Gen: key.gen, ProducerIdx: -1, ProducerAddend: isa.ZeroReg}
+				realKey := genKey{r: in.Ra, gen: regGen[in.Ra]}
+				if org, isPtr := origins[realKey]; isPtr {
+					g.PointerBase = true
+					g.ProducerIdx = org.prodIdx
+					g.ProducerAddend = org.addend
+					prod := tr.Insts[org.prodIdx].Inst
+					g.ProducerBase = prod.Ra
+					g.ProducerOff = prod.Imm
+					if s, ok := codeStride(prod.Ra); ok && s != 0 {
+						g.ProducerOK = true
+						g.ProducerStride = s
+					} else if e, ok := table.Lookup(tr.Insts[org.prodIdx].OrigPC); ok &&
+						e.StridePredictable() && e.Stride != 0 {
+						g.ProducerOK = true
+						g.ProducerStride = e.Stride
+					}
+				}
+				groupsByKey[key] = g
+				groups = append(groups, g)
+			}
+			g.Members = append(g.Members, m)
+			if m.Class == ClassStride && !g.StrideOK {
+				g.StrideOK = true
+				g.Stride = m.Stride
+			}
+		}
+
+		if rd, ok := trace.Writes(in); ok {
+			// Compute the new generation's pointer origin before bumping.
+			var org ptrOrigin
+			hasOrg := false
+			switch {
+			case in.Op.Class() == isa.ClassLoad && !ti.Inserted:
+				org, hasOrg = ptrOrigin{prodIdx: i, addend: isa.ZeroReg}, true
+			case in.Op == isa.MOVE:
+				org, hasOrg = origins[genKey{r: in.Ra, gen: regGen[in.Ra]}]
+			case in.Op == isa.ADD && !ti.Inserted:
+				if o, ok := origins[genKey{r: in.Ra, gen: regGen[in.Ra]}]; ok &&
+					o.addend == isa.ZeroReg && invariant(in.Rb) {
+					org, hasOrg = ptrOrigin{prodIdx: o.prodIdx, addend: in.Rb}, true
+				} else if o, ok := origins[genKey{r: in.Rb, gen: regGen[in.Rb]}]; ok &&
+					o.addend == isa.ZeroReg && invariant(in.Ra) {
+					org, hasOrg = ptrOrigin{prodIdx: o.prodIdx, addend: in.Ra}, true
+				}
+			}
+			regGen[rd]++
+			if hasOrg {
+				origins[genKey{r: rd, gen: regGen[rd]}] = org
+			} else {
+				delete(origins, genKey{r: rd, gen: regGen[rd]})
+			}
+		}
+	}
+
+	// Deterministic group ordering by first member index.
+	sort.SliceStable(groups, func(a, b int) bool {
+		return groups[a].Members[0].Index < groups[b].Members[0].Index
+	})
+	return groups
+}
+
+// isPointerLoad reports whether the load at index i produces a value used
+// (before redefinition) as the base register of another load — the §3.4.1
+// Pointer criterion. A self-recurrent load (p = p->next) is the canonical
+// case.
+func isPointerLoad(tr *trace.Trace, i int) bool {
+	rd := tr.Insts[i].Inst.Rd
+	if rd == isa.ZeroReg {
+		return false
+	}
+	// p = p->next: the destination is this load's own base next iteration.
+	if rd == tr.Insts[i].Inst.Ra {
+		return true
+	}
+	for j := i + 1; j < len(tr.Insts); j++ {
+		in := tr.Insts[j].Inst
+		if in.Op.Class() == isa.ClassLoad && in.Ra == rd {
+			return true
+		}
+		if w, ok := trace.Writes(in); ok && w == rd {
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,267 @@
+package prefetch
+
+import (
+	"sort"
+
+	"tridentsp/internal/isa"
+	"tridentsp/internal/trace"
+)
+
+// locRef is a prefetch location inside a not-yet-placed trace.
+type locRef struct {
+	idx int   // instruction index in the new trace
+	off int64 // base offset; imm = off + stride*distance
+}
+
+// derefSpec schedules a pointer dereference chain after a base-trace load.
+type derefSpec struct {
+	fieldOff int64 // offset of the pointer field within the object
+	minOff   int64 // first object offset worth prefetching
+}
+
+// buildPrefetchedTrace regenerates the trace from its base version with the
+// current groups' prefetch code inserted. It returns the new trace, the
+// stride-prefetch locations per group (parallel to ts.groups), and the
+// number of dereference chains inserted.
+func (o *Optimizer) buildPrefetchedTrace(ts *traceState) (*trace.Trace, [][]locRef, int, error) {
+	n := len(ts.groups)
+	strideOffs := make([][]int64, n)
+	preAt := make(map[int][]int)       // base index -> stride groups anchored before it
+	prodAt := make(map[int][]int)      // producer index -> producer-deref groups
+	derefAt := make(map[int]derefSpec) // base index -> after-load deref insertion
+
+	scratchOK := !readsReg(ts.base, o.cfg.ScratchReg)
+
+	for gi, g := range ts.groups {
+		switch {
+		case g.StrideOK:
+			align, alignKnown := o.groupAlignment(g)
+			strideOffs[gi] = prefetchOffsets(&g.Group, o.cfg.LineSize, align, alignKnown)
+			anchor := g.Members[0].Index
+			for _, m := range g.Members[1:] {
+				if m.Index < anchor {
+					anchor = m.Index
+				}
+			}
+			preAt[anchor] = append(preAt[anchor], gi)
+		case g.ProducerOK && scratchOK && o.cfg.DerefPointers:
+			prodAt[g.ProducerIdx] = append(prodAt[g.ProducerIdx], gi)
+		case scratchOK:
+			// Non-stride pointer loads: dereference right after the load
+			// itself (§3.4.3 chase form).
+			for _, m := range g.derefMembers {
+				derefAt[m.Index] = derefSpec{fieldOff: m.Offset, minOff: g.MinOffset()}
+			}
+		}
+	}
+
+	newTr := &trace.Trace{StartPC: ts.base.StartPC}
+	locs := make([][]locRef, n)
+	nderef := 0
+
+	for i := range ts.base.Insts {
+		// Producer-dereference groups: before the producing load, read the
+		// pointer field of the object `distance` producer-iterations ahead
+		// and prefetch the object it points to. The ldnf's immediate is
+		// distance-parametric, so its location registers for repair.
+		for _, gi := range prodAt[i] {
+			g := ts.groups[gi]
+			locs[gi] = append(locs[gi], locRef{idx: len(newTr.Insts), off: g.ProducerOff})
+			newTr.Insts = append(newTr.Insts, trace.Inst{
+				Inst: isa.Inst{
+					Op:  isa.LDNF,
+					Rd:  o.cfg.ScratchReg,
+					Ra:  g.ProducerBase,
+					Imm: g.ProducerOff + g.ProducerStride*g.distance,
+				},
+				Kind:     trace.Normal,
+				Inserted: true,
+			})
+			if g.ProducerAddend != isa.ZeroReg {
+				// base = *producer + addend: apply the invariant addend to
+				// the future pointer before prefetching through it.
+				newTr.Insts = append(newTr.Insts, trace.Inst{
+					Inst: isa.Inst{
+						Op: isa.ADD, Rd: o.cfg.ScratchReg,
+						Ra: o.cfg.ScratchReg, Rb: g.ProducerAddend,
+					},
+					Kind:     trace.Normal,
+					Inserted: true,
+				})
+			}
+			newTr.Insts = append(newTr.Insts, trace.Inst{
+				Inst:     isa.Inst{Op: isa.PREFETCH, Ra: o.cfg.ScratchReg, Imm: g.MinOffset()},
+				Kind:     trace.Normal,
+				Inserted: true,
+			})
+			nderef++
+		}
+		for _, gi := range preAt[i] {
+			g := ts.groups[gi]
+			for _, off := range strideOffs[gi] {
+				locs[gi] = append(locs[gi], locRef{idx: len(newTr.Insts), off: off})
+				newTr.Insts = append(newTr.Insts, trace.Inst{
+					Inst: isa.Inst{
+						Op:  isa.PREFETCH,
+						Ra:  g.BaseReg,
+						Imm: off + g.Stride*g.distance,
+					},
+					Kind:     trace.Normal,
+					Inserted: true,
+				})
+			}
+			if !scratchOK {
+				continue
+			}
+			// Pointer members of a stride group are dereferenced right
+			// after the stride prefetches, at the prefetch distance: the
+			// ldnf reads the pointer field of the object `distance`
+			// iterations ahead and the prefetch fetches what it points
+			// to — the §3.4.2+§3.4.3 combination that covers scattered
+			// objects reached from a strided walk. The ldnf's immediate
+			// is distance-dependent, so it is registered for repair
+			// patching alongside the stride prefetches.
+			for _, m := range g.derefMembers {
+				locs[gi] = append(locs[gi], locRef{idx: len(newTr.Insts), off: m.Offset})
+				newTr.Insts = append(newTr.Insts,
+					trace.Inst{
+						Inst: isa.Inst{
+							Op:  isa.LDNF,
+							Rd:  o.cfg.ScratchReg,
+							Ra:  g.BaseReg,
+							Imm: m.Offset + g.Stride*g.distance,
+						},
+						Kind:     trace.Normal,
+						Inserted: true,
+					},
+					trace.Inst{
+						Inst:     isa.Inst{Op: isa.PREFETCH, Ra: o.cfg.ScratchReg},
+						Kind:     trace.Normal,
+						Inserted: true,
+					},
+				)
+				nderef++
+			}
+		}
+		newTr.Insts = append(newTr.Insts, ts.base.Insts[i])
+		if spec, ok := derefAt[i]; ok {
+			rd := ts.base.Insts[i].Inst.Rd
+			// ldnf scratch, field(rd); prefetch min(scratch) — touches the
+			// next object and prefetches the one after it (§3.4.3).
+			newTr.Insts = append(newTr.Insts,
+				trace.Inst{
+					Inst:     isa.Inst{Op: isa.LDNF, Rd: o.cfg.ScratchReg, Ra: rd, Imm: spec.fieldOff},
+					Kind:     trace.Normal,
+					Inserted: true,
+				},
+				trace.Inst{
+					Inst:     isa.Inst{Op: isa.PREFETCH, Ra: o.cfg.ScratchReg, Imm: spec.minOff},
+					Kind:     trace.Normal,
+					Inserted: true,
+				},
+			)
+			nderef++
+		}
+	}
+	return newTr, locs, nderef, nil
+}
+
+// groupAlignment returns the group's base-register alignment within a cache
+// line, observed from the DLT's last-address field of any member. The
+// §3.4.2 skip rule needs it to decide whether a skipped load can straddle
+// into the next block.
+func (o *Optimizer) groupAlignment(g *groupState) (int64, bool) {
+	for _, m := range g.Members {
+		if e, ok := o.table.Lookup(m.OrigPC); ok && e.LastAddr != 0 {
+			base := int64(e.LastAddr) - m.Offset
+			a := base % o.cfg.LineSize
+			if a < 0 {
+				a += o.cfg.LineSize
+			}
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// prefetchOffsets resolves a group's member offsets into the offsets to
+// prefetch, applying §3.4.2: ascending order from the minimum; members
+// within a cache line of the previous prefetch are skipped; every block is
+// prefetched at most once. When the base alignment is known (from the
+// DLT's last observed address) blocks are deduplicated exactly; otherwise
+// the paper's conservative rule applies — each run of skipped members earns
+// one extra next-block prefetch, since "the offset plus the base register
+// actually may put that load into the next cache block".
+func prefetchOffsets(g *Group, line int64, align int64, alignKnown bool) []int64 {
+	offs := make([]int64, 0, len(g.Members))
+	seen := map[int64]bool{}
+	for _, m := range g.Members {
+		if !seen[m.Offset] {
+			seen[m.Offset] = true
+			offs = append(offs, m.Offset)
+		}
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+
+	if alignKnown {
+		// Exact per-block dedup: one prefetch per distinct touched block.
+		var out []int64
+		covered := map[int64]bool{}
+		for _, o := range offs {
+			blk := floorDiv(align+o, line)
+			if !covered[blk] {
+				covered[blk] = true
+				out = append(out, o)
+			}
+		}
+		return out
+	}
+
+	out := []int64{offs[0]}
+	last := offs[0]
+	extras := map[int64]bool{}
+	for _, o := range offs[1:] {
+		if o < last+line {
+			extras[last+line] = true
+			continue
+		}
+		out = append(out, o)
+		last = o
+	}
+	for e := range extras {
+		covered := false
+		for _, o := range out {
+			if e >= o && e < o+line {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// floorDiv divides rounding toward negative infinity (offsets may be
+// negative).
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// readsReg reports whether any trace instruction reads r.
+func readsReg(tr *trace.Trace, r isa.Reg) bool {
+	for i := range tr.Insts {
+		for _, rr := range trace.Reads(tr.Insts[i].Inst) {
+			if rr == r {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,129 @@
+// Package program represents executable images for the simulator: an
+// encoded code segment, an initial sparse data memory, and an entry point.
+//
+// A Program corresponds to what the paper calls the "original binary". The
+// simulator keeps a pristine copy of the code for hot-trace formation while
+// Trident patches the live image to redirect execution into the code cache.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"tridentsp/internal/isa"
+)
+
+// Program is a loadable executable image.
+type Program struct {
+	// Base is the address of the first instruction.
+	Base uint64
+	// Code holds the encoded instruction words, Code[i] at Base+i*WordSize.
+	Code []uint64
+	// Entry is the initial PC.
+	Entry uint64
+	// Data is the initial data memory contents, 8-byte aligned words.
+	Data map[uint64]uint64
+	// Name identifies the program in stats output.
+	Name string
+}
+
+// CodeEnd returns the first address past the code segment.
+func (p *Program) CodeEnd() uint64 {
+	return p.Base + uint64(len(p.Code))*isa.WordSize
+}
+
+// InstAt decodes the instruction at pc, reporting whether pc lies inside the
+// code segment.
+func (p *Program) InstAt(pc uint64) (isa.Inst, bool) {
+	w, ok := p.WordAt(pc)
+	if !ok {
+		return isa.Inst{}, false
+	}
+	return isa.Decode(w), true
+}
+
+// WordAt returns the raw instruction word at pc.
+func (p *Program) WordAt(pc uint64) (uint64, bool) {
+	if pc < p.Base || pc >= p.CodeEnd() || pc%isa.WordSize != 0 {
+		return 0, false
+	}
+	return p.Code[(pc-p.Base)/isa.WordSize], true
+}
+
+// Clone returns a deep copy of the program; the live image the simulator
+// patches is a clone of the pristine program.
+func (p *Program) Clone() *Program {
+	c := &Program{Base: p.Base, Entry: p.Entry, Name: p.Name}
+	c.Code = append([]uint64(nil), p.Code...)
+	c.Data = make(map[uint64]uint64, len(p.Data))
+	for a, v := range p.Data {
+		c.Data[a] = v
+	}
+	return c
+}
+
+// Listing disassembles the whole code segment, one instruction per line.
+func (p *Program) Listing() []string {
+	out := make([]string, len(p.Code))
+	for i, w := range p.Code {
+		pc := p.Base + uint64(i)*isa.WordSize
+		out[i] = fmt.Sprintf("%#08x: %s", pc, isa.Disassemble(pc, isa.Decode(w)))
+	}
+	return out
+}
+
+// Memory is the simulated 64-bit data memory: a sparse map of 8-byte words.
+// Addresses need not be aligned; unaligned accesses read/write the aligned
+// word containing the address (the workloads only use aligned accesses, but
+// the memory must not fault on synthesized prefetch addresses).
+type Memory struct {
+	words map[uint64]uint64
+}
+
+// NewMemory creates a memory initialized from the program's data image.
+func NewMemory(p *Program) *Memory {
+	m := &Memory{words: make(map[uint64]uint64, len(p.Data)+1024)}
+	for a, v := range p.Data {
+		m.words[a&^7] = v
+	}
+	return m
+}
+
+// Load reads the 8-byte word containing addr. Unmapped addresses read zero.
+func (m *Memory) Load(addr uint64) uint64 {
+	return m.words[addr&^7]
+}
+
+// Store writes the 8-byte word containing addr.
+func (m *Memory) Store(addr, val uint64) {
+	m.words[addr&^7] = val
+}
+
+// Valid reports whether the word containing addr has ever been written.
+// LDNF uses this to model the non-faulting load returning zero for invalid
+// addresses.
+func (m *Memory) Valid(addr uint64) bool {
+	_, ok := m.words[addr&^7]
+	return ok
+}
+
+// Footprint returns the number of distinct mapped words.
+func (m *Memory) Footprint() int { return len(m.words) }
+
+// Snapshot returns the memory contents in deterministic (sorted) order; used
+// by the transparency property tests to compare architectural state.
+func (m *Memory) Snapshot() []WordValue {
+	out := make([]WordValue, 0, len(m.words))
+	for a, v := range m.words {
+		if v != 0 {
+			out = append(out, WordValue{Addr: a, Val: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// WordValue is one mapped memory word.
+type WordValue struct {
+	Addr, Val uint64
+}

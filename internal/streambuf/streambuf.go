@@ -1,0 +1,301 @@
+// Package streambuf implements the baseline hardware prefetcher: stride-
+// predictor-guided stream buffers in the style of Sherwood et al.'s
+// predictor-directed stream buffers, as configured in the paper's Table 1
+// ("8 stream buffers; each buffer 8 entries. History table 1024 entries.
+// Prefetching is guided by a stride predictor.").
+//
+// A PC-indexed stride history table watches every committed load. When a
+// load misses in L1 and its PC has a confident non-zero stride, a stream
+// buffer is allocated (replacing the least recently useful buffer) and runs
+// ahead of the load, fetching successive lines through the memory system's
+// fill port. Demand misses that match a buffered line are supplied from the
+// buffer and the stream advances.
+package streambuf
+
+// Config sizes the stream buffer engine.
+type Config struct {
+	// NumBuffers is the number of independent streams (paper baseline: 8;
+	// the weaker configuration in Figure 2 uses 4).
+	NumBuffers int
+	// BufferEntries is the run-ahead depth of each stream (8 or 4).
+	BufferEntries int
+	// HistoryEntries sizes the PC-indexed stride table (1024).
+	HistoryEntries int
+	// ConfidenceThreshold is the stride-match count required before a miss
+	// may allocate a buffer.
+	ConfidenceThreshold uint8
+	// LineSize must match the cache hierarchy's.
+	LineSize int
+}
+
+// DefaultConfig returns the paper's baseline 8x8 configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumBuffers:          8,
+		BufferEntries:       8,
+		HistoryEntries:      1024,
+		ConfidenceThreshold: 2,
+		LineSize:            64,
+	}
+}
+
+// Config4x4 returns the weaker configuration evaluated in Figure 2.
+func Config4x4() Config {
+	c := DefaultConfig()
+	c.NumBuffers = 4
+	c.BufferEntries = 4
+	return c
+}
+
+// reuseProtectCycles shields a buffer that supplied within this window from
+// replacement; a stream consuming a line even once per two memory latencies
+// is earning its buffer.
+const reuseProtectCycles = 2000
+
+// FillPort starts line fetches on behalf of the buffers; implemented by
+// memsys.Hierarchy.StartFill.
+type FillPort interface {
+	StartFill(lineAddr uint64, now int64) (ready int64, ok bool)
+}
+
+// strideEntry is one PC's stride predictor state.
+type strideEntry struct {
+	pc       uint64
+	lastAddr uint64
+	stride   int64
+	conf     uint8
+	valid    bool
+}
+
+// bufEntry is one prefetched line in a stream buffer.
+type bufEntry struct {
+	line  uint64
+	ready int64
+}
+
+// buffer is one stream.
+type buffer struct {
+	entries  []bufEntry
+	nextLine uint64 // next line address the stream will fetch
+	stride   int64  // bytes per step
+	lastUse  int64  // cycle of last supply (for LRU replacement)
+	active   bool
+}
+
+// Stats counts stream buffer activity.
+type Stats struct {
+	Allocations uint64
+	Supplies    uint64 // demand misses served from a buffer
+	Fills       uint64 // lines fetched into buffers
+	FillsDenied uint64 // fills refused by the port (line already cached)
+}
+
+// StreamBuffers is the prefetch engine; it implements memsys.Prefetcher.
+type StreamBuffers struct {
+	cfg     Config
+	port    FillPort
+	table   []strideEntry
+	buffers []buffer
+	Stats   Stats
+}
+
+// New builds the engine around a fill port.
+func New(cfg Config, port FillPort) *StreamBuffers {
+	n := 1
+	for n*2 <= cfg.HistoryEntries {
+		n *= 2
+	}
+	s := &StreamBuffers{
+		cfg:     cfg,
+		port:    port,
+		table:   make([]strideEntry, n),
+		buffers: make([]buffer, cfg.NumBuffers),
+	}
+	for i := range s.buffers {
+		s.buffers[i].entries = make([]bufEntry, 0, cfg.BufferEntries)
+	}
+	return s
+}
+
+func (s *StreamBuffers) lineOf(addr uint64) uint64 {
+	return addr / uint64(s.cfg.LineSize)
+}
+
+// Lookup supplies a demand miss from a buffer if any stream holds the line.
+// The supplying entry (and any stale entries before it) are consumed and the
+// stream advances. Implements memsys.Prefetcher.
+func (s *StreamBuffers) Lookup(lineAddr uint64, now int64) (int64, bool) {
+	for bi := range s.buffers {
+		b := &s.buffers[bi]
+		if !b.active {
+			continue
+		}
+		for ei := range b.entries {
+			if b.entries[ei].line != lineAddr {
+				continue
+			}
+			ready := b.entries[ei].ready
+			// Consume this entry and everything before it (the stream
+			// has moved past those lines).
+			b.entries = append(b.entries[:0], b.entries[ei+1:]...)
+			b.lastUse = now
+			s.Stats.Supplies++
+			s.refillTo(b, now, s.cfg.BufferEntries)
+			return ready, true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports (without consuming) whether any stream holds the line.
+func (s *StreamBuffers) Contains(lineAddr uint64) bool {
+	for bi := range s.buffers {
+		b := &s.buffers[bi]
+		if !b.active {
+			continue
+		}
+		for _, e := range b.entries {
+			if e.line == lineAddr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Train observes a committed load: updates the stride predictor, and on a
+// confident miss allocates a stream. Implements memsys.Prefetcher.
+func (s *StreamBuffers) Train(pc, addr uint64, now int64, l1Miss bool) {
+	e := &s.table[(pc>>3)&uint64(len(s.table)-1)]
+	if !e.valid || e.pc != pc {
+		*e = strideEntry{pc: pc, lastAddr: addr, valid: true}
+		return
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	if stride == e.stride && stride != 0 {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		if e.conf > 0 {
+			e.conf--
+		}
+	}
+	e.lastAddr = addr
+
+	if l1Miss && e.conf >= s.cfg.ConfidenceThreshold && e.stride != 0 {
+		s.allocate(addr, e.stride, now)
+	}
+}
+
+// allocate starts (or redirects) a stream at addr+stride. If a stream is
+// already covering this line sequence it is left alone.
+func (s *StreamBuffers) allocate(addr uint64, stride int64, now int64) {
+	first := s.nextLine(s.lineOf(addr), addr, stride)
+	// A stream already heading for this line? Leave it.
+	for bi := range s.buffers {
+		b := &s.buffers[bi]
+		if !b.active {
+			continue
+		}
+		if b.nextLine == first && b.stride == stride {
+			return
+		}
+		for _, e := range b.entries {
+			if e.line == first {
+				return
+			}
+		}
+	}
+	// Pick a victim: an inactive buffer, else the least recently useful —
+	// but never one that supplied recently. When every buffer is actively
+	// supplying, the would-be new stream simply loses (the paper's PSB
+	// "buffers are allocated using a confidence scheme"); this is what
+	// keeps a workload with more streams than buffers from degenerating
+	// into an allocation storm that thrashes all of them.
+	victim := -1
+	for bi := range s.buffers {
+		if !s.buffers[bi].active {
+			victim = bi
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for bi := 1; bi < len(s.buffers); bi++ {
+			if s.buffers[bi].lastUse < s.buffers[victim].lastUse {
+				victim = bi
+			}
+		}
+		if now-s.buffers[victim].lastUse < reuseProtectCycles {
+			return
+		}
+	}
+	b := &s.buffers[victim]
+	b.entries = b.entries[:0]
+	b.stride = stride
+	b.nextLine = first
+	b.lastUse = now
+	b.active = true
+	s.Stats.Allocations++
+	// New streams ramp up: fetch a couple of lines now and deepen only as
+	// supplies prove the stream useful. This keeps a thrashing allocation
+	// storm (more streams than buffers) from flooding the memory bus.
+	s.refillTo(b, now, 2)
+}
+
+// nextLine computes the first line strictly after the line containing addr
+// along the stride direction.
+func (s *StreamBuffers) nextLine(curLine uint64, addr uint64, stride int64) uint64 {
+	a := addr
+	for {
+		a = uint64(int64(a) + stride)
+		if l := s.lineOf(a); l != curLine {
+			return l
+		}
+	}
+}
+
+// refillTo tops the buffer up to the given run-ahead depth.
+func (s *StreamBuffers) refillTo(b *buffer, now int64, depth int) {
+	if depth > s.cfg.BufferEntries {
+		depth = s.cfg.BufferEntries
+	}
+	lineStride := b.stride / int64(s.cfg.LineSize)
+	if lineStride == 0 {
+		if b.stride > 0 {
+			lineStride = 1
+		} else {
+			lineStride = -1
+		}
+	}
+	// Bound the number of already-cached lines skipped per refill so a
+	// stream cannot race arbitrarily far ahead through resident data.
+	attempts := 2 * s.cfg.BufferEntries
+	for len(b.entries) < depth && attempts > 0 {
+		attempts--
+		line := b.nextLine
+		b.nextLine = uint64(int64(b.nextLine) + lineStride)
+		ready, ok := s.port.StartFill(line, now)
+		if !ok {
+			// Already cached; skip it but keep streaming.
+			s.Stats.FillsDenied++
+			continue
+		}
+		b.entries = append(b.entries, bufEntry{line: line, ready: ready})
+		s.Stats.Fills++
+	}
+}
+
+// ActiveStreams reports how many buffers are currently allocated (test and
+// debug helper).
+func (s *StreamBuffers) ActiveStreams() int {
+	n := 0
+	for i := range s.buffers {
+		if s.buffers[i].active {
+			n++
+		}
+	}
+	return n
+}

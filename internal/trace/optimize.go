@@ -1,0 +1,410 @@
+package trace
+
+import "tridentsp/internal/isa"
+
+// This file implements the classical optimizations Trident applies to a
+// streamlined trace (§3.2): constant propagation and folding, redundant
+// load removal, store/load forwarding to MOVE, redundant branch removal,
+// strength reduction, and instruction re-association.
+//
+// Every pass preserves two invariants checked by tests:
+//
+//  1. Architectural transparency: at every instruction boundary (hence at
+//     every possible trace exit) all registers hold exactly the values the
+//     original code would have produced. Passes therefore only replace
+//     value-producing instructions with cheaper ones computing the same
+//     value, or delete instructions with no architectural effect; they
+//     never delete a value an exit path could observe.
+//  2. Weight conservation: removed instructions donate their original-
+//     instruction weight to a surviving neighbour, so IPC accounting still
+//     reflects the original program.
+
+// Optimize runs all passes to a bounded fixpoint and returns the number of
+// instructions changed or removed.
+func Optimize(t *Trace) int {
+	total := 0
+	for iter := 0; iter < 4; iter++ {
+		n := PropagateConstants(t)
+		n += ReduceKnownOperands(t)
+		n += ForwardLoadsStores(t)
+		n += StrengthReduce(t)
+		n += Reassociate(t)
+		n += RemoveRedundantBranches(t)
+		n += RemoveNops(t)
+		total += n
+		if n == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// PropagateConstants tracks registers with compile-time-known values
+// through the trace and folds ALU operations over known operands into LDI.
+// It returns the number of instructions rewritten.
+func PropagateConstants(t *Trace) int {
+	known := map[isa.Reg]uint64{}
+	changed := 0
+	for i := range t.Insts {
+		ti := &t.Insts[i]
+		in := ti.Inst
+		if v, ok := foldInst(in, known); ok {
+			if in.Op != isa.LDI {
+				lit := isa.Inst{Op: isa.LDI, Rd: in.Rd, Imm: int64(v)}
+				if fits(lit.Imm) {
+					ti.Inst = lit
+					changed++
+				}
+			}
+			known[in.Rd] = v
+			continue
+		}
+		if rd, ok := Writes(in); ok {
+			delete(known, rd)
+		}
+	}
+	return changed
+}
+
+// foldInst evaluates in if all its source registers are known constants,
+// returning the value it writes.
+func foldInst(in isa.Inst, known map[isa.Reg]uint64) (uint64, bool) {
+	get := func(r isa.Reg) (uint64, bool) {
+		if r == isa.ZeroReg {
+			return 0, true
+		}
+		v, ok := known[r]
+		return v, ok
+	}
+	if in.Rd == isa.ZeroReg {
+		return 0, false
+	}
+	switch in.Op {
+	case isa.LDI:
+		return uint64(in.Imm), true
+	case isa.LDIH:
+		if a, ok := get(in.Ra); ok {
+			return a<<32 | uint64(uint32(in.Imm)), true
+		}
+	case isa.MOVE:
+		if a, ok := get(in.Ra); ok {
+			return a, true
+		}
+	case isa.ADDI, isa.LDA:
+		if a, ok := get(in.Ra); ok {
+			return a + uint64(in.Imm), true
+		}
+	case isa.SUBI:
+		if a, ok := get(in.Ra); ok {
+			return a - uint64(in.Imm), true
+		}
+	case isa.MULI:
+		if a, ok := get(in.Ra); ok {
+			return a * uint64(in.Imm), true
+		}
+	case isa.ANDI:
+		if a, ok := get(in.Ra); ok {
+			return a & uint64(in.Imm), true
+		}
+	case isa.ORI:
+		if a, ok := get(in.Ra); ok {
+			return a | uint64(in.Imm), true
+		}
+	case isa.XORI:
+		if a, ok := get(in.Ra); ok {
+			return a ^ uint64(in.Imm), true
+		}
+	case isa.SLLI:
+		if a, ok := get(in.Ra); ok {
+			return a << (uint64(in.Imm) & 63), true
+		}
+	case isa.SRLI:
+		if a, ok := get(in.Ra); ok {
+			return a >> (uint64(in.Imm) & 63), true
+		}
+	case isa.CMPLTI:
+		if a, ok := get(in.Ra); ok {
+			return b2u(int64(a) < in.Imm), true
+		}
+	case isa.CMPEQI:
+		if a, ok := get(in.Ra); ok {
+			return b2u(a == uint64(in.Imm)), true
+		}
+	case isa.ADD, isa.FADD:
+		return fold2(in, known, func(a, b uint64) uint64 { return a + b })
+	case isa.SUB:
+		return fold2(in, known, func(a, b uint64) uint64 { return a - b })
+	case isa.MUL, isa.FMUL:
+		return fold2(in, known, func(a, b uint64) uint64 { return a * b })
+	case isa.AND:
+		return fold2(in, known, func(a, b uint64) uint64 { return a & b })
+	case isa.OR:
+		return fold2(in, known, func(a, b uint64) uint64 { return a | b })
+	case isa.XOR:
+		return fold2(in, known, func(a, b uint64) uint64 { return a ^ b })
+	case isa.SLL:
+		return fold2(in, known, func(a, b uint64) uint64 { return a << (b & 63) })
+	case isa.SRL:
+		return fold2(in, known, func(a, b uint64) uint64 { return a >> (b & 63) })
+	case isa.CMPLT:
+		return fold2(in, known, func(a, b uint64) uint64 { return b2u(int64(a) < int64(b)) })
+	case isa.CMPEQ:
+		return fold2(in, known, func(a, b uint64) uint64 { return b2u(a == b) })
+	}
+	return 0, false
+}
+
+func fold2(in isa.Inst, known map[isa.Reg]uint64, f func(a, b uint64) uint64) (uint64, bool) {
+	get := func(r isa.Reg) (uint64, bool) {
+		if r == isa.ZeroReg {
+			return 0, true
+		}
+		v, ok := known[r]
+		return v, ok
+	}
+	a, okA := get(in.Ra)
+	b, okB := get(in.Rb)
+	if okA && okB {
+		return f(a, b), true
+	}
+	return 0, false
+}
+
+func fits(imm int64) bool { return imm >= isa.ImmMin && imm <= isa.ImmMax }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// memKey identifies a memory location as (base register, offset); valid
+// only while the base register is unchanged.
+type memKey struct {
+	base isa.Reg
+	off  int64
+}
+
+// ForwardLoadsStores rewrites redundant loads as MOVEs: a load from the
+// same (base, offset) as an earlier load or store — with the base and the
+// source register unmodified in between, and no intervening store that
+// could alias — copies the remembered register instead of accessing memory.
+// This subsumes both Trident's redundant load removal and its store/load →
+// MOVE conversion (§3.2). It returns the number of loads rewritten.
+func ForwardLoadsStores(t *Trace) int {
+	avail := map[memKey]isa.Reg{} // location -> register holding its value
+	changed := 0
+	invalidateReg := func(r isa.Reg) {
+		for k, v := range avail {
+			if k.base == r || v == r {
+				delete(avail, k)
+			}
+		}
+	}
+	for i := range t.Insts {
+		ti := &t.Insts[i]
+		in := ti.Inst
+		switch in.Op {
+		case isa.LD: // LDNF excluded: its value depends on mapping validity
+			k := memKey{base: in.Ra, off: in.Imm}
+			if src, ok := avail[k]; ok && src != in.Rd {
+				ti.Inst = isa.Inst{Op: isa.MOVE, Rd: in.Rd, Ra: src}
+				changed++
+				invalidateReg(in.Rd)
+				avail[k] = in.Rd
+				continue
+			}
+			invalidateReg(in.Rd)
+			if in.Rd != isa.ZeroReg && in.Rd != in.Ra {
+				avail[k] = in.Rd
+			}
+		case isa.ST:
+			// No alias analysis: a store invalidates every remembered
+			// location except the one it defines.
+			for k := range avail {
+				delete(avail, k)
+			}
+			if in.Rb != isa.ZeroReg {
+				avail[memKey{base: in.Ra, off: in.Imm}] = in.Rb
+			}
+		default:
+			if rd, ok := Writes(in); ok {
+				invalidateReg(rd)
+			}
+		}
+	}
+	return changed
+}
+
+// StrengthReduce replaces expensive operations with cheaper equivalents:
+// multiplication by a power of two becomes a shift, by one a MOVE, by zero
+// an LDI 0. It returns the number of instructions rewritten.
+func StrengthReduce(t *Trace) int {
+	changed := 0
+	for i := range t.Insts {
+		ti := &t.Insts[i]
+		in := ti.Inst
+		if in.Op != isa.MULI {
+			continue
+		}
+		switch {
+		case in.Imm == 0:
+			ti.Inst = isa.Inst{Op: isa.LDI, Rd: in.Rd, Imm: 0}
+			changed++
+		case in.Imm == 1:
+			ti.Inst = isa.Inst{Op: isa.MOVE, Rd: in.Rd, Ra: in.Ra}
+			changed++
+		case in.Imm > 1 && in.Imm&(in.Imm-1) == 0:
+			sh := int64(0)
+			for v := in.Imm; v > 1; v >>= 1 {
+				sh++
+			}
+			ti.Inst = isa.Inst{Op: isa.SLLI, Rd: in.Rd, Ra: in.Ra, Imm: sh}
+			changed++
+		}
+	}
+	return changed
+}
+
+// Reassociate merges adjacent immediate-add chains on the same register
+// (`addi r,r,a ; addi r,r,b` → `addi r,r,a+b`), a pattern trace
+// streamlining produces when loop increments from several blocks land next
+// to each other. Only adjacent pairs are merged, so the intermediate value
+// is never observable. It returns the number of instructions removed.
+func Reassociate(t *Trace) int {
+	removed := 0
+	for i := 0; i+1 < len(t.Insts); i++ {
+		a, b := &t.Insts[i], &t.Insts[i+1]
+		if !isSelfAdd(a.Inst) || !isSelfAdd(b.Inst) || a.Inst.Rd != b.Inst.Rd {
+			continue
+		}
+		sum := addImm(a.Inst) + addImm(b.Inst)
+		if !fits(sum) && !fits(-sum) {
+			continue
+		}
+		merged := isa.Inst{Op: isa.ADDI, Rd: a.Inst.Rd, Ra: a.Inst.Ra, Imm: sum}
+		if sum < 0 {
+			merged = isa.Inst{Op: isa.SUBI, Rd: a.Inst.Rd, Ra: a.Inst.Ra, Imm: -sum}
+		}
+		b.Inst = merged
+		b.Weight += a.Weight
+		t.Insts = append(t.Insts[:i], t.Insts[i+1:]...)
+		removed++
+		i--
+	}
+	return removed
+}
+
+// isSelfAdd matches `addi r, r, c`, `subi r, r, c`, and `lda r, r, c`.
+func isSelfAdd(in isa.Inst) bool {
+	switch in.Op {
+	case isa.ADDI, isa.SUBI, isa.LDA:
+		return in.Rd == in.Ra && in.Rd != isa.ZeroReg
+	}
+	return false
+}
+
+func addImm(in isa.Inst) int64 {
+	if in.Op == isa.SUBI {
+		return -in.Imm
+	}
+	return in.Imm
+}
+
+// RemoveRedundantBranches deletes conditional exits whose outcome is a
+// known constant. A branch that provably stays on the trace is a no-op; a
+// branch that provably exits is rewritten as an unconditional exit (and the
+// rest of the trace is unreachable and dropped). It returns the number of
+// instructions removed or rewritten.
+func RemoveRedundantBranches(t *Trace) int {
+	known := map[isa.Reg]uint64{}
+	changed := 0
+	for i := 0; i < len(t.Insts); i++ {
+		ti := &t.Insts[i]
+		in := ti.Inst
+		if ti.Kind == ExitBranch {
+			if v, ok := condValue(in, known); ok {
+				if !v {
+					// Never exits: delete, donating weight forward.
+					donateWeight(t, i)
+					t.Insts = append(t.Insts[:i], t.Insts[i+1:]...)
+					changed++
+					i--
+					continue
+				}
+				// Always exits: everything after is unreachable.
+				t.Insts[i] = Inst{
+					Inst:       isa.Inst{Op: isa.BR, Rd: isa.ZeroReg},
+					Kind:       ExitJump,
+					OrigPC:     ti.OrigPC,
+					ExitTarget: ti.ExitTarget,
+					Weight:     ti.Weight,
+				}
+				t.Insts = t.Insts[:i+1]
+				return changed + 1
+			}
+		}
+		if v, ok := foldInst(in, known); ok {
+			known[in.Rd] = v
+		} else if rd, ok := Writes(in); ok {
+			delete(known, rd)
+		}
+	}
+	return changed
+}
+
+// condValue evaluates a conditional branch with a known condition register.
+func condValue(in isa.Inst, known map[isa.Reg]uint64) (bool, bool) {
+	var v uint64
+	if in.Ra == isa.ZeroReg {
+		v = 0
+	} else {
+		var ok bool
+		v, ok = known[in.Ra]
+		if !ok {
+			return false, false
+		}
+	}
+	switch in.Op {
+	case isa.BEQ:
+		return v == 0, true
+	case isa.BNE:
+		return v != 0, true
+	case isa.BLT:
+		return int64(v) < 0, true
+	case isa.BGE:
+		return int64(v) >= 0, true
+	}
+	return false, false
+}
+
+// RemoveNops deletes NOPs, donating their weight. It returns the number
+// removed.
+func RemoveNops(t *Trace) int {
+	removed := 0
+	for i := 0; i < len(t.Insts); i++ {
+		if t.Insts[i].Inst.Op == isa.NOP {
+			donateWeight(t, i)
+			t.Insts = append(t.Insts[:i], t.Insts[i+1:]...)
+			removed++
+			i--
+		}
+	}
+	return removed
+}
+
+// donateWeight moves instruction i's weight to its successor (or
+// predecessor when i is last) before i is removed.
+func donateWeight(t *Trace, i int) {
+	w := t.Insts[i].Weight
+	if w == 0 {
+		return
+	}
+	switch {
+	case i+1 < len(t.Insts):
+		t.Insts[i+1].Weight += w
+	case i > 0:
+		t.Insts[i-1].Weight += w
+	}
+}

@@ -1,0 +1,135 @@
+package trace
+
+import "tridentsp/internal/isa"
+
+// Value specialization (the prior Trident work's optimization, which this
+// paper's framework inherits): when the value profiler finds a hot-trace
+// load quasi-invariant, the trace is specialized for that value behind a
+// guard. The transformation after `ld rd, off(ra)` at index i:
+//
+//	cmpeqi  guard, rd, K      ; guard register is optimizer scratch
+//	beq     guard, deopt      ; exits to original code when rd != K
+//	ldi     rd, K             ; architecturally a no-op when the guard
+//	                          ; passed; makes rd a known constant for the
+//	                          ; classical passes
+//
+// The subsequent constant-propagation and known-operand reduction passes
+// then fold everything downstream of the invariant value. The deopt target
+// is the original instruction after the load, where architectural state is
+// exactly the original program's (trace transparency).
+
+// SpecializeLoad rewrites tr in place, inserting the guard sequence after
+// the load at instruction index idx. guard is a scratch register the trace
+// must not read. It reports whether specialization applied (the value must
+// fit the immediate field and the instruction must be a plain load with a
+// known original PC).
+func SpecializeLoad(tr *Trace, idx int, value uint64, guard isa.Reg) bool {
+	if idx < 0 || idx >= len(tr.Insts) {
+		return false
+	}
+	ti := tr.Insts[idx]
+	if ti.Inst.Op != isa.LD || ti.Inserted || ti.OrigPC == 0 {
+		return false
+	}
+	v := int64(value)
+	if v < isa.ImmMin || v > isa.ImmMax {
+		return false
+	}
+	rd := ti.Inst.Rd
+	if rd == isa.ZeroReg || rd == guard {
+		return false
+	}
+	seq := []Inst{
+		{
+			Inst:     isa.Inst{Op: isa.CMPEQI, Rd: guard, Ra: rd, Imm: v},
+			Kind:     Normal,
+			Inserted: true,
+		},
+		{
+			Inst:       isa.Inst{Op: isa.BEQ, Ra: guard},
+			Kind:       ExitBranch,
+			ExitTarget: ti.OrigPC + isa.WordSize,
+			Inserted:   true,
+		},
+		{
+			Inst:     isa.Inst{Op: isa.LDI, Rd: rd, Imm: v},
+			Kind:     Normal,
+			Inserted: true,
+		},
+	}
+	rest := append([]Inst(nil), tr.Insts[idx+1:]...)
+	tr.Insts = append(tr.Insts[:idx+1], append(seq, rest...)...)
+	return true
+}
+
+// ReduceKnownOperands strength-reduces operations with one constant-known
+// operand — the pass that makes value specialization pay: a divide by a
+// specialized power-of-two becomes a shift, a multiply likewise, and
+// additions of zero become moves. It returns the number of instructions
+// rewritten.
+func ReduceKnownOperands(t *Trace) int {
+	known := map[isa.Reg]uint64{}
+	changed := 0
+	for i := range t.Insts {
+		ti := &t.Insts[i]
+		in := ti.Inst
+
+		get := func(r isa.Reg) (uint64, bool) {
+			if r == isa.ZeroReg {
+				return 0, true
+			}
+			v, ok := known[r]
+			return v, ok
+		}
+
+		switch in.Op {
+		case isa.MUL, isa.FMUL:
+			if b, ok := get(in.Rb); ok && isPow2(b) {
+				ti.Inst = isa.Inst{Op: isa.SLLI, Rd: in.Rd, Ra: in.Ra, Imm: log2(b)}
+				changed++
+			} else if a, ok := get(in.Ra); ok && isPow2(a) {
+				ti.Inst = isa.Inst{Op: isa.SLLI, Rd: in.Rd, Ra: in.Rb, Imm: log2(a)}
+				changed++
+			}
+		case isa.FDIV:
+			// Unsigned divide by a known power of two is a shift — and
+			// drops the divider's long latency.
+			if b, ok := get(in.Rb); ok && isPow2(b) {
+				ti.Inst = isa.Inst{Op: isa.SRLI, Rd: in.Rd, Ra: in.Ra, Imm: log2(b)}
+				changed++
+			}
+		case isa.ADD, isa.OR, isa.FADD:
+			if b, ok := get(in.Rb); ok && b == 0 && in.Rd != isa.ZeroReg {
+				ti.Inst = isa.Inst{Op: isa.MOVE, Rd: in.Rd, Ra: in.Ra}
+				changed++
+			} else if a, ok := get(in.Ra); ok && a == 0 && in.Rd != isa.ZeroReg {
+				ti.Inst = isa.Inst{Op: isa.MOVE, Rd: in.Rd, Ra: in.Rb}
+				changed++
+			}
+		case isa.AND:
+			if b, ok := get(in.Rb); ok && b == 0 && in.Rd != isa.ZeroReg {
+				ti.Inst = isa.Inst{Op: isa.LDI, Rd: in.Rd, Imm: 0}
+				changed++
+			}
+		}
+
+		// Track constants across the (possibly rewritten) instruction.
+		if v, ok := foldInst(ti.Inst, known); ok {
+			known[ti.Inst.Rd] = v
+		} else if rd, ok := Writes(ti.Inst); ok {
+			delete(known, rd)
+		}
+	}
+	return changed
+}
+
+func isPow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }
+
+func log2(v uint64) int64 {
+	n := int64(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"testing"
+
+	"tridentsp/internal/isa"
+)
+
+const guardReg = isa.Reg(29)
+
+func TestSpecializeLoadInsertsGuard(t *testing.T) {
+	tr := mkTrace(
+		Inst{Inst: isa.Inst{Op: isa.LD, Rd: 2, Ra: 9}, Kind: Normal, OrigPC: 0x1000, Weight: 1},
+		norm(isa.FDIV, 5, 3, 2, 0),
+	)
+	if !SpecializeLoad(tr, 0, 8, guardReg) {
+		t.Fatal("specialization refused")
+	}
+	// ld; cmpeqi; beq(deopt); ldi; fdiv
+	if tr.Len() != 5 {
+		t.Fatalf("len = %d:\n%s", tr.Len(), tr)
+	}
+	if tr.Insts[1].Inst.Op != isa.CMPEQI || tr.Insts[1].Inst.Rd != guardReg ||
+		tr.Insts[1].Inst.Ra != 2 || tr.Insts[1].Inst.Imm != 8 {
+		t.Fatalf("guard compare: %+v", tr.Insts[1].Inst)
+	}
+	if tr.Insts[2].Kind != ExitBranch || tr.Insts[2].ExitTarget != 0x1008 {
+		t.Fatalf("deopt exit: %+v", tr.Insts[2])
+	}
+	if tr.Insts[3].Inst.Op != isa.LDI || tr.Insts[3].Inst.Rd != 2 || tr.Insts[3].Inst.Imm != 8 {
+		t.Fatalf("constant substitution: %+v", tr.Insts[3].Inst)
+	}
+	for _, i := range []int{1, 2, 3} {
+		if !tr.Insts[i].Inserted || tr.Insts[i].Weight != 0 {
+			t.Fatalf("guard instruction %d not weight-0/inserted", i)
+		}
+	}
+	if tr.TotalWeight() != 2 {
+		t.Fatalf("weight = %d", tr.TotalWeight())
+	}
+}
+
+func TestSpecializeThenOptimizeFoldsDivide(t *testing.T) {
+	tr := mkTrace(
+		Inst{Inst: isa.Inst{Op: isa.LD, Rd: 2, Ra: 9}, Kind: Normal, OrigPC: 0x1000, Weight: 1},
+		norm(isa.FDIV, 5, 3, 2, 0),
+		norm(isa.ADD, 7, 7, 5, 0),
+	)
+	if !SpecializeLoad(tr, 0, 16, guardReg) {
+		t.Fatal("specialization refused")
+	}
+	Optimize(tr)
+	// The divide by the specialized 16 must now be a shift by 4.
+	found := false
+	for i := range tr.Insts {
+		in := tr.Insts[i].Inst
+		if in.Op == isa.SRLI && in.Imm == 4 {
+			found = true
+		}
+		if in.Op == isa.FDIV {
+			t.Fatalf("divide survived specialization:\n%s", tr)
+		}
+	}
+	if !found {
+		t.Fatalf("no shift emitted:\n%s", tr)
+	}
+}
+
+func TestSpecializeLoadRefusals(t *testing.T) {
+	ld := Inst{Inst: isa.Inst{Op: isa.LD, Rd: 2, Ra: 9}, Kind: Normal, OrigPC: 0x1000, Weight: 1}
+	cases := []struct {
+		name  string
+		tr    *Trace
+		idx   int
+		value uint64
+		guard isa.Reg
+	}{
+		{"bad index", mkTrace(ld), 5, 1, guardReg},
+		{"negative index", mkTrace(ld), -1, 1, guardReg},
+		{"not a load", mkTrace(norm(isa.ADD, 1, 2, 3, 0)), 0, 1, guardReg},
+		{"inserted load", mkTrace(Inst{Inst: ld.Inst, Inserted: true, OrigPC: 0x1000}), 0, 1, guardReg},
+		{"no orig pc", mkTrace(Inst{Inst: ld.Inst}), 0, 1, guardReg},
+		{"value too big", mkTrace(ld), 0, 1 << 40, guardReg},
+		{"guard is dest", mkTrace(Inst{Inst: isa.Inst{Op: isa.LD, Rd: guardReg, Ra: 9}, OrigPC: 0x1000}), 0, 1, guardReg},
+	}
+	for _, tc := range cases {
+		if SpecializeLoad(tc.tr, tc.idx, tc.value, tc.guard) {
+			t.Errorf("%s: specialization accepted", tc.name)
+		}
+	}
+}
+
+func TestReduceKnownOperandsForms(t *testing.T) {
+	tr := mkTrace(
+		norm(isa.LDI, 2, 0, 0, 8),
+		norm(isa.MUL, 3, 4, 2, 0),  // -> SLLI r3, r4, 3
+		norm(isa.FDIV, 5, 6, 2, 0), // -> SRLI r5, r6, 3
+		norm(isa.LDI, 7, 0, 0, 0),
+		norm(isa.ADD, 8, 9, 7, 0), // -> MOVE r8, r9
+		norm(isa.AND, 10, 11, 7, 0),
+	)
+	n := ReduceKnownOperands(tr)
+	if n != 4 {
+		t.Fatalf("reduced %d, want 4:\n%s", n, tr)
+	}
+	if tr.Insts[1].Inst.Op != isa.SLLI || tr.Insts[1].Inst.Ra != 4 || tr.Insts[1].Inst.Imm != 3 {
+		t.Errorf("mul: %+v", tr.Insts[1].Inst)
+	}
+	if tr.Insts[2].Inst.Op != isa.SRLI || tr.Insts[2].Inst.Imm != 3 {
+		t.Errorf("fdiv: %+v", tr.Insts[2].Inst)
+	}
+	if tr.Insts[4].Inst.Op != isa.MOVE || tr.Insts[4].Inst.Ra != 9 {
+		t.Errorf("add 0: %+v", tr.Insts[4].Inst)
+	}
+	if tr.Insts[5].Inst.Op != isa.LDI || tr.Insts[5].Inst.Imm != 0 {
+		t.Errorf("and 0: %+v", tr.Insts[5].Inst)
+	}
+}
+
+func TestReduceKnownOperandsNonPow2Untouched(t *testing.T) {
+	tr := mkTrace(
+		norm(isa.LDI, 2, 0, 0, 12),
+		norm(isa.FDIV, 5, 6, 2, 0),
+	)
+	if n := ReduceKnownOperands(tr); n != 0 {
+		t.Fatalf("non-power-of-two divisor reduced (%d)", n)
+	}
+}
+
+func TestReduceKnownOperandsClobberStops(t *testing.T) {
+	tr := mkTrace(
+		norm(isa.LDI, 2, 0, 0, 8),
+		norm(isa.LD, 2, 9, 0, 0), // clobber
+		norm(isa.FDIV, 5, 6, 2, 0),
+	)
+	if n := ReduceKnownOperands(tr); n != 0 {
+		t.Fatalf("reduced with clobbered operand (%d)", n)
+	}
+}
+
+func TestIsPow2Log2(t *testing.T) {
+	for _, tc := range []struct {
+		v    uint64
+		pow2 bool
+		l2   int64
+	}{
+		{1, true, 0}, {2, true, 1}, {64, true, 6}, {1 << 32, true, 32},
+		{0, false, 0}, {3, false, 0}, {6, false, 0},
+	} {
+		if got := isPow2(tc.v); got != tc.pow2 {
+			t.Errorf("isPow2(%d) = %v", tc.v, got)
+		}
+		if tc.pow2 && log2(tc.v) != tc.l2 {
+			t.Errorf("log2(%d) = %d", tc.v, log2(tc.v))
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package trace implements Trident's hot traces: formation of a straight-
+// line instruction sequence from a starting PC and a captured branch-
+// direction bitmap, the classical optimizations Trident applies when
+// streamlining (§3.2), and the bookkeeping that keeps IPC accounting honest
+// ("instruction throughput results correspond to only the number of
+// instructions the original code would have executed", §4.1).
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"tridentsp/internal/isa"
+)
+
+// Kind distinguishes the control role of a trace instruction.
+type Kind uint8
+
+// Trace instruction kinds.
+const (
+	// Normal instructions fall through within the trace.
+	Normal Kind = iota
+	// ExitBranch is a conditional branch that leaves the trace (to
+	// ExitTarget in original code) when taken.
+	ExitBranch
+	// LoopBranch is a branch (conditional or not) that targets the trace's
+	// own start; it is what keeps a hot loop inside its trace.
+	LoopBranch
+	// ExitJump is an unconditional branch back to ExitTarget in original
+	// code (trace end, or the fall-through of a conditional LoopBranch).
+	ExitJump
+)
+
+// Inst is one instruction of a trace with its bookkeeping.
+type Inst struct {
+	Inst isa.Inst
+	Kind Kind
+	// OrigPC is the original-code PC this instruction came from; zero for
+	// instructions synthesized by the optimizer.
+	OrigPC uint64
+	// ExitTarget is the absolute original-code PC an ExitBranch/ExitJump
+	// transfers to.
+	ExitTarget uint64
+	// Weight is how many original-program instructions committing this
+	// instruction accounts for. Streamlined-away and removed instructions
+	// donate their weight to a surviving neighbour; optimizer-inserted
+	// prefetch code has weight zero.
+	Weight int
+	// Inserted marks prefetch code added by the dynamic optimizer.
+	Inserted bool
+}
+
+// Trace is a formed (and possibly optimized) hot trace.
+type Trace struct {
+	// ID is assigned by the code cache at placement.
+	ID int
+	// StartPC is the original-code address of the trace head.
+	StartPC uint64
+	// Insts is the trace body.
+	Insts []Inst
+}
+
+// Len returns the number of instructions.
+func (t *Trace) Len() int { return len(t.Insts) }
+
+// TotalWeight returns the summed original-instruction weight (invariant:
+// preserved by every optimization pass).
+func (t *Trace) TotalWeight() int {
+	w := 0
+	for i := range t.Insts {
+		w += t.Insts[i].Weight
+	}
+	return w
+}
+
+// NumLoads counts the (non-inserted) loads in the trace.
+func (t *Trace) NumLoads() int {
+	n := 0
+	for i := range t.Insts {
+		if t.Insts[i].Inst.Op.Class() == isa.ClassLoad && !t.Insts[i].Inserted {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the trace (re-optimization builds a new version while
+// the old one is still linked).
+func (t *Trace) Clone() *Trace {
+	c := &Trace{ID: t.ID, StartPC: t.StartPC}
+	c.Insts = append([]Inst(nil), t.Insts...)
+	return c
+}
+
+// String renders a readable listing.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace@%#x (%d insts, weight %d):\n", t.StartPC, t.Len(), t.TotalWeight())
+	for i := range t.Insts {
+		ti := &t.Insts[i]
+		mark := " "
+		switch ti.Kind {
+		case ExitBranch:
+			mark = "x"
+		case LoopBranch:
+			mark = "^"
+		case ExitJump:
+			mark = ">"
+		}
+		ins := ""
+		if ti.Inserted {
+			ins = " +"
+		}
+		fmt.Fprintf(&sb, "  %2d %s %-28s w=%d%s\n", i, mark, ti.Inst.String(), ti.Weight, ins)
+	}
+	return sb.String()
+}
+
+// CodeReader supplies pristine original-program instructions by PC.
+type CodeReader interface {
+	InstAt(pc uint64) (isa.Inst, bool)
+}
+
+// FormConfig bounds trace formation.
+type FormConfig struct {
+	// MaxInsts caps the trace length (the watch table monitors traces of
+	// bounded size).
+	MaxInsts int
+	// MaxBranches caps consumed branch-direction bits (the profiler
+	// captures three 16-bit bitmaps, §4.3 Table 2).
+	MaxBranches int
+}
+
+// DefaultFormConfig mirrors Table 2: 3 standalone 16-bit bitmaps.
+func DefaultFormConfig() FormConfig {
+	return FormConfig{MaxInsts: 512, MaxBranches: 48}
+}
+
+// Form builds a trace starting at startPC, following the captured branch
+// directions in bitmap (one bool per conditional branch encountered, true =
+// taken). Unconditional direct branches are streamlined away; a branch back
+// to startPC closes the loop. The error reports malformed inputs (e.g. a PC
+// outside the code image).
+func Form(code CodeReader, startPC uint64, bitmap []bool, cfg FormConfig) (*Trace, error) {
+	t := &Trace{StartPC: startPC}
+	pc := startPC
+	bits := 0
+	carry := 0 // weight donated by streamlined-away instructions
+
+	emit := func(in Inst) {
+		in.Weight += carry
+		carry = 0
+		t.Insts = append(t.Insts, in)
+	}
+
+	for len(t.Insts) < cfg.MaxInsts {
+		in, ok := code.InstAt(pc)
+		if !ok {
+			return nil, fmt.Errorf("trace: formation walked outside code at %#x", pc)
+		}
+		switch in.Op.Class() {
+		case isa.ClassBranch:
+			if bits >= len(bitmap) || bits >= cfg.MaxBranches {
+				// Out of direction bits: end the trace before this branch.
+				emit(Inst{
+					Inst:       isa.Inst{Op: isa.BR, Rd: isa.ZeroReg},
+					Kind:       ExitJump,
+					ExitTarget: pc,
+					Weight:     0,
+				})
+				return t, nil
+			}
+			taken := bitmap[bits]
+			bits++
+			target := isa.BranchTarget(pc, in)
+			fall := pc + isa.WordSize
+			if taken {
+				if target == startPC {
+					// Loop closed: branch to the trace's own start;
+					// fall-through exits.
+					emit(Inst{Inst: in, Kind: LoopBranch, OrigPC: pc, Weight: 1})
+					emit(Inst{
+						Inst:       isa.Inst{Op: isa.BR, Rd: isa.ZeroReg},
+						Kind:       ExitJump,
+						ExitTarget: fall,
+					})
+					return t, nil
+				}
+				// Invert the branch so the hot path falls through; the
+				// inverted branch exits to the original fall-through.
+				emit(Inst{
+					Inst:       isa.Inst{Op: invert(in.Op), Ra: in.Ra},
+					Kind:       ExitBranch,
+					OrigPC:     pc,
+					ExitTarget: fall,
+					Weight:     1,
+				})
+				pc = target
+			} else {
+				// Keep the branch; taken side exits to the original
+				// target.
+				emit(Inst{
+					Inst:       in,
+					Kind:       ExitBranch,
+					OrigPC:     pc,
+					ExitTarget: target,
+					Weight:     1,
+				})
+				pc = fall
+			}
+
+		case isa.ClassJump:
+			if in.Op == isa.BR {
+				target := isa.BranchTarget(pc, in)
+				if in.Rd != isa.ZeroReg {
+					// Materialize the link register, then continue at the
+					// target.
+					emit(Inst{
+						Inst:   isa.Inst{Op: isa.LDI, Rd: in.Rd, Imm: int64(pc + isa.WordSize)},
+						Kind:   Normal,
+						OrigPC: pc,
+						Weight: 1,
+					})
+				} else {
+					carry++ // streamlined away entirely
+				}
+				if target == startPC {
+					emit(Inst{
+						Inst:   isa.Inst{Op: isa.BR, Rd: isa.ZeroReg},
+						Kind:   LoopBranch,
+						OrigPC: pc,
+					})
+					return t, nil
+				}
+				pc = target
+				continue
+			}
+			// Indirect jump: keep it; it transfers to original code (or a
+			// patched trace head) by register value.
+			emit(Inst{Inst: in, Kind: Normal, OrigPC: pc, Weight: 1})
+			return t, nil
+
+		case isa.ClassHalt:
+			emit(Inst{Inst: in, Kind: Normal, OrigPC: pc, Weight: 1})
+			return t, nil
+
+		default:
+			emit(Inst{Inst: in, Kind: Normal, OrigPC: pc, Weight: 1})
+			pc += isa.WordSize
+		}
+	}
+	// Length cap reached: exit back to original code.
+	t.Insts = append(t.Insts, Inst{
+		Inst:       isa.Inst{Op: isa.BR, Rd: isa.ZeroReg},
+		Kind:       ExitJump,
+		ExitTarget: pc,
+		Weight:     carry,
+	})
+	return t, nil
+}
+
+// invert flips a conditional branch's sense.
+func invert(op isa.Op) isa.Op {
+	switch op {
+	case isa.BEQ:
+		return isa.BNE
+	case isa.BNE:
+		return isa.BEQ
+	case isa.BLT:
+		return isa.BGE
+	case isa.BGE:
+		return isa.BLT
+	}
+	return op
+}
+
+// Reads lists the registers an instruction reads (excluding the hardwired
+// zero register).
+func Reads(in isa.Inst) []isa.Reg {
+	var rs []isa.Reg
+	add := func(r isa.Reg) {
+		if r != isa.ZeroReg {
+			rs = append(rs, r)
+		}
+	}
+	switch in.Op.Class() {
+	case isa.ClassALU, isa.ClassFP:
+		switch in.Op {
+		case isa.LDI:
+		case isa.MOVE, isa.LDIH:
+			add(in.Ra)
+		case isa.ADDI, isa.SUBI, isa.MULI, isa.ANDI, isa.ORI, isa.XORI,
+			isa.SLLI, isa.SRLI, isa.CMPLTI, isa.CMPEQI, isa.LDA:
+			add(in.Ra)
+		default:
+			add(in.Ra)
+			add(in.Rb)
+		}
+	case isa.ClassLoad, isa.ClassPrefetch:
+		add(in.Ra)
+	case isa.ClassStore:
+		add(in.Ra)
+		add(in.Rb)
+	case isa.ClassBranch:
+		add(in.Ra)
+	case isa.ClassJump:
+		if in.Op == isa.JMP {
+			add(in.Ra)
+		}
+	}
+	return rs
+}
+
+// Writes returns the register an instruction writes, if any.
+func Writes(in isa.Inst) (isa.Reg, bool) {
+	switch in.Op.Class() {
+	case isa.ClassALU, isa.ClassFP, isa.ClassLoad:
+		if in.Rd != isa.ZeroReg {
+			return in.Rd, true
+		}
+	case isa.ClassJump:
+		if in.Rd != isa.ZeroReg {
+			return in.Rd, true
+		}
+	}
+	return 0, false
+}

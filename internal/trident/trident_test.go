@@ -1,0 +1,341 @@
+package trident
+
+import (
+	"testing"
+
+	"tridentsp/internal/isa"
+	"tridentsp/internal/program"
+	"tridentsp/internal/trace"
+)
+
+func TestProfilerDetectsHotLoop(t *testing.T) {
+	p := NewProfiler(DefaultProfilerConfig())
+	loopBranch := uint64(0x1040)
+	head := uint64(0x1000)
+	var got HotTrace
+	var fired bool
+	// The loop branch must saturate (threshold 15) and then a capture of
+	// 48 bits completes.
+	for i := 0; i < 100 && !fired; i++ {
+		got, fired = p.OnCondBranch(loopBranch, head, true)
+	}
+	if !fired {
+		t.Fatal("hot-trace event never fired")
+	}
+	if got.StartPC != head {
+		t.Fatalf("event start = %#x, want %#x", got.StartPC, head)
+	}
+	if len(got.Bitmap) != DefaultProfilerConfig().MaxBits {
+		t.Fatalf("bitmap bits = %d, want %d", len(got.Bitmap), DefaultProfilerConfig().MaxBits)
+	}
+	for _, b := range got.Bitmap {
+		if !b {
+			t.Fatal("captured direction should be taken")
+		}
+	}
+}
+
+func TestProfilerIgnoresForwardBranches(t *testing.T) {
+	p := NewProfiler(DefaultProfilerConfig())
+	for i := 0; i < 200; i++ {
+		if _, fired := p.OnCondBranch(0x1000, 0x2000, true); fired {
+			t.Fatal("forward branch fired a hot event")
+		}
+	}
+	if p.Capturing() {
+		t.Fatal("forward branch started a capture")
+	}
+}
+
+func TestProfilerIgnoresNotTaken(t *testing.T) {
+	p := NewProfiler(DefaultProfilerConfig())
+	for i := 0; i < 200; i++ {
+		if _, fired := p.OnCondBranch(0x2000, 0x1000, false); fired {
+			t.Fatal("not-taken branch counted")
+		}
+	}
+	if p.Capturing() {
+		t.Fatal("not-taken branch started a capture")
+	}
+}
+
+func TestProfilerFormedSuppresssesRecapture(t *testing.T) {
+	p := NewProfiler(DefaultProfilerConfig())
+	var fired bool
+	for i := 0; i < 100 && !fired; i++ {
+		_, fired = p.OnCondBranch(0x1040, 0x1000, true)
+	}
+	p.MarkFormed(0x1000)
+	fired = false
+	for i := 0; i < 200; i++ {
+		if _, f := p.OnCondBranch(0x1040, 0x1000, true); f {
+			fired = true
+		}
+	}
+	if fired || p.Capturing() {
+		t.Fatal("formed target re-captured")
+	}
+	p.ClearFormed(0x1000)
+	for i := 0; i < 200 && !fired; i++ {
+		_, fired = p.OnCondBranch(0x1040, 0x1000, true)
+	}
+	if !fired {
+		t.Fatal("cleared target never re-captured")
+	}
+}
+
+func TestProfilerOneCaptureAtATime(t *testing.T) {
+	p := NewProfiler(DefaultProfilerConfig())
+	// Saturate two targets in interleaved fashion; captures must not
+	// interleave (bitmap belongs to one startPC).
+	events := 0
+	for i := 0; i < 400; i++ {
+		if _, f := p.OnCondBranch(0x1040, 0x1000, true); f {
+			events++
+		}
+		if _, f := p.OnCondBranch(0x3040, 0x3000, true); f {
+			events++
+		}
+	}
+	if events < 2 {
+		t.Fatalf("expected both targets to fire eventually, got %d", events)
+	}
+}
+
+func TestProfilerBackwardJumpCounts(t *testing.T) {
+	p := NewProfiler(DefaultProfilerConfig())
+	for i := 0; i < 20; i++ {
+		p.OnJump(0x1040, 0x1000)
+	}
+	if !p.Capturing() {
+		t.Fatal("backward BR loop did not start capture")
+	}
+}
+
+func TestWatchEntryTraversalStats(t *testing.T) {
+	e := &WatchEntry{StartPC: 0x1000, TraceID: 1}
+	e.RecordTraversal(100)
+	e.RecordTraversal(50)
+	e.RecordTraversal(80)
+	e.RecordTraversal(0) // ignored
+	if e.MinExecTime != 50 {
+		t.Fatalf("min = %d, want 50", e.MinExecTime)
+	}
+	if e.AvgExecTime() != (100+50+80)/3 {
+		t.Fatalf("avg = %d", e.AvgExecTime())
+	}
+}
+
+func TestWatchTableCapacityEviction(t *testing.T) {
+	w := NewWatchTable(2)
+	w.Add(&WatchEntry{StartPC: 0x1000, TraceID: 1})
+	w.Add(&WatchEntry{StartPC: 0x2000, TraceID: 2})
+	ev := w.Add(&WatchEntry{StartPC: 0x3000, TraceID: 3})
+	if ev == nil || ev.TraceID != 1 {
+		t.Fatalf("evicted %+v, want trace 1", ev)
+	}
+	if _, ok := w.ByStart(0x1000); ok {
+		t.Fatal("evicted entry still present")
+	}
+	if w.Len() != 2 {
+		t.Fatalf("len = %d", w.Len())
+	}
+}
+
+func TestWatchTableReplaceSameStart(t *testing.T) {
+	w := NewWatchTable(4)
+	w.Add(&WatchEntry{StartPC: 0x1000, TraceID: 1})
+	old := w.Add(&WatchEntry{StartPC: 0x1000, TraceID: 2})
+	if old == nil || old.TraceID != 1 {
+		t.Fatalf("replacement did not return old entry: %+v", old)
+	}
+	e, ok := w.ByStart(0x1000)
+	if !ok || e.TraceID != 2 {
+		t.Fatalf("lookup after replace: %+v", e)
+	}
+	if _, ok := w.ByID(1); ok {
+		t.Fatal("old ID still mapped")
+	}
+}
+
+func TestWatchTableRemove(t *testing.T) {
+	w := NewWatchTable(4)
+	w.Add(&WatchEntry{StartPC: 0x1000, TraceID: 1})
+	w.Remove(1)
+	if w.Len() != 0 {
+		t.Fatal("Remove left entry")
+	}
+	w.Remove(99) // no-op
+}
+
+func formLoopTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	b := program.NewBuilder("loop", 0x1000, 0x100000)
+	b.Label("top")
+	b.Ld(2, 1, 0)
+	b.OpI(isa.ADDI, 1, 1, 8)
+	b.OpI(isa.SUBI, 4, 4, 1)
+	b.CondBr(isa.BNE, 4, "top")
+	b.Halt()
+	p := b.MustBuild()
+	tr, err := trace.Form(p, 0x1000, []bool{true}, trace.DefaultFormConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCodeCachePlaceAndFetch(t *testing.T) {
+	cc := NewCodeCache(0x10000000)
+	tr := formLoopTrace(t)
+	pl, err := cc.Place(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Start != 0x10000000 {
+		t.Fatalf("start = %#x", pl.Start)
+	}
+	if pl.End-pl.Start != uint64(tr.Len())*isa.WordSize {
+		t.Fatalf("placement size wrong")
+	}
+	// The loop branch (index 3) must target the trace start.
+	brPC := pl.Start + 3*isa.WordSize
+	in, ok := cc.Fetch(brPC)
+	if !ok || in.Op != isa.BNE {
+		t.Fatalf("fetch loop branch: %v %v", in, ok)
+	}
+	if got := isa.BranchTarget(brPC, in); got != pl.Start {
+		t.Fatalf("loop branch target = %#x, want %#x", got, pl.Start)
+	}
+	// The exit jump (index 4) must target original code (halt at
+	// 0x1000+4*8).
+	exPC := pl.Start + 4*isa.WordSize
+	in, ok = cc.Fetch(exPC)
+	if !ok || in.Op != isa.BR {
+		t.Fatalf("fetch exit jump: %v %v", in, ok)
+	}
+	if got := isa.BranchTarget(exPC, in); got != 0x1000+4*8 {
+		t.Fatalf("exit target = %#x", got)
+	}
+}
+
+func TestCodeCacheWeights(t *testing.T) {
+	cc := NewCodeCache(0x10000000)
+	tr := formLoopTrace(t)
+	pl, _ := cc.Place(tr)
+	sum := 0
+	for pc := pl.Start; pc < pl.End; pc += isa.WordSize {
+		sum += cc.Weight(pc)
+	}
+	if sum != tr.TotalWeight() {
+		t.Fatalf("weights sum %d != trace weight %d", sum, tr.TotalWeight())
+	}
+	if cc.Weight(0x50) != 0 {
+		t.Fatal("weight outside cache should be 0")
+	}
+}
+
+func TestCodeCachePatchImm(t *testing.T) {
+	cc := NewCodeCache(0x10000000)
+	tr := &trace.Trace{StartPC: 0x1000, Insts: []trace.Inst{
+		{Inst: isa.Inst{Op: isa.PREFETCH, Ra: 1, Imm: 64}, Kind: trace.Normal, Inserted: true},
+		{Inst: isa.Inst{Op: isa.BR, Rd: isa.ZeroReg}, Kind: trace.ExitJump, ExitTarget: 0x1000},
+	}}
+	pl, err := cc.Place(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.PatchImm(pl.Start, 192); err != nil {
+		t.Fatal(err)
+	}
+	in, _ := cc.Fetch(pl.Start)
+	if in.Op != isa.PREFETCH || in.Imm != 192 {
+		t.Fatalf("patched inst: %v", in)
+	}
+	imm, err := cc.InstImm(pl.Start)
+	if err != nil || imm != 192 {
+		t.Fatalf("InstImm = %d, %v", imm, err)
+	}
+	if err := cc.PatchImm(0x50, 1); err == nil {
+		t.Fatal("patch outside cache accepted")
+	}
+}
+
+func TestCodeCachePlacements(t *testing.T) {
+	cc := NewCodeCache(0x10000000)
+	t1 := formLoopTrace(t)
+	t2 := formLoopTrace(t)
+	p1, _ := cc.Place(t1)
+	p2, _ := cc.Place(t2)
+	if p1.TraceID == p2.TraceID {
+		t.Fatal("duplicate trace IDs")
+	}
+	if p2.Start != p1.End {
+		t.Fatalf("placements not contiguous: %#x vs %#x", p2.Start, p1.End)
+	}
+	pl, ok := cc.PlacementAt(p2.Start + 8)
+	if !ok || pl.TraceID != p2.TraceID {
+		t.Fatalf("PlacementAt = %+v, %v", pl, ok)
+	}
+	if _, ok := cc.PlacementAt(0x999); ok {
+		t.Fatal("PlacementAt outside cache")
+	}
+	cc.Retire(p1.TraceID)
+	if cc.LiveTraces() != 1 {
+		t.Fatalf("live traces = %d", cc.LiveTraces())
+	}
+	// Retired placements still fetchable (in-flight execution drains).
+	if _, ok := cc.Fetch(p1.Start); !ok {
+		t.Fatal("retired trace not fetchable")
+	}
+}
+
+func TestQueueBoundedFIFO(t *testing.T) {
+	q := NewQueue(2)
+	if !q.Push(Event{Kind: EventHotTrace, Raised: 1}) {
+		t.Fatal("push 1")
+	}
+	if !q.Push(Event{Kind: EventDelinquentLoad, Raised: 2}) {
+		t.Fatal("push 2")
+	}
+	if q.Push(Event{Raised: 3}) {
+		t.Fatal("push over capacity accepted")
+	}
+	if q.Dropped != 1 || q.Raised != 3 {
+		t.Fatalf("stats: %+v", q)
+	}
+	e, ok := q.Pop()
+	if !ok || e.Raised != 1 {
+		t.Fatalf("pop order: %+v", e)
+	}
+	q.Pop()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty")
+	}
+}
+
+func TestHelperScheduling(t *testing.T) {
+	h := NewHelper(DefaultCostModel())
+	if h.Busy(0) {
+		t.Fatal("fresh helper busy")
+	}
+	done := h.Begin(100, 500)
+	if done != 100+2000+500 {
+		t.Fatalf("completion = %d", done)
+	}
+	if !h.Busy(200) || !h.Busy(done-1) {
+		t.Fatal("helper should be busy mid-invocation")
+	}
+	if h.Busy(done) {
+		t.Fatal("helper busy after completion")
+	}
+	if h.ActiveCycles != 2500 || h.Invocations != 1 {
+		t.Fatalf("stats: active=%d inv=%d", h.ActiveCycles, h.Invocations)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EventHotTrace.String() != "hot-trace" || EventDelinquentLoad.String() != "delinquent-load" {
+		t.Fatal("event kind names")
+	}
+}

@@ -1,0 +1,121 @@
+package trident
+
+import "testing"
+
+func smallVPT() *VPT {
+	return NewVPT(VPTConfig{Entries: 8, Assoc: 2, Threshold: 4, MinHits: 6})
+}
+
+func TestVPTInvariantDetection(t *testing.T) {
+	v := smallVPT()
+	fired := false
+	for i := 0; i < 20 && !fired; i++ {
+		fired = v.Update(0x100, 42)
+	}
+	if !fired {
+		t.Fatal("constant value never fired")
+	}
+	if v.Events != 1 {
+		t.Fatalf("events = %d", v.Events)
+	}
+	// One event per stable value: no re-fire.
+	for i := 0; i < 50; i++ {
+		if v.Update(0x100, 42) {
+			t.Fatal("re-fired while specialized")
+		}
+	}
+}
+
+func TestVPTValueChangeResets(t *testing.T) {
+	v := smallVPT()
+	for i := 0; i < 3; i++ {
+		v.Update(0x100, 1)
+	}
+	v.Update(0x100, 2) // change before saturation
+	if _, stable := v.Value(0x100); stable {
+		t.Fatal("stable after value change")
+	}
+	// The new value must earn full confidence again.
+	fired := false
+	for i := 0; i < 4+6+2 && !fired; i++ {
+		fired = v.Update(0x100, 2)
+	}
+	if !fired {
+		t.Fatal("new stable value never fired")
+	}
+	val, stable := v.Value(0x100)
+	if !stable || val != 2 {
+		t.Fatalf("Value = %d,%v", val, stable)
+	}
+}
+
+func TestVPTAlternatingNeverFires(t *testing.T) {
+	v := smallVPT()
+	for i := 0; i < 200; i++ {
+		if v.Update(0x100, uint64(i%2)) {
+			t.Fatal("alternating value fired")
+		}
+	}
+}
+
+func TestVPTMinHitsGate(t *testing.T) {
+	// Confidence saturation alone is not enough; MinHits confirmations
+	// must follow.
+	v := NewVPT(VPTConfig{Entries: 8, Assoc: 2, Threshold: 2, MinHits: 10})
+	fires := 0
+	updates := 0
+	for i := 0; i < 100; i++ {
+		updates++
+		if v.Update(0x100, 7) {
+			fires++
+			break
+		}
+	}
+	if fires != 1 {
+		t.Fatal("never fired")
+	}
+	if updates < 12 {
+		t.Fatalf("fired after only %d updates (MinHits not enforced)", updates)
+	}
+}
+
+func TestVPTDespecialize(t *testing.T) {
+	v := smallVPT()
+	for i := 0; i < 20; i++ {
+		v.Update(0x100, 9)
+	}
+	v.Despecialize()
+	fired := false
+	for i := 0; i < 20 && !fired; i++ {
+		fired = v.Update(0x100, 9)
+	}
+	if !fired {
+		t.Fatal("despecialized entry cannot re-fire")
+	}
+}
+
+func TestVPTEviction(t *testing.T) {
+	v := NewVPT(VPTConfig{Entries: 2, Assoc: 2, Threshold: 2, MinHits: 1})
+	v.Update(0x100, 1)
+	v.Update(0x200, 2)
+	v.Update(0x300, 3) // evicts LRU (0x100)
+	if _, stable := v.Value(0x100); stable {
+		t.Fatal("evicted entry still stable")
+	}
+	if e := v.lookup(0x100); e != nil {
+		t.Fatal("evicted entry still present")
+	}
+}
+
+func TestVPTDistinctPCsIndependent(t *testing.T) {
+	v := smallVPT()
+	for i := 0; i < 20; i++ {
+		v.Update(0x100, 1)
+		v.Update(0x108, 2)
+	}
+	a, okA := v.Value(0x100)
+	b, okB := v.Value(0x108)
+	if !okA || !okB || a != 1 || b != 2 {
+		t.Fatalf("values: %d,%v %d,%v", a, okA, b, okB)
+	}
+}

@@ -1,0 +1,117 @@
+package trident
+
+// WatchEntry monitors one executing hot trace (paper §3.2 table: trace
+// starting PC, trace length, trace minimal execution time, trace
+// optimization flag).
+type WatchEntry struct {
+	StartPC uint64
+	TraceID int
+	Length  int
+
+	// MinExecTime is the minimum observed cycles for one traversal of the
+	// trace; the optimizer uses it as the best-case iteration time when
+	// bounding the prefetch distance (§3.5.2).
+	MinExecTime int64
+	// TotalExecTime/Traversals give the average traversal time used by the
+	// basic (equation 2) distance estimate.
+	TotalExecTime int64
+	Traversals    uint64
+
+	// OptFlag marks the trace as being re-optimized; while set, no further
+	// delinquent-load events are raised for it (§3.2).
+	OptFlag bool
+}
+
+// AvgExecTime returns the mean traversal time (0 before any traversal).
+func (w *WatchEntry) AvgExecTime() int64 {
+	if w.Traversals == 0 {
+		return 0
+	}
+	return w.TotalExecTime / int64(w.Traversals)
+}
+
+// RecordTraversal folds one completed traversal into the entry.
+func (w *WatchEntry) RecordTraversal(cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	if w.MinExecTime == 0 || cycles < w.MinExecTime {
+		w.MinExecTime = cycles
+	}
+	w.TotalExecTime += cycles
+	w.Traversals++
+}
+
+// WatchTable tracks the currently active hot traces (Table 2: 256 entries).
+type WatchTable struct {
+	capacity int
+	byStart  map[uint64]*WatchEntry
+	byID     map[int]*WatchEntry
+	order    []uint64 // insertion order for capacity eviction
+}
+
+// NewWatchTable builds a table with the given capacity.
+func NewWatchTable(capacity int) *WatchTable {
+	return &WatchTable{
+		capacity: capacity,
+		byStart:  make(map[uint64]*WatchEntry),
+		byID:     make(map[int]*WatchEntry),
+	}
+}
+
+// Add registers a trace, evicting the oldest entry if full. It returns the
+// evicted entry (nil if none).
+func (t *WatchTable) Add(e *WatchEntry) *WatchEntry {
+	var evicted *WatchEntry
+	if old, ok := t.byStart[e.StartPC]; ok {
+		t.removeEntry(old)
+		evicted = old
+	}
+	for len(t.byStart) >= t.capacity && len(t.order) > 0 {
+		victim := t.byStart[t.order[0]]
+		t.order = t.order[1:]
+		if victim == nil {
+			continue
+		}
+		t.removeEntry(victim)
+		evicted = victim
+	}
+	t.byStart[e.StartPC] = e
+	t.byID[e.TraceID] = e
+	t.order = append(t.order, e.StartPC)
+	return evicted
+}
+
+func (t *WatchTable) removeEntry(e *WatchEntry) {
+	delete(t.byStart, e.StartPC)
+	delete(t.byID, e.TraceID)
+	for i, pc := range t.order {
+		if pc == e.StartPC {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Remove drops the trace with the given ID (paper: "Trident removes the old
+// hot trace from the hardware watch table").
+func (t *WatchTable) Remove(traceID int) {
+	if e, ok := t.byID[traceID]; ok {
+		t.removeEntry(e)
+	}
+}
+
+// ByStart looks an entry up by its original-code starting PC.
+func (t *WatchTable) ByStart(pc uint64) (*WatchEntry, bool) {
+	e, ok := t.byStart[pc]
+	return e, ok
+}
+
+// ByID looks an entry up by trace ID.
+func (t *WatchTable) ByID(id int) (*WatchEntry, bool) {
+	e, ok := t.byID[id]
+	return e, ok
+}
+
+// Len returns the number of watched traces.
+func (t *WatchTable) Len() int { return len(t.byStart) }

@@ -1,0 +1,148 @@
+// Package workloads defines the fourteen synthetic benchmarks standing in
+// for the paper's evaluation suite (§4.2): applu, art, dot, equake,
+// facerec, fma3d, galgel, gap, mcf, mgrid, parser, swim, vis, and wupwise.
+//
+// SPEC 2000 Alpha binaries are not available here, so each benchmark is a
+// kernel written in the synthetic ISA that reproduces the three properties
+// the paper's results actually depend on: the memory-access pattern of its
+// delinquent loads (dense stride, large stride, arena pointer chase,
+// irregular hash probing, interpreter dispatch, …), the size of its hot
+// loop body (which sets the prefetch distance the self-repairing optimizer
+// must discover — applu's >1000-instruction inner loop makes distance 1
+// optimal, §5.3), and its hot-trace coverage (dot and parser spread work
+// over irregular control flow and indirect jumps, giving the low coverage
+// Figure 4 reports). DESIGN.md §1 records the substitution.
+package workloads
+
+import (
+	"tridentsp/internal/isa"
+	"tridentsp/internal/program"
+)
+
+// Opcode aliases keep the kernel definitions compact.
+const (
+	subiOp = isa.SUBI
+	bneOp  = isa.BNE
+)
+
+// Scale selects the working-set size.
+type Scale int
+
+// Scales.
+const (
+	// ScaleTest keeps footprints small for unit tests.
+	ScaleTest Scale = iota
+	// ScaleSmall fits in L3: exercises the pipeline without long runs.
+	ScaleSmall
+	// ScaleFull exceeds L3 so steady-state misses go to memory, like the
+	// paper's memory-bound SPEC selection.
+	ScaleFull
+)
+
+// Benchmark is one synthetic workload.
+type Benchmark struct {
+	Name string
+	// Description summarizes the paper-relevant character.
+	Description string
+	// Build constructs the program at the given scale.
+	Build func(s Scale) *program.Program
+}
+
+// All returns the fourteen benchmarks in the paper's order.
+func All() []Benchmark {
+	return []Benchmark{
+		{"applu", "FP PDE solver; >1000-instruction inner loop, distance 1 optimal", Applu},
+		{"art", "FP neural net; repeated dense scans of weight arrays", Art},
+		{"dot", "pointer-intensive; shuffled chunk chains, irregular control, low trace coverage", Dot},
+		{"equake", "FP sparse matvec; index-array streams plus indirect loads", Equake},
+		{"facerec", "FP image match; long-stride scans, estimate is sufficient", Facerec},
+		{"fma3d", "FP crash solver; medium body, strided element arrays", Fma3d},
+		{"galgel", "FP fluid dynamics; row/column matrix sweeps", Galgel},
+		{"gap", "group-theory interpreter; dispatch via indirect jumps, one small hot kernel", Gap},
+		{"mcf", "network simplex; arena-allocated pointer chase with multi-field nodes", Mcf},
+		{"mgrid", "FP multigrid; three stride classes incl. plane strides", Mgrid},
+		{"parser", "dictionary hash probing; unpredictable branches, unprefetchable loads", Parser},
+		{"swim", "FP shallow water; unit-stride triple-array sweep, HW-prefetch friendly", Swim},
+		{"vis", "image rotation; column-major walk of row-major pixels, whole-object loads", Vis},
+		{"wupwise", "FP QCD; medium-stride matrix-vector kernels", Wupwise},
+	}
+}
+
+// ByName finds a benchmark.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Register conventions shared by all kernels. r26..r28 are free temps;
+// r29 is reserved for value-specialization guards, r30 as the prefetch
+// optimizer's dereference scratch — workload code never reads either; r31
+// is the hardwired zero.
+const (
+	rBase   = 1  // primary array/node pointer
+	rBase2  = 2  // secondary array pointer
+	rBase3  = 3  // tertiary array pointer
+	rVal    = 10 // loaded value
+	rVal2   = 11
+	rVal3   = 12
+	rAcc    = 13 // accumulator
+	rAcc2   = 14
+	rCount  = 4 // inner counter
+	rOuter  = 6 // outer counter
+	rTmp    = 15
+	rTmp2   = 16
+	rIdx    = 17
+	rMask   = 20 // constant mask
+	rTblPtr = 21 // constant table base
+	rSeed   = 22 // PRNG state
+	rJump   = 23 // computed jump target
+)
+
+// bytesAt returns a scale-dependent working-set size with the given full
+// size (test and small scales shrink it).
+func bytesAt(s Scale, full uint64) uint64 {
+	switch s {
+	case ScaleTest:
+		return full / 64
+	case ScaleSmall:
+		return full / 8
+	default:
+		return full
+	}
+}
+
+// outerForever sets up an effectively endless outer loop: the experiment
+// harness stops runs by instruction limit, as the paper stops at 100M
+// simulated instructions.
+func outerForever(b *program.Builder) {
+	b.Ldi(rOuter, 1<<40)
+	b.Label("outer")
+}
+
+// outerEnd closes the endless outer loop.
+func outerEnd(b *program.Builder) {
+	b.OpI(subiOp, rOuter, rOuter, 1)
+	b.CondBr(bneOp, rOuter, "outer")
+	b.Halt()
+}
+
+// xorshift is the deterministic PRNG used to initialize irregular data.
+type xorshift uint64
+
+func newRand(seed uint64) *xorshift {
+	x := xorshift(seed | 1)
+	return &x
+}
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}

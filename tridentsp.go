@@ -1,0 +1,139 @@
+// Package tridentsp is the public API of this reproduction of "A Self-
+// Repairing Prefetcher in an Event-Driven Dynamic Optimization Framework"
+// (Zhang, Calder, Tullsen — CGO 2006).
+//
+// The package exposes the simulated machine (an SMT core with the paper's
+// Table 1 memory hierarchy and stream-buffer prefetcher, plus the Trident
+// dynamic optimization framework with the self-repairing prefetch
+// optimizer), the fourteen synthetic benchmarks standing in for the paper's
+// SPEC selection, the experiment harness that regenerates every figure of
+// the evaluation, and a small assembler for writing custom workloads.
+//
+// Quick start:
+//
+//	bm, _ := tridentsp.Benchmark("mcf")
+//	prog := bm.Build(tridentsp.ScaleFull)
+//	res := tridentsp.Run(tridentsp.DefaultConfig(), prog, 2_000_000)
+//	fmt.Println(res.String())
+//
+// Compare configurations:
+//
+//	base := tridentsp.Run(tridentsp.BaselineConfig(tridentsp.HW8x8), prog, n)
+//	opt := tridentsp.Run(tridentsp.DefaultConfig(), prog, n)
+//	fmt.Printf("speedup %.2fx\n", tridentsp.Speedup(opt, base))
+//
+// Regenerate a paper figure:
+//
+//	tbl := tridentsp.Experiments()[4].Run(tridentsp.ExpOptions{})
+//	fmt.Print(tbl.Render())
+package tridentsp
+
+import (
+	"tridentsp/internal/asm"
+	"tridentsp/internal/core"
+	"tridentsp/internal/exp"
+	"tridentsp/internal/program"
+	"tridentsp/internal/workloads"
+)
+
+// Config describes one simulated machine; see core.Config for every knob.
+type Config = core.Config
+
+// System is a runnable machine instance.
+type System = core.System
+
+// Results summarizes one run.
+type Results = core.Results
+
+// HWPrefetch selects the hardware stream-buffer configuration.
+type HWPrefetch = core.HWPrefetch
+
+// SWMode selects the dynamic software prefetching scheme.
+type SWMode = core.SWMode
+
+// Hardware and software prefetching configurations (paper Figures 2 and 5).
+const (
+	HWNone = core.HWNone
+	HW4x4  = core.HW4x4
+	HW8x8  = core.HW8x8
+
+	SWOff         = core.SWOff
+	SWBasic       = core.SWBasic
+	SWWholeObject = core.SWWholeObject
+	SWSelfRepair  = core.SWSelfRepair
+)
+
+// DefaultConfig is the paper's evaluated machine: Table 1 core and memory,
+// 8x8 stream buffers, Trident with self-repairing software prefetching.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// BaselineConfig is a hardware-prefetching-only machine without Trident.
+func BaselineConfig(hw HWPrefetch) Config { return core.BaselineConfig(hw) }
+
+// Program is an executable image for the simulator.
+type Program = program.Program
+
+// Builder constructs programs programmatically.
+type Builder = program.Builder
+
+// NewBuilder creates a program builder with the given code and data bases.
+func NewBuilder(name string, codeBase, dataBase uint64) *Builder {
+	return program.NewBuilder(name, codeBase, dataBase)
+}
+
+// Assemble translates assembler source text into a program (see
+// internal/asm for the syntax).
+func Assemble(name, src string) (*Program, error) { return asm.Assemble(name, src) }
+
+// MustAssemble is Assemble that panics on error.
+func MustAssemble(name, src string) *Program { return asm.MustAssemble(name, src) }
+
+// NewSystem builds a machine for a program.
+func NewSystem(cfg Config, p *Program) *System { return core.NewSystem(cfg, p) }
+
+// Run builds a machine and executes it until `instrs` original-program
+// instructions have committed (or the program halts).
+func Run(cfg Config, p *Program, instrs uint64) Results {
+	return core.NewSystem(cfg, p).Run(instrs)
+}
+
+// Speedup is r's IPC relative to baseline's.
+func Speedup(r, baseline Results) float64 { return core.Speedup(r, baseline) }
+
+// Scale selects a workload's working-set size.
+type Scale = workloads.Scale
+
+// Workload scales.
+const (
+	ScaleTest  = workloads.ScaleTest
+	ScaleSmall = workloads.ScaleSmall
+	ScaleFull  = workloads.ScaleFull
+)
+
+// Workload is one synthetic benchmark.
+type Workload = workloads.Benchmark
+
+// Benchmarks returns the fourteen synthetic benchmarks in the paper's
+// order.
+func Benchmarks() []Workload { return workloads.All() }
+
+// Benchmark finds a benchmark by name (e.g. "mcf").
+func Benchmark(name string) (Workload, bool) { return workloads.ByName(name) }
+
+// ExpOptions scales an experiment run.
+type ExpOptions = exp.Options
+
+// ExpTable is a rendered experiment result.
+type ExpTable = exp.Table
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment = exp.Experiment
+
+// Experiments returns every experiment of the paper's evaluation section in
+// order (Figure 2 through Figure 9, plus the §5.1 overhead and §5.4
+// extra-cache controls).
+func Experiments() []Experiment { return exp.All() }
+
+// ExperimentByID finds an experiment ("fig2".."fig9", "overhead",
+// "extracache").
+func ExperimentByID(id string) (Experiment, bool) { return exp.ByID(id) }
