@@ -7,13 +7,21 @@
 //	tridentsim -bench swim -sw off -hw 8x8 # hardware prefetching only
 //	tridentsim -bench art -sw basic -hw none -instrs 5000000
 //	tridentsim -bench mcf -scale small -v  # verbose: per-outcome breakdown
+//	tridentsim -bench mcf -chaos eviction-storm -chaos-seed 7
+//
+// With -chaos, a deterministic fault-injection schedule perturbs the run
+// (see internal/chaos for the presets), the invariant watchdog and the
+// architectural-transparency shadow run are attached, and the process exits
+// non-zero if the run aborts or any invariant is violated.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"tridentsp/internal/chaos"
 	"tridentsp/internal/core"
 	"tridentsp/internal/memsys"
 	"tridentsp/internal/workloads"
@@ -32,6 +40,8 @@ func main() {
 		instrs  = flag.Uint64("instrs", 2_000_000, "instruction budget")
 		scale   = flag.String("scale", "full", "working-set scale: test, small, full")
 		verbose = flag.Bool("v", false, "print the full outcome breakdown")
+		preset  = flag.String("chaos", "", "fault-injection preset: "+presetList())
+		seed    = flag.Uint64("chaos-seed", 1, "fault-injection schedule seed")
 	)
 	flag.Parse()
 
@@ -88,6 +98,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *preset != "" {
+		// Horizon in cycles: twice the instruction budget covers the whole
+		// run for any IPC above 0.5.
+		sched, err := chaos.NewSchedule(chaos.Preset(*preset), *seed, int64(*instrs)*2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v (presets: %s)\n", err, presetList())
+			os.Exit(1)
+		}
+		cfg.Chaos = sched
+		cfg.ChaosShadow = true
+	}
+
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+
 	p := bm.Build(sc)
 	res := core.NewSystem(cfg, p).Run(*instrs)
 	fmt.Print(res.String())
@@ -110,6 +137,17 @@ func main() {
 		fmt.Printf("  extensions: backed-out=%d specialized=%d phase-clears=%d\n",
 			res.TracesBackedOut, res.TracesSpecialized, res.PhaseClears)
 	}
+	if res.Aborted != "" || res.InvariantViolations > 0 {
+		os.Exit(2)
+	}
+}
+
+func presetList() string {
+	var names []string
+	for _, p := range chaos.Presets() {
+		names = append(names, string(p))
+	}
+	return strings.Join(names, ", ")
 }
 
 func flagWasSet(name string) bool {

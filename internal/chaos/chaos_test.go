@@ -1,0 +1,180 @@
+package chaos
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestNewScheduleDeterministic(t *testing.T) {
+	for _, preset := range Presets() {
+		a, err := NewSchedule(preset, 42, 1_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		b, err := NewSchedule(preset, 42, 1_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different schedules", preset)
+		}
+		if len(a.Events) == 0 {
+			t.Errorf("%s: empty schedule", preset)
+		}
+		c, err := NewSchedule(preset, 43, 1_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		if reflect.DeepEqual(a.Events, c.Events) {
+			t.Errorf("%s: different seeds produced identical events", preset)
+		}
+	}
+}
+
+func TestNewScheduleRejectsBadInput(t *testing.T) {
+	if _, err := NewSchedule(PresetMonkey, 1, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := NewSchedule(Preset("nope"), 1, 1000); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"unknown kind", Event{Kind: numKinds, At: 1}},
+		{"negative time", Event{Kind: DLTFlush, At: -1}},
+		{"negative duration", Event{Kind: LatencyShift, At: 1, Duration: -5, Arg: 2}},
+		{"windowed zero duration", Event{Kind: HelperPreempt, At: 1}},
+		{"latency factor zero", Event{Kind: LatencySpike, At: 1, Duration: 10, Arg: 0}},
+		{"squeeze zero ways", Event{Kind: DLTSqueeze, At: 1, Duration: 10, Arg: 0}},
+		{"evict zero count", Event{Kind: WatchEvict, At: 1, Arg: 0}},
+	}
+	for _, c := range cases {
+		s := &Schedule{Events: []Event{c.ev}}
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	unsorted := &Schedule{Events: []Event{
+		{Kind: DLTFlush, At: 100},
+		{Kind: DLTFlush, At: 50},
+	}}
+	if err := unsorted.Validate(); err == nil {
+		t.Error("unsorted events accepted")
+	}
+	ok := &Schedule{Events: []Event{
+		{Kind: DLTFlush, At: 50},
+		{Kind: LatencyShift, At: 100, Duration: 200, Arg: 3},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestRunCursorEdges(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: LatencyShift, At: 100, Duration: 50, Arg: 2}, // exit at 150
+		{Kind: DLTFlush, At: 120},
+	}}
+	r := s.Start()
+	if got := r.NextAt(); got != 100 {
+		t.Fatalf("NextAt = %d, want 100", got)
+	}
+	if due := r.Due(99); len(due) != 0 {
+		t.Fatalf("premature edges: %v", due)
+	}
+	due := r.Due(120)
+	if len(due) != 2 || !due[0].Enter || due[0].Event.Kind != LatencyShift ||
+		!due[1].Enter || due[1].Event.Kind != DLTFlush {
+		t.Fatalf("edges at 120: %+v", due)
+	}
+	due = r.Due(10_000)
+	if len(due) != 1 || due[0].Enter || due[0].Event.Kind != LatencyShift || due[0].At != 150 {
+		t.Fatalf("exit edge: %+v", due)
+	}
+	if got := r.NextAt(); got != math.MaxInt64 {
+		t.Fatalf("exhausted NextAt = %d", got)
+	}
+	if r.Applied != 3 {
+		t.Fatalf("Applied = %d, want 3", r.Applied)
+	}
+
+	// A second cursor over the same schedule replays identically.
+	r2 := s.Start()
+	if got := len(r2.Due(10_000)); got != 3 {
+		t.Fatalf("fresh cursor saw %d edges, want 3", got)
+	}
+}
+
+func TestInstantaneousEventsHaveNoExitEdge(t *testing.T) {
+	s := &Schedule{Events: []Event{
+		{Kind: CacheFlush, At: 10},
+		{Kind: CodeCacheEvict, At: 20, Arg: 1},
+		{Kind: WatchEvict, At: 30, Arg: 4},
+		{Kind: DLTFlush, At: 40},
+	}}
+	r := s.Start()
+	due := r.Due(1_000)
+	if len(due) != 4 {
+		t.Fatalf("got %d edges, want 4 (no exits for instantaneous faults)", len(due))
+	}
+	for _, ed := range due {
+		if !ed.Enter {
+			t.Errorf("instantaneous fault %s produced an exit edge", ed.Event.Kind)
+		}
+	}
+}
+
+func TestMonitorRecordsViolations(t *testing.T) {
+	m := NewMonitor(100)
+	healthy := true
+	m.Register("flaky", func(now int64) error {
+		if healthy {
+			return nil
+		}
+		return errors.New("broke")
+	})
+	m.Tick(50) // not due yet
+	if m.Ticks() != 0 {
+		t.Fatalf("premature tick")
+	}
+	m.Tick(100)
+	healthy = false
+	m.Tick(199) // not due
+	m.Tick(250)
+	m.Tick(300)
+	if m.Ticks() != 3 {
+		t.Fatalf("Ticks = %d, want 3", m.Ticks())
+	}
+	vs := m.Violations()
+	if len(vs) != 2 {
+		t.Fatalf("violations = %d, want 2", len(vs))
+	}
+	if vs[0].Check != "flaky" || vs[0].At != 250 {
+		t.Errorf("violation[0] = %+v", vs[0])
+	}
+	if vs[0].String() == "" {
+		t.Error("empty violation string")
+	}
+}
+
+func TestPresetEventTimesWithinHorizon(t *testing.T) {
+	const horizon = 500_000
+	for _, preset := range Presets() {
+		s, err := NewSchedule(preset, 7, horizon)
+		if err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		for _, e := range s.Events {
+			if e.At < 1 || e.At > horizon+horizon/2 {
+				t.Errorf("%s: event %s at %d far outside horizon %d", preset, e.Kind, e.At, horizon)
+			}
+		}
+	}
+}

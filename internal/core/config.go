@@ -7,8 +7,12 @@
 package core
 
 import (
+	"fmt"
+
+	"tridentsp/internal/chaos"
 	"tridentsp/internal/cpu"
 	"tridentsp/internal/dlt"
+	"tridentsp/internal/isa"
 	"tridentsp/internal/memsys"
 	"tridentsp/internal/prefetch"
 	"tridentsp/internal/streambuf"
@@ -128,6 +132,30 @@ type Config struct {
 	PhaseWindow uint64
 	// PhaseDelta is the relative miss-rate change that signals a phase.
 	PhaseDelta float64
+
+	// Chaos optionally attaches a deterministic fault-injection schedule
+	// (see internal/chaos). Schedules are immutable and shareable: every
+	// System built from this Config replays the same faults at the same
+	// cycles. nil means no faults and zero per-step overhead.
+	Chaos *chaos.Schedule
+	// ChaosMonitorEvery is the invariant watchdog's probe period in
+	// cycles. When positive and Chaos is set, a chaos.Monitor checks the
+	// DESIGN §6 invariants (controller distance bounds, repair budget,
+	// DLT consistency, Figure-6 category sums) every so many cycles and
+	// records violations in Results.
+	ChaosMonitorEvery int64
+	// ChaosShadow additionally runs an unoptimized shadow machine in
+	// lockstep and compares architectural register state at every
+	// watchdog probe that lands in original code — the continuous
+	// transparency check. Roughly doubles simulation cost; only honored
+	// when the watchdog is attached.
+	ChaosShadow bool
+
+	// LivelockWindow aborts a run when no original instruction commits
+	// for this many cycles (e.g. a self-loop left by a bad patch),
+	// reporting the reason in Results.Aborted instead of spinning to the
+	// cycle limit. 0 disables detection.
+	LivelockWindow int64
 }
 
 // DefaultConfig is the paper's evaluated machine: Table 1 core and memory,
@@ -157,6 +185,9 @@ func DefaultConfig() Config {
 		BackoutRatio:      0.25,
 		PhaseWindow:       500_000,
 		PhaseDelta:        0.5,
+
+		ChaosMonitorEvery: 25_000,
+		LivelockWindow:    1_000_000,
 	}
 }
 
@@ -189,6 +220,79 @@ func (c Config) prefetchConfig() prefetch.Config {
 		DerefPointers:    c.DerefPointers,
 		InitFromEstimate: c.InitFromEstimate,
 	}
+}
+
+// Validate rejects configurations that would silently misbehave, with
+// descriptive errors. NewSystem calls it and panics on failure (matching
+// the substrate constructors); CLIs call it first to report friendly
+// errors instead.
+func (c Config) Validate() error {
+	if c.CPU.IssueWidth < 1 {
+		return fmt.Errorf("core: CPU.IssueWidth must be at least 1, got %d", c.CPU.IssueWidth)
+	}
+	if c.Mem.LineSize < 1 || c.Mem.LineSize&(c.Mem.LineSize-1) != 0 {
+		return fmt.Errorf("core: Mem.LineSize must be a positive power of two, got %d", c.Mem.LineSize)
+	}
+	if c.Mem.MemLatency < 1 {
+		return fmt.Errorf("core: Mem.MemLatency must be positive, got %d", c.Mem.MemLatency)
+	}
+	if c.Mem.BusOccupancy < 1 {
+		return fmt.Errorf("core: Mem.BusOccupancy must be positive, got %d", c.Mem.BusOccupancy)
+	}
+	if c.Mem.MaxInFlight < 1 {
+		return fmt.Errorf("core: Mem.MaxInFlight must be positive, got %d", c.Mem.MaxInFlight)
+	}
+	if c.ScratchReg >= uint8(isa.NumRegs) {
+		return fmt.Errorf("core: ScratchReg %d outside register file (0..%d)", c.ScratchReg, isa.NumRegs-1)
+	}
+	if c.Trident {
+		if c.WatchCapacity < 1 {
+			return fmt.Errorf("core: WatchCapacity must be positive with Trident, got %d", c.WatchCapacity)
+		}
+		if c.EventQueueCap < 1 {
+			return fmt.Errorf("core: EventQueueCap must be positive with Trident, got %d", c.EventQueueCap)
+		}
+		if c.DLT.WindowSize == 0 {
+			return fmt.Errorf("core: DLT.WindowSize must be positive with Trident")
+		}
+		if c.DLT.Entries < 1 || c.DLT.Assoc < 1 {
+			return fmt.Errorf("core: DLT needs positive Entries and Assoc, got %d/%d", c.DLT.Entries, c.DLT.Assoc)
+		}
+		if c.SW != SWOff && c.MaxDistanceCap < 1 {
+			return fmt.Errorf("core: MaxDistanceCap must be at least 1 with software prefetching, got %d", c.MaxDistanceCap)
+		}
+	}
+	if c.Backout {
+		if c.BackoutMinEntries == 0 {
+			return fmt.Errorf("core: BackoutMinEntries must be positive with Backout enabled")
+		}
+		if c.BackoutRatio < 0 || c.BackoutRatio > 1 {
+			return fmt.Errorf("core: BackoutRatio must be in [0,1], got %g", c.BackoutRatio)
+		}
+	}
+	if c.ValueSpecialize && c.GuardReg >= uint8(isa.NumRegs) {
+		return fmt.Errorf("core: GuardReg %d outside register file (0..%d)", c.GuardReg, isa.NumRegs-1)
+	}
+	if c.PhaseClearMature {
+		if c.PhaseWindow == 0 {
+			return fmt.Errorf("core: PhaseWindow must be positive with PhaseClearMature")
+		}
+		if c.PhaseDelta <= 0 {
+			return fmt.Errorf("core: PhaseDelta must be positive with PhaseClearMature, got %g", c.PhaseDelta)
+		}
+	}
+	if c.LivelockWindow < 0 {
+		return fmt.Errorf("core: LivelockWindow must be non-negative, got %d", c.LivelockWindow)
+	}
+	if c.ChaosMonitorEvery < 0 {
+		return fmt.Errorf("core: ChaosMonitorEvery must be non-negative, got %d", c.ChaosMonitorEvery)
+	}
+	if c.Chaos != nil {
+		if err := c.Chaos.Validate(); err != nil {
+			return fmt.Errorf("core: invalid chaos schedule: %w", err)
+		}
+	}
+	return nil
 }
 
 // streambufConfig derives the stream-buffer configuration.

@@ -59,6 +59,23 @@ type Results struct {
 	// Stream buffer activity.
 	SBSupplies uint64
 	SBFills    uint64
+
+	// DLTEvents counts delinquent-load events the table raised; the
+	// resilience experiment watches its windowed rate re-converge after
+	// faults.
+	DLTEvents uint64
+
+	// Aborted is non-empty when Run stopped early (e.g. livelock
+	// detection) and names the reason.
+	Aborted string
+
+	// Fault injection (zero without Config.Chaos).
+	ChaosFaults         uint64 // fault edges applied
+	HelperPreemptions   uint64
+	WatchdogProbes      uint64 // invariant check rounds completed
+	InvariantViolations uint64
+	// FirstViolation describes the earliest violation ("" when none).
+	FirstViolation string
 }
 
 // IPC returns original instructions per cycle.
@@ -114,6 +131,16 @@ func (r Results) String() string {
 		r.Mem.Loads, r.MissesTotal, 100*r.TraceMissCoverage(), 100*r.PrefetchMissCoverage())
 	fmt.Fprintf(&sb, "  traces=%d insertions=%d repairs=%d matured=%d helper=%.2f%%\n",
 		r.TracesFormed, r.Insertions, r.Repairs, r.Matured, 100*r.HelperActiveFraction())
+	if r.ChaosFaults > 0 || r.WatchdogProbes > 0 {
+		fmt.Fprintf(&sb, "  chaos: faults=%d preemptions=%d probes=%d violations=%d\n",
+			r.ChaosFaults, r.HelperPreemptions, r.WatchdogProbes, r.InvariantViolations)
+		if r.FirstViolation != "" {
+			fmt.Fprintf(&sb, "  first violation: %s\n", r.FirstViolation)
+		}
+	}
+	if r.Aborted != "" {
+		fmt.Fprintf(&sb, "  ABORTED: %s\n", r.Aborted)
+	}
 	return sb.String()
 }
 
@@ -155,6 +182,24 @@ func (s *System) results() Results {
 		r.Matured = s.opt.Stats.Matured
 		r.PrefetchesPlaced = s.opt.Stats.PrefetchesPlaced
 		r.DerefChains = s.opt.Stats.DerefChainsPlaced
+	}
+	if s.table != nil {
+		r.DLTEvents = s.table.Events
+	}
+	if s.helper != nil {
+		r.HelperPreemptions = s.helper.Preemptions
+	}
+	r.Aborted = s.aborted
+	if s.chaosRun != nil {
+		r.ChaosFaults = s.chaosRun.Applied
+	}
+	if s.monitor != nil {
+		r.WatchdogProbes = s.monitor.Ticks()
+		vs := s.monitor.Violations()
+		r.InvariantViolations = uint64(len(vs))
+		if len(vs) > 0 {
+			r.FirstViolation = vs[0].String()
+		}
 	}
 	return r
 }

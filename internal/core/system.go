@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tridentsp/internal/branchpred"
+	"tridentsp/internal/chaos"
 	"tridentsp/internal/cpu"
 	"tridentsp/internal/dlt"
 	"tridentsp/internal/isa"
@@ -54,6 +55,16 @@ type System struct {
 	// Trace back-out bookkeeping (per live trace ID).
 	activity map[int]*traceActivity
 
+	// Fault injection (nil without cfg.Chaos).
+	chaosRun    *chaos.Run
+	monitor     *chaos.Monitor
+	shadow      *System // lockstep unoptimized twin for transparency checks
+	latFactors  []int64 // active latency multipliers (overlapping windows)
+	assocLimits []int   // active DLT associativity squeezes
+
+	// aborted is the Run-abort reason ("" while healthy).
+	aborted string
+
 	// Phase detection state.
 	phaseMarkInstrs uint64
 	phaseMarkMisses uint64
@@ -88,8 +99,14 @@ type traceActivity struct {
 	hasLoopSet bool
 }
 
-// NewSystem builds a machine for the program.
+// NewSystem builds a machine for the program. The configuration must pass
+// Config.Validate; NewSystem panics on an invalid one (matching the
+// substrate constructors — an invalid machine cannot produce meaningful
+// results). CLIs validate first for friendly errors.
 func NewSystem(cfg Config, prog *program.Program) *System {
+	if err := cfg.Validate(); err != nil {
+		panic("core: invalid config: " + err.Error())
+	}
 	s := &System{
 		cfg:      cfg,
 		pristine: prog.Clone(),
@@ -119,6 +136,12 @@ func NewSystem(cfg Config, prog *program.Program) *System {
 		if cfg.SW != SWOff {
 			s.opt = prefetch.New(cfg.prefetchConfig(), s.table, s.cache,
 				s.watch, linkerFunc(s.linkTrace), cfg.Cost)
+		}
+	}
+	if cfg.Chaos != nil {
+		s.chaosRun = cfg.Chaos.Start()
+		if cfg.ChaosMonitorEvery > 0 {
+			s.attachWatchdog()
 		}
 	}
 	return s
@@ -170,10 +193,27 @@ func (s *System) Optimizer() *prefetch.Optimizer { return s.opt }
 func (s *System) DLT() *dlt.Table { return s.table }
 
 // Run executes until origInstrs original instructions have committed (or
-// the program halts), returning the results.
+// the program halts), returning the results. When LivelockWindow is set
+// and no original instruction commits for that many cycles (a self-loop
+// after a bad patch can spin forever without retiring original work), the
+// run is aborted with the reason in Results.Aborted. Run is resumable: a
+// later call with a higher limit continues the same machine.
 func (s *System) Run(limit uint64) Results {
-	for s.origInstrs < limit && !s.thread.Halted() {
+	s.syncShadowInit()
+	lastInstrs := s.origInstrs
+	lastProgress := s.thread.Now()
+	for s.origInstrs < limit && !s.thread.Halted() && s.aborted == "" {
 		s.step()
+		if s.cfg.LivelockWindow > 0 {
+			if s.origInstrs != lastInstrs {
+				lastInstrs = s.origInstrs
+				lastProgress = s.thread.Now()
+			} else if s.thread.Now()-lastProgress >= s.cfg.LivelockWindow {
+				s.aborted = fmt.Sprintf(
+					"livelock: no original-instruction progress for %d cycles (pc=%#x, cycle=%d)",
+					s.thread.Now()-lastProgress, s.thread.PC(), s.thread.Now())
+			}
+		}
 	}
 	return s.results()
 }
@@ -186,6 +226,13 @@ func (s *System) step() {
 	}
 	pc := info.PC
 	now := info.Now
+
+	// Fault injection: apply every chaos edge that has come due.
+	if s.chaosRun != nil && now >= s.chaosRun.NextAt() {
+		for _, ed := range s.chaosRun.Due(now) {
+			s.applyChaosEdge(ed)
+		}
+	}
 
 	// Placement tracking: which hot trace (if any) is executing.
 	var pl *trident.Placement
@@ -261,6 +308,11 @@ func (s *System) step() {
 
 	s.curPl = pl
 	s.lastNow = now
+
+	// Invariant watchdog probe (chaotic runs only).
+	if s.monitor != nil && now >= s.monitor.NextAt() {
+		s.monitor.Tick(now)
+	}
 }
 
 // checkPhase compares the last window's miss rate against the previous
@@ -305,6 +357,21 @@ func (s *System) trackTraversal(pl *trident.Placement, pc uint64, now int64) {
 		// Entered a trace.
 		s.traversalStart = s.lastNow
 		s.inTraversal = true
+		if pl.Live {
+			if _, ok := s.watch.ByID(pl.TraceID); !ok {
+				// Self-healing: the watch entry was evicted (capacity
+				// pressure or an injected eviction storm) while the trace
+				// stayed linked. Re-register it so timing history rebuilds
+				// and delinquent events can reach the optimizer again —
+				// without this an evicted trace would run unmonitored and
+				// unrepairable forever.
+				s.watch.Add(&trident.WatchEntry{
+					StartPC: pl.Trace.StartPC,
+					TraceID: pl.TraceID,
+					Length:  pl.Trace.Len(),
+				})
+			}
+		}
 		if s.cfg.Backout {
 			s.noteEntry(pl)
 		}
@@ -352,10 +419,13 @@ func (s *System) noteEntry(pl *trident.Placement) {
 	s.backOut(pl)
 }
 
-// backOut unlinks an under-performing trace: the original head instruction
-// is restored, the placement retired and drained, the watch entry dropped,
-// and the profiler re-armed for this head.
-func (s *System) backOut(pl *trident.Placement) {
+// unlinkTrace detaches a placed trace from execution: the original head
+// instruction is restored from the pristine image, the placement retired
+// and drained (loop-back branches retargeted through the original head, so
+// execution already inside it exits safely), the watch entry dropped, and
+// the profiler re-armed for this head. Shared by the back-out policy and
+// injected code-cache evictions.
+func (s *System) unlinkTrace(pl *trident.Placement) {
 	head := pl.Trace.StartPC
 	if w, ok := s.pristine.WordAt(head); ok && s.patched[head] {
 		if err := s.live.Patch(head, w); err == nil {
@@ -378,6 +448,12 @@ func (s *System) backOut(pl *trident.Placement) {
 		s.vpt.Despecialize()
 	}
 	delete(s.activity, pl.TraceID)
+}
+
+// backOut unlinks an under-performing trace (the captured path was not the
+// hot path after all).
+func (s *System) backOut(pl *trident.Placement) {
+	s.unlinkTrace(pl)
 	s.stats.tracesBackedOut++
 }
 

@@ -9,6 +9,8 @@
 // prefetch mature flag.
 package dlt
 
+import "fmt"
+
 // Config sizes the table and sets the delinquency thresholds (Table 2).
 type Config struct {
 	// Entries is the total table size (default 1024).
@@ -276,6 +278,70 @@ func (t *Table) IsDelinquent(pc uint64) bool {
 		needMisses = 1
 	}
 	return uint64(e.Miss) >= needMisses && e.AvgMissLatency() > t.cfg.LatencyThreshold
+}
+
+// Flush invalidates every entry — stride history, window counters, and
+// mature flags are all lost (fault injection: an eviction storm wiping the
+// table). Returns how many entries were dropped.
+func (t *Table) Flush() int {
+	n := 0
+	for i, set := range t.sets {
+		n += len(set)
+		t.Evictions += uint64(len(set))
+		t.sets[i] = set[:0]
+	}
+	return n
+}
+
+// SetAssocLimit clamps the table's effective associativity to ways (fault
+// injection: a capacity squeeze), trimming each set's LRU tail immediately.
+// Pass the configured associativity (or more) to lift the squeeze. Values
+// below 1 are clamped to 1; the limit never exceeds the built capacity.
+func (t *Table) SetAssocLimit(ways int) {
+	if ways < 1 {
+		ways = 1
+	}
+	if ways > cap(t.sets[0]) {
+		ways = cap(t.sets[0])
+	}
+	for i, set := range t.sets {
+		if len(set) > ways {
+			t.Evictions += uint64(len(set) - ways)
+			t.sets[i] = set[:ways]
+		}
+	}
+	t.cfg.Assoc = ways
+}
+
+// CheckInvariants verifies the table's internal consistency (DESIGN §6):
+// stride confidence saturates at StrideConfidenceMax, window counters never
+// exceed the window size, misses never exceed accesses, and sets respect
+// the (possibly squeezed) associativity. Returns nil when all hold.
+func (t *Table) CheckInvariants() error {
+	for si, set := range t.sets {
+		if len(set) > t.cfg.Assoc {
+			return fmt.Errorf("dlt: set %d holds %d entries, associativity %d", si, len(set), t.cfg.Assoc)
+		}
+		for i := range set {
+			e := &set[i]
+			if !e.valid {
+				continue
+			}
+			if e.Confidence > StrideConfidenceMax {
+				return fmt.Errorf("dlt: pc %#x stride confidence %d > %d", e.PC, e.Confidence, StrideConfidenceMax)
+			}
+			if e.Access > t.cfg.WindowSize {
+				return fmt.Errorf("dlt: pc %#x window access count %d > window size %d", e.PC, e.Access, t.cfg.WindowSize)
+			}
+			if e.Miss > e.Access {
+				return fmt.Errorf("dlt: pc %#x misses %d > accesses %d", e.PC, e.Miss, e.Access)
+			}
+			if e.Miss == 0 && e.MissLatency != 0 {
+				return fmt.Errorf("dlt: pc %#x has miss latency %d with zero misses", e.PC, e.MissLatency)
+			}
+		}
+	}
+	return nil
 }
 
 // Len counts valid entries (test helper).

@@ -150,6 +150,7 @@ func All() []Experiment {
 		{"extracache", "DLT bits spent on extra L1 capacity instead (§5.4)", ExtraCache},
 		{"fig9", "Software vs hardware prefetching alone", Figure9},
 		{"ablations", "Design-choice ablations (not in the paper)", Ablations},
+		{"resilience", "Self-repair resilience under fault injection (not in the paper)", Resilience},
 	}
 }
 

@@ -7,7 +7,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := []string{"fig2", "overhead", "fig3", "fig4", "fig5", "fig6",
-		"fig7", "fig8", "extracache", "fig9", "ablations"}
+		"fig7", "fig8", "extracache", "fig9", "ablations", "resilience"}
 	if len(All()) != len(ids) {
 		t.Fatalf("experiments = %d, want %d", len(All()), len(ids))
 	}
@@ -113,6 +113,25 @@ func TestFigure6Quick(t *testing.T) {
 		}
 		if sum < 99.0 || sum > 101.0 {
 			t.Errorf("%s: outcome percentages sum to %.2f", r.Label, sum)
+		}
+	}
+}
+
+func TestResilienceQuick(t *testing.T) {
+	tbl := Resilience(QuickOptions())
+	if len(tbl.Rows) != 3*3+1 { // 3 benchmarks x 3 presets + average
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows[:len(tbl.Rows)-1] {
+		faults, violations := r.Cells[4], r.Cells[5]
+		if faults == 0 {
+			t.Errorf("%s: no faults applied", r.Label)
+		}
+		if violations != 0 {
+			t.Errorf("%s: %v invariant violations", r.Label, violations)
+		}
+		if r.Cells[1] <= 0 {
+			t.Errorf("%s: chaotic run made no progress", r.Label)
 		}
 	}
 }

@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"fmt"
+
+	"tridentsp/internal/chaos"
+	"tridentsp/internal/core"
+)
+
+// Resilience is not in the paper: it quantifies how the self-repairing
+// controller behaves when the environment misbehaves. Each benchmark runs
+// under three fault-injection presets (memory-latency phase shifts, DLT and
+// watch-table eviction storms, helper-thread preemption windows) with the
+// invariant watchdog attached, and the run is sampled in fixed instruction
+// windows to measure the deepest IPC dip relative to the fault-free run and
+// how long the machine takes to climb back within 90% of it.
+func Resilience(o Options) Table {
+	o = o.withDefaults()
+	t := Table{
+		ID:      "resilience",
+		Title:   "Self-repair resilience under deterministic fault injection",
+		Paper:   "not in the paper; robustness evaluation of the self-repairing controller",
+		Columns: []string{"base ipc", "chaos ipc", "dip %", "recov kcyc", "faults", "violations"},
+		Note: "dip = deepest windowed-IPC drop vs the fault-free run; " +
+			"recovery = cycles from the first fault until windowed IPC stays above 90% of fault-free",
+	}
+	presets := []struct {
+		short  string
+		preset chaos.Preset
+	}{
+		{"latency", chaos.PresetLatencyPhase},
+		{"evict", chaos.PresetEvictionStorm},
+		{"preempt", chaos.PresetHelperPreemption},
+	}
+	// Windowed sampling via resumable Run calls; 50 windows resolves dips a
+	// few percent of the run long without drowning short QuickOptions runs.
+	const windows = 50
+	step := o.Instrs / windows
+	if step == 0 {
+		step = 1
+	}
+	for _, bm := range o.suite() {
+		cfg := core.DefaultConfig()
+		cfg.Backout = true
+		base := run(bm, cfg, o)
+		for _, pr := range presets {
+			// Horizon in cycles: twice the instruction budget covers the
+			// whole run down to IPC 0.5; later events simply never fire.
+			sched, err := chaos.NewSchedule(pr.preset, 1, int64(o.Instrs)*2)
+			if err != nil {
+				panic(fmt.Sprintf("exp: resilience schedule: %v", err))
+			}
+			ccfg := cfg
+			ccfg.Chaos = sched
+			sys := core.NewSystem(ccfg, bm.Build(o.Scale))
+
+			var (
+				prevCycles int64
+				prevInstrs uint64
+				prevFaults uint64
+				faultAt    int64 = -1 // window start when the first fault landed
+				dip        float64
+				badUntil   int64 // end cycle of the last sub-90% window
+				final      core.Results
+			)
+			for target := step; ; target += step {
+				if target > o.Instrs {
+					target = o.Instrs
+				}
+				final = sys.Run(target)
+				if dc := final.Cycles - prevCycles; dc > 0 {
+					ipc := float64(final.OrigInstrs-prevInstrs) / float64(dc)
+					if faultAt < 0 && final.ChaosFaults > prevFaults {
+						faultAt = prevCycles
+					}
+					if faultAt >= 0 && base.IPC() > 0 {
+						if d := 1 - ipc/base.IPC(); d > dip {
+							dip = d
+						}
+						if ipc < 0.9*base.IPC() {
+							badUntil = final.Cycles
+						}
+					}
+				}
+				prevCycles, prevInstrs, prevFaults = final.Cycles, final.OrigInstrs, final.ChaosFaults
+				if target == o.Instrs || final.Aborted != "" {
+					break
+				}
+			}
+			recov := 0.0
+			if faultAt >= 0 && badUntil > faultAt {
+				recov = float64(badUntil-faultAt) / 1000
+			}
+			t.Rows = append(t.Rows, Row{
+				Label: bm.Name + "/" + pr.short,
+				Cells: []float64{
+					base.IPC(), final.IPC(), 100 * dip, recov,
+					float64(final.ChaosFaults), float64(final.InvariantViolations),
+				},
+			})
+		}
+	}
+	meanRow(&t)
+	return t
+}

@@ -139,6 +139,20 @@ func (c *cache) invalidate(lineAddr uint64) bool {
 	return false
 }
 
+// flush invalidates every line, returning how many still carried the
+// prefetched mark (they died unused).
+func (c *cache) flush() (prefetched int) {
+	for i, set := range c.sets {
+		for _, l := range set {
+			if l.valid && l.prefetched {
+				prefetched++
+			}
+		}
+		c.sets[i] = set[:0]
+	}
+	return prefetched
+}
+
 // occupancy returns the number of valid lines (test/debug helper).
 func (c *cache) occupancy() int {
 	n := 0

@@ -407,6 +407,38 @@ func (h *Hierarchy) Drain(now int64) {
 // InFlight returns the number of outstanding fills.
 func (h *Hierarchy) InFlight() int { return len(h.inflight) }
 
+// SetMemLatency changes the memory access latency mid-run (fault injection:
+// a memory-system phase shift). Accesses already in flight keep the latency
+// they were issued with. Values below 1 are clamped to 1.
+func (h *Hierarchy) SetMemLatency(lat int64) {
+	if lat < 1 {
+		lat = 1
+	}
+	h.cfg.MemLatency = lat
+}
+
+// SetBusOccupancy changes the per-fill bus occupancy mid-run (fault
+// injection). Values below 1 are clamped to 1.
+func (h *Hierarchy) SetBusOccupancy(occ int64) {
+	if occ < 1 {
+		occ = 1
+	}
+	h.cfg.BusOccupancy = occ
+}
+
+// FlushCaches invalidates every line in every level and cancels in-flight
+// fills — the memory-system effect of an abrupt working-set shift. L1 lines
+// still carrying the prefetched mark die unused and are counted as wasted
+// prefetches, like any other eviction. The victim history is cleared: a
+// flushed line's next miss is the flush's fault, not prefetching's.
+func (h *Hierarchy) FlushCaches() {
+	h.Stats.WastedPrefetches += uint64(h.l1.flush())
+	h.l2.flush()
+	h.l3.flush()
+	h.inflight = make(map[uint64]*fill)
+	h.victims = newVictimSet(h.cfg.VictimHistory)
+}
+
 // ContainsL1 reports whether the line holding addr is resident in L1
 // (test helper).
 func (h *Hierarchy) ContainsL1(addr uint64) bool { return h.l1.contains(h.Line(addr)) }

@@ -2,6 +2,7 @@ package prefetch
 
 import (
 	"fmt"
+	"sort"
 
 	"tridentsp/internal/dlt"
 	"tridentsp/internal/isa"
@@ -613,6 +614,49 @@ func (o *Optimizer) clearGroupCounters(g *groupState) {
 	for _, m := range g.Members {
 		o.table.ClearCounters(m.OrigPC)
 	}
+}
+
+// CheckInvariants verifies the §3.5.2 controller invariants across every
+// tracked group (DESIGN §6): every distance lies in [1, MaxDistanceCap];
+// for groups still under repair the distance respects the current trace-
+// timing bound and the repair count stays within the 2×maxDist budget.
+// (A matured group may hold a distance above a *recomputed* bound — e.g.
+// after a watch-table eviction dropped the timing history — because the
+// clamp applies when distances are set, and maturity freezes them.)
+// Returns nil when all hold.
+func (o *Optimizer) CheckInvariants() error {
+	// Walk traces in address order: the check runs on watchdog ticks (off
+	// the hot path) and a deterministic walk keeps any reported violation
+	// identical across runs.
+	heads := make([]uint64, 0, len(o.traces))
+	for startPC := range o.traces {
+		heads = append(heads, startPC)
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+	for _, startPC := range heads {
+		ts := o.traces[startPC]
+		for _, g := range ts.groups {
+			if g.patchStride == 0 {
+				continue // deref-only chases carry no distance
+			}
+			if g.distance < 1 || g.distance > o.cfg.MaxDistanceCap {
+				return fmt.Errorf("prefetch: trace %#x group base=%v distance %d outside [1,%d]", startPC, g.BaseReg, g.distance, o.cfg.MaxDistanceCap)
+			}
+			if g.mature {
+				continue
+			}
+			if g.maxDist < 1 {
+				return fmt.Errorf("prefetch: trace %#x group base=%v maxDist %d < 1", startPC, g.BaseReg, g.maxDist)
+			}
+			if g.distance > g.maxDist {
+				return fmt.Errorf("prefetch: trace %#x group base=%v distance %d > bound %d", startPC, g.BaseReg, g.distance, g.maxDist)
+			}
+			if g.repairsUsed > 2*g.maxDist {
+				return fmt.Errorf("prefetch: trace %#x group base=%v used %d repairs, budget %d", startPC, g.BaseReg, g.repairsUsed, 2*g.maxDist)
+			}
+		}
+	}
+	return nil
 }
 
 // Covered reports whether the load is prefetched or prefetchable — the

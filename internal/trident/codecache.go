@@ -185,6 +185,15 @@ func (c *CodeCache) RetargetLoops(id int, target uint64) error {
 	return nil
 }
 
+// VisitPlacements calls fn for every placement in placement order (live and
+// retired). fn may mutate the placement but must not place or retire traces
+// during the walk.
+func (c *CodeCache) VisitPlacements(fn func(*Placement)) {
+	for i := range c.placements {
+		fn(&c.placements[i])
+	}
+}
+
 // LiveTraces counts linked traces.
 func (c *CodeCache) LiveTraces() int {
 	n := 0

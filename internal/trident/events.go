@@ -125,6 +125,7 @@ type Helper struct {
 	// Stats.
 	Invocations  uint64
 	ActiveCycles int64
+	Preemptions  uint64
 }
 
 // NewHelper builds the scheduler.
@@ -148,6 +149,19 @@ func (h *Helper) Begin(now, workCycles int64) int64 {
 	h.ActiveCycles += total
 	h.Invocations++
 	return h.busyUntil
+}
+
+// Preempt makes the helper context unavailable until the given cycle (fault
+// injection: the OS steals the spare hardware context). Unlike Begin it
+// counts no invocation and no active cycles — the helper does nothing, it
+// just cannot run. A preemption that ends before the current invocation
+// would finish anyway has no effect.
+func (h *Helper) Preempt(until int64) {
+	if h.busyUntil >= until {
+		return
+	}
+	h.busyUntil = until
+	h.Preemptions++
 }
 
 // Cost exposes the model for the optimizer's per-action pricing.

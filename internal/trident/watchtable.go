@@ -113,5 +113,23 @@ func (t *WatchTable) ByID(id int) (*WatchEntry, bool) {
 	return e, ok
 }
 
+// Evict forcibly drops up to n entries in insertion order — oldest first —
+// returning how many were dropped (fault injection: a watch-table eviction
+// storm). Evicted traces lose their timing history and optimization flags;
+// they are re-learned from scratch if re-registered.
+func (t *WatchTable) Evict(n int) int {
+	dropped := 0
+	for dropped < n && len(t.order) > 0 {
+		victim, ok := t.byStart[t.order[0]]
+		if !ok {
+			t.order = t.order[1:]
+			continue
+		}
+		t.removeEntry(victim)
+		dropped++
+	}
+	return dropped
+}
+
 // Len returns the number of watched traces.
 func (t *WatchTable) Len() int { return len(t.byStart) }

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Full local gate: compile everything, vet, and run the whole test suite
+# under the race detector. The simulator is single-goroutine by design, so
+# -race is a cheap way to prove the chaos harness and shadow runs introduced
+# no hidden sharing.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
