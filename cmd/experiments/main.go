@@ -8,12 +8,19 @@
 //	experiments -list           # list experiments and the machine config
 //	experiments -instrs 5000000 # change the per-run instruction budget
 //	experiments -bench mcf,swim # restrict the benchmark suite
+//	experiments -j 8            # cap concurrent simulator runs (0 = NumCPU)
+//	experiments -quick -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Tables are byte-identical at any -j: runs execute concurrently but
+// results are assembled in a fixed order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"tridentsp/internal/core"
@@ -23,11 +30,14 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "", "experiment id to run (default: all)")
-		quick  = flag.Bool("quick", false, "reduced scale and suite")
-		list   = flag.Bool("list", false, "list experiments and configuration")
-		instrs = flag.Uint64("instrs", 0, "per-run instruction budget")
-		bench  = flag.String("bench", "", "comma-separated benchmark subset")
+		fig        = flag.String("fig", "", "experiment id to run (default: all)")
+		quick      = flag.Bool("quick", false, "reduced scale and suite")
+		list       = flag.Bool("list", false, "list experiments and configuration")
+		instrs     = flag.Uint64("instrs", 0, "per-run instruction budget")
+		bench      = flag.String("bench", "", "comma-separated benchmark subset")
+		jobs       = flag.Int("j", 0, "max concurrent simulator runs (0 = all CPUs)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -44,7 +54,41 @@ func main() {
 		opts.Instrs = *instrs
 	}
 	if *bench != "" {
-		opts.Benchmarks = strings.Split(*bench, ",")
+		names, err := parseBenchList(*bench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		opts.Benchmarks = names
+	}
+	opts.Jobs = *jobs
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	if *fig != "" {
@@ -60,6 +104,26 @@ func main() {
 		fmt.Print(e.Run(opts).Render())
 		fmt.Println()
 	}
+}
+
+// parseBenchList splits a comma-separated benchmark list, trimming
+// whitespace and rejecting names the workload registry does not know.
+func parseBenchList(s string) ([]string, error) {
+	var names []string
+	for _, raw := range strings.Split(s, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		if _, ok := workloads.ByName(name); !ok {
+			return nil, fmt.Errorf("unknown benchmark %q; try -list", name)
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-bench %q names no benchmarks", s)
+	}
+	return names, nil
 }
 
 func printList() {

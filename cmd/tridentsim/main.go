@@ -1,5 +1,6 @@
-// Command tridentsim runs one benchmark on one simulated machine and prints
-// its statistics — the single-run counterpart of cmd/experiments.
+// Command tridentsim runs one or more benchmarks on one simulated machine
+// and prints their statistics — the single-run counterpart of
+// cmd/experiments.
 //
 // Usage:
 //
@@ -8,17 +9,22 @@
 //	tridentsim -bench art -sw basic -hw none -instrs 5000000
 //	tridentsim -bench mcf -scale small -v  # verbose: per-outcome breakdown
 //	tridentsim -bench mcf -chaos eviction-storm -chaos-seed 7
+//	tridentsim -bench swim,mcf,art -j 3    # fan benchmarks across workers
 //
-// With -chaos, a deterministic fault-injection schedule perturbs the run
+// With several -bench names the runs execute concurrently (bounded by -j;
+// 0 = all CPUs) and the reports print in the order the names were given.
+//
+// With -chaos, a deterministic fault-injection schedule perturbs each run
 // (see internal/chaos for the presets), the invariant watchdog and the
 // architectural-transparency shadow run are attached, and the process exits
-// non-zero if the run aborts or any invariant is violated.
+// non-zero if any run aborts or violates an invariant.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"tridentsp/internal/chaos"
@@ -29,7 +35,7 @@ import (
 
 func main() {
 	var (
-		bench   = flag.String("bench", "mcf", "benchmark name")
+		bench   = flag.String("bench", "mcf", "comma-separated benchmark names")
 		hw      = flag.String("hw", "8x8", "hardware prefetcher: none, 4x4, 8x8")
 		sw      = flag.String("sw", "self-repair", "software prefetching: off, basic, whole-object, self-repair")
 		trident = flag.Bool("trident", true, "enable the Trident framework")
@@ -42,14 +48,28 @@ func main() {
 		verbose = flag.Bool("v", false, "print the full outcome breakdown")
 		preset  = flag.String("chaos", "", "fault-injection preset: "+presetList())
 		seed    = flag.Uint64("chaos-seed", 1, "fault-injection schedule seed")
+		jobs    = flag.Int("j", 0, "max concurrent benchmark runs (0 = all CPUs)")
 	)
 	flag.Parse()
 
-	bm, ok := workloads.ByName(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+	var bms []workloads.Benchmark
+	for _, raw := range strings.Split(*bench, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		bm, ok := workloads.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+			os.Exit(1)
+		}
+		bms = append(bms, bm)
+	}
+	if len(bms) == 0 {
+		fmt.Fprintf(os.Stderr, "-bench %q names no benchmarks\n", *bench)
 		os.Exit(1)
 	}
+
 	cfg := core.DefaultConfig()
 	switch *hw {
 	case "none":
@@ -98,16 +118,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	// A Schedule is immutable (each System expands it into a private edge
+	// cursor), so one instance is safely shared by every concurrent run.
+	var sched *chaos.Schedule
 	if *preset != "" {
 		// Horizon in cycles: twice the instruction budget covers the whole
 		// run for any IPC above 0.5.
-		sched, err := chaos.NewSchedule(chaos.Preset(*preset), *seed, int64(*instrs)*2)
+		var err error
+		sched, err = chaos.NewSchedule(chaos.Preset(*preset), *seed, int64(*instrs)*2)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v (presets: %s)\n", err, presetList())
 			os.Exit(1)
 		}
-		cfg.Chaos = sched
-		cfg.ChaosShadow = true
 	}
 
 	if err := cfg.Validate(); err != nil {
@@ -115,31 +137,69 @@ func main() {
 		os.Exit(1)
 	}
 
-	p := bm.Build(sc)
-	res := core.NewSystem(cfg, p).Run(*instrs)
-	fmt.Print(res.String())
-	if *verbose {
-		fmt.Println("outcome breakdown:")
+	// Fan the benchmarks across workers; reports print in argument order.
+	nj := *jobs
+	if nj <= 0 {
+		nj = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, nj)
+	type outcome struct {
+		report string
+		failed bool
+	}
+	outs := make([]chan outcome, len(bms))
+	for i, bm := range bms {
+		outs[i] = make(chan outcome, 1)
+		i, bm := i, bm
+		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ccfg := cfg
+			if sched != nil {
+				ccfg.Chaos = sched
+				ccfg.ChaosShadow = true
+			}
+			res := core.NewSystem(ccfg, bm.Build(sc)).Run(*instrs)
+			outs[i] <- outcome{
+				report: renderRun(res, *verbose),
+				failed: res.Aborted != "" || res.InvariantViolations > 0,
+			}
+		}()
+	}
+	exitCode := 0
+	for i := range bms {
+		out := <-outs[i]
+		fmt.Print(out.report)
+		if out.failed {
+			exitCode = 2
+		}
+	}
+	os.Exit(exitCode)
+}
+
+func renderRun(res core.Results, verbose bool) string {
+	var sb strings.Builder
+	sb.WriteString(res.String())
+	if verbose {
+		sb.WriteString("outcome breakdown:\n")
 		for out := 0; out < memsys.NumOutcomes; out++ {
 			pct := 0.0
 			if res.Mem.Loads > 0 {
 				pct = 100 * float64(res.Mem.ByOutcome[out]) / float64(res.Mem.Loads)
 			}
-			fmt.Printf("  %-22s %10d  %6.2f%%\n", memsys.Outcome(out), res.Mem.ByOutcome[out], pct)
+			fmt.Fprintf(&sb, "  %-22s %10d  %6.2f%%\n", memsys.Outcome(out), res.Mem.ByOutcome[out], pct)
 		}
-		fmt.Printf("  prefetches: issued=%d redundant=%d dropped=%d wasted=%d\n",
+		fmt.Fprintf(&sb, "  prefetches: issued=%d redundant=%d dropped=%d wasted=%d\n",
 			res.Mem.PrefetchesIssued, res.Mem.PrefetchesRedundant,
 			res.Mem.PrefetchesDropped, res.Mem.WastedPrefetches)
-		fmt.Printf("  stream buffers: supplies=%d fills=%d\n", res.SBSupplies, res.SBFills)
-		fmt.Printf("  branch accuracy: %.3f\n", res.BranchAccuracy)
-		fmt.Printf("  events: raised=%d dropped=%d; code cache %d bytes, %d live traces\n",
+		fmt.Fprintf(&sb, "  stream buffers: supplies=%d fills=%d\n", res.SBSupplies, res.SBFills)
+		fmt.Fprintf(&sb, "  branch accuracy: %.3f\n", res.BranchAccuracy)
+		fmt.Fprintf(&sb, "  events: raised=%d dropped=%d; code cache %d bytes, %d live traces\n",
 			res.EventsRaised, res.EventsDropped, res.CodeCacheBytes, res.LiveTraces)
-		fmt.Printf("  extensions: backed-out=%d specialized=%d phase-clears=%d\n",
+		fmt.Fprintf(&sb, "  extensions: backed-out=%d specialized=%d phase-clears=%d\n",
 			res.TracesBackedOut, res.TracesSpecialized, res.PhaseClears)
 	}
-	if res.Aborted != "" || res.InvariantViolations > 0 {
-		os.Exit(2)
-	}
+	return sb.String()
 }
 
 func presetList() string {

@@ -146,11 +146,19 @@ type Schedule struct {
 	Events []Event // sorted by At
 }
 
+// MinHorizon is the shortest schedule horizon NewSchedule accepts. Fault
+// plans over fewer cycles than this are degenerate: every preset's phases
+// would collapse to zero-length strides.
+const MinHorizon = 1000
+
 // NewSchedule expands a preset into concrete events spread over roughly
 // `horizon` cycles, deterministically derived from the seed.
 func NewSchedule(preset Preset, seed uint64, horizon int64) (*Schedule, error) {
-	if horizon <= 0 {
-		return nil, fmt.Errorf("chaos: horizon must be positive, got %d", horizon)
+	// The generators stride through the horizon in fractions down to
+	// horizon/16; a horizon too short to keep those strides positive would
+	// loop forever appending events, so it is rejected, not clamped.
+	if horizon < MinHorizon {
+		return nil, fmt.Errorf("chaos: horizon %d too short (need >= %d cycles)", horizon, MinHorizon)
 	}
 	g := gen{state: seed*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3}
 	var events []Event

@@ -178,3 +178,17 @@ func TestPresetEventTimesWithinHorizon(t *testing.T) {
 		}
 	}
 }
+
+// TestDegenerateHorizonRejected guards the generator stride math: horizons
+// shorter than MinHorizon once sent latencyPhaseEvents into a zero-stride
+// loop that appended events forever.
+func TestDegenerateHorizonRejected(t *testing.T) {
+	for _, h := range []int64{1, 2, 999} {
+		if _, err := NewSchedule(PresetMonkey, 1, h); err == nil {
+			t.Errorf("horizon %d accepted", h)
+		}
+	}
+	if _, err := NewSchedule(PresetMonkey, 1, MinHorizon); err != nil {
+		t.Errorf("horizon %d rejected: %v", MinHorizon, err)
+	}
+}

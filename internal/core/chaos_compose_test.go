@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"tridentsp/internal/chaos"
+)
+
+// TestChaosFlushComposesWithFastTables pins fault injection against the
+// open-addressed MSHR and victim buffer: the eviction-storm preset (DLT
+// flush bursts) and the workload-shift preset (full cache flushes, which
+// now reset the in-flight and victim tables in place) must still run to
+// completion with faults applied and zero invariant violations.
+func TestChaosFlushComposesWithFastTables(t *testing.T) {
+	for _, preset := range []chaos.Preset{chaos.PresetEvictionStorm, chaos.PresetWorkloadShift} {
+		preset := preset
+		t.Run(string(preset), func(t *testing.T) {
+			sched, err := chaos.NewSchedule(preset, 11, 1_500_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := NewSystem(chaosConfig(sched), artProgram()).Run(400_000)
+			if res.Aborted != "" {
+				t.Fatalf("aborted: %s", res.Aborted)
+			}
+			if res.ChaosFaults == 0 {
+				t.Fatal("no faults applied: preset did not exercise anything")
+			}
+			if res.InvariantViolations != 0 {
+				t.Fatalf("%d invariant violations, first: %s",
+					res.InvariantViolations, res.FirstViolation)
+			}
+			if res.OrigInstrs < 400_000 {
+				t.Fatalf("run stopped early: %d instrs", res.OrigInstrs)
+			}
+		})
+	}
+}

@@ -207,7 +207,7 @@ func TestLivelockDetection(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LivelockWindow = 10_000
 	sys := NewSystem(cfg, p)
-	sys.patched[p.Entry] = true // simulate a patch gone wrong
+	sys.setPatched(p.Entry, true) // simulate a patch gone wrong
 	res := sys.Run(100)
 	if res.Aborted == "" {
 		t.Fatal("livelock not detected")

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"tridentsp/internal/program"
+)
+
+// TestConcurrentSystemsShareNothing proves the rule the parallel experiment
+// harness relies on: independently constructed Systems share no mutable
+// state, so overlapping runs in different goroutines must reproduce their
+// serial results exactly. scripts/check.sh runs the suite under -race, where
+// this test also flags any hidden package-level state.
+func TestConcurrentSystemsShareNothing(t *testing.T) {
+	const budget = 200_000
+	cases := []struct {
+		name string
+		prog func() *program.Program
+		cfg  Config
+	}{
+		{"art/self-repair", artProgram, DefaultConfig()},
+		{"stride/hw-only", func() *program.Program { return strideWorkload(131072, 64, 4) }, BaselineConfig(HW8x8)},
+	}
+	serial := make([]Results, len(cases))
+	for i, c := range cases {
+		serial[i] = NewSystem(c.cfg, c.prog()).Run(budget)
+	}
+
+	const replicas = 3
+	got := make([][]Results, len(cases))
+	var wg sync.WaitGroup
+	for i, c := range cases {
+		got[i] = make([]Results, replicas)
+		for r := 0; r < replicas; r++ {
+			wg.Add(1)
+			go func(i, r int, prog func() *program.Program, cfg Config) {
+				defer wg.Done()
+				got[i][r] = NewSystem(cfg, prog()).Run(budget)
+			}(i, r, c.prog, c.cfg)
+		}
+	}
+	wg.Wait()
+
+	for i, c := range cases {
+		for r := 0; r < replicas; r++ {
+			if !reflect.DeepEqual(got[i][r], serial[i]) {
+				t.Errorf("%s replica %d diverged from the serial run:\nserial: %+v\nconcur: %+v",
+					c.name, r, serial[i], got[i][r])
+			}
+		}
+	}
+}

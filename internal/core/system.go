@@ -42,12 +42,16 @@ type System struct {
 	helper *trident.Helper
 	opt    *prefetch.Optimizer
 
-	// Execution-loop state.
+	// Execution-loop state. patched is a bitmap over the original code
+	// segment (one entry per instruction word) marking trace-head words
+	// rewritten into branches; the per-step membership probe was a map
+	// lookup on the hot path.
 	curPl          *trident.Placement
 	traversalStart int64
 	inTraversal    bool
 	lastNow        int64
-	patched        map[uint64]bool
+	patched        []bool
+	patchedBase    uint64
 	apply          func() error
 	applyAt        int64
 	interfering    bool
@@ -108,14 +112,18 @@ func NewSystem(cfg Config, prog *program.Program) *System {
 		panic("core: invalid config: " + err.Error())
 	}
 	s := &System{
-		cfg:      cfg,
-		pristine: prog.Clone(),
-		mem:      program.NewMemory(prog),
-		hier:     memsys.New(cfg.Mem),
-		bp:       branchpred.New(branchpred.DefaultConfig()),
-		patched:  make(map[uint64]bool),
-		activity: make(map[int]*traceActivity),
+		cfg:         cfg,
+		pristine:    prog.Clone(),
+		mem:         program.NewMemory(prog),
+		hier:        memsys.New(cfg.Mem),
+		bp:          branchpred.New(branchpred.DefaultConfig()),
+		patched:     make([]bool, len(prog.Code)),
+		patchedBase: prog.Base,
+		activity:    make(map[int]*traceActivity),
 	}
+	// Trace formation re-walks the same hot words on every event; decode
+	// the pristine image once instead of per fetch.
+	s.pristine.Predecode()
 	if sc, ok := cfg.streambufConfig(); ok {
 		s.sb = streambuf.New(sc, s.hier)
 		s.hier.SetPrefetcher(s.sb)
@@ -176,8 +184,22 @@ func (s *System) linkTrace(startPC, addr uint64) error {
 	if err := s.live.Patch(startPC, w); err != nil {
 		return err
 	}
-	s.patched[startPC] = true
+	s.setPatched(startPC, true)
 	return nil
+}
+
+// isPatched reports whether the original-code word at pc carries a trace
+// link patch. PCs outside the original image (the code cache) are never
+// patched.
+func (s *System) isPatched(pc uint64) bool {
+	i := (pc - s.patchedBase) / isa.WordSize
+	return pc >= s.patchedBase && i < uint64(len(s.patched)) && s.patched[i]
+}
+
+func (s *System) setPatched(pc uint64, v bool) {
+	if i := (pc - s.patchedBase) / isa.WordSize; pc >= s.patchedBase && i < uint64(len(s.patched)) {
+		s.patched[i] = v
+	}
 }
 
 // Thread exposes the main hardware context (register setup for workloads).
@@ -248,7 +270,7 @@ func (s *System) step() {
 	switch {
 	case pl != nil:
 		s.origInstrs += uint64(s.cache.Weight(pc))
-	case s.patched[pc]:
+	case s.isPatched(pc):
 		// The patch branch replaces an instruction the trace accounts for.
 	default:
 		s.origInstrs++
@@ -427,9 +449,9 @@ func (s *System) noteEntry(pl *trident.Placement) {
 // injected code-cache evictions.
 func (s *System) unlinkTrace(pl *trident.Placement) {
 	head := pl.Trace.StartPC
-	if w, ok := s.pristine.WordAt(head); ok && s.patched[head] {
+	if w, ok := s.pristine.WordAt(head); ok && s.isPatched(head) {
 		if err := s.live.Patch(head, w); err == nil {
-			delete(s.patched, head)
+			s.setPatched(head, false)
 		}
 	}
 	s.cache.Retire(pl.TraceID)

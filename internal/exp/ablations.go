@@ -36,14 +36,23 @@ func Ablations(o Options) Table {
 		func(c *core.Config) { c.PhaseClearMature = true },
 		func(c *core.Config) { c.ValueSpecialize = true },
 	}
-	for _, bm := range o.suite() {
-		base := run(bm, core.BaselineConfig(core.HW8x8), o)
-		row := Row{Label: bm.Name}
-		for _, tweak := range variants {
+	p := newPool(o.Jobs)
+	suite := o.suite()
+	bases := make([]*task[core.Results], len(suite))
+	runs := make([][]*task[core.Results], len(suite))
+	for i, bm := range suite {
+		bases[i] = p.submitRun(bm, core.BaselineConfig(core.HW8x8), o)
+		runs[i] = make([]*task[core.Results], len(variants))
+		for j, tweak := range variants {
 			cfg := core.DefaultConfig()
 			tweak(&cfg)
-			res := run(bm, cfg, o)
-			row.Cells = append(row.Cells, core.Speedup(res, base))
+			runs[i][j] = p.submitRun(bm, cfg, o)
+		}
+	}
+	for i, bm := range suite {
+		row := Row{Label: bm.Name}
+		for j := range variants {
+			row.Cells = append(row.Cells, core.Speedup(runs[i][j].wait(), bases[i].wait()))
 		}
 		t.Rows = append(t.Rows, row)
 	}

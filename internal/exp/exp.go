@@ -27,6 +27,10 @@ type Options struct {
 	Instrs uint64
 	// Benchmarks restricts the suite (nil = all 14).
 	Benchmarks []string
+	// Jobs bounds how many simulator runs execute concurrently; 0 or
+	// negative selects runtime.NumCPU(). Any value produces byte-identical
+	// tables: results are assembled in submission order.
+	Jobs int
 }
 
 // withDefaults fills unset options.

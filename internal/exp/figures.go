@@ -7,6 +7,11 @@ import (
 	"tridentsp/internal/memsys"
 )
 
+// Every figure follows the same shape: submit all (benchmark, config) runs
+// to the pool first, then await the futures in submission order while
+// assembling rows. Assembly order — and therefore Render() output — is
+// independent of how the pool interleaves the runs.
+
 // Figure2 reproduces the baseline comparison: IPC without prefetching and
 // speedups of the 4x4 and 8x8 stream-buffer configurations (paper: 35% and
 // 40% average).
@@ -18,10 +23,21 @@ func Figure2(o Options) Table {
 		Paper:   "4x4 averages ~1.35x, 8x8 ~1.40x over no prefetching",
 		Columns: []string{"IPC none", "IPC 4x4", "IPC 8x8", "spd 4x4", "spd 8x8"},
 	}
-	for _, bm := range o.suite() {
-		none := run(bm, core.BaselineConfig(core.HWNone), o)
-		hw44 := run(bm, core.BaselineConfig(core.HW4x4), o)
-		hw88 := run(bm, core.BaselineConfig(core.HW8x8), o)
+	p := newPool(o.Jobs)
+	suite := o.suite()
+	type futs struct{ none, hw44, hw88 *task[core.Results] }
+	runs := make([]futs, len(suite))
+	for i, bm := range suite {
+		runs[i] = futs{
+			none: p.submitRun(bm, core.BaselineConfig(core.HWNone), o),
+			hw44: p.submitRun(bm, core.BaselineConfig(core.HW4x4), o),
+			hw88: p.submitRun(bm, core.BaselineConfig(core.HW8x8), o),
+		}
+	}
+	for i, bm := range suite {
+		none := runs[i].none.wait()
+		hw44 := runs[i].hw44.wait()
+		hw88 := runs[i].hw88.wait()
 		t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: []float64{
 			none.IPC(), hw44.IPC(), hw88.IPC(),
 			core.Speedup(hw44, none), core.Speedup(hw88, none),
@@ -42,11 +58,21 @@ func Overhead(o Options) Table {
 		Paper:   "total cost ~0.6%, under 1% with self-repairing",
 		Columns: []string{"IPC base", "IPC unlinked", "overhead %", "helper %"},
 	}
-	for _, bm := range o.suite() {
-		base := run(bm, core.BaselineConfig(core.HW8x8), o)
+	p := newPool(o.Jobs)
+	suite := o.suite()
+	type futs struct{ base, unlinked *task[core.Results] }
+	runs := make([]futs, len(suite))
+	for i, bm := range suite {
 		cfg := core.DefaultConfig()
 		cfg.LinkTraces = false
-		unlinked := run(bm, cfg, o)
+		runs[i] = futs{
+			base:     p.submitRun(bm, core.BaselineConfig(core.HW8x8), o),
+			unlinked: p.submitRun(bm, cfg, o),
+		}
+	}
+	for i, bm := range suite {
+		base := runs[i].base.wait()
+		unlinked := runs[i].unlinked.wait()
 		ovh := 0.0
 		if unlinked.IPC() > 0 {
 			ovh = (base.IPC()/unlinked.IPC() - 1) * 100
@@ -69,8 +95,14 @@ func Figure3(o Options) Table {
 		Paper:   "average ~2.2% of cycles",
 		Columns: []string{"helper %", "invocations", "traces"},
 	}
-	for _, bm := range o.suite() {
-		res := run(bm, core.DefaultConfig(), o)
+	p := newPool(o.Jobs)
+	suite := o.suite()
+	runs := make([]*task[core.Results], len(suite))
+	for i, bm := range suite {
+		runs[i] = p.submitRun(bm, core.DefaultConfig(), o)
+	}
+	for i, bm := range suite {
+		res := runs[i].wait()
 		t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: []float64{
 			100 * res.HelperActiveFraction(),
 			float64(res.HelperInvocations),
@@ -92,8 +124,14 @@ func Figure4(o Options) Table {
 		Paper:   "~85% of misses inside hot traces; ~55% prefetchable",
 		Columns: []string{"in-trace %", "covered %"},
 	}
-	for _, bm := range o.suite() {
-		res := run(bm, core.DefaultConfig(), o)
+	p := newPool(o.Jobs)
+	suite := o.suite()
+	runs := make([]*task[core.Results], len(suite))
+	for i, bm := range suite {
+		runs[i] = p.submitRun(bm, core.DefaultConfig(), o)
+	}
+	for i, bm := range suite {
+		res := runs[i].wait()
 		t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: []float64{
 			100 * res.TraceMissCoverage(),
 			100 * res.PrefetchMissCoverage(),
@@ -115,14 +153,27 @@ func Figure5(o Options) Table {
 		Paper:   "basic ~1.11x, whole-object between, self-repairing ~1.23x",
 		Columns: []string{"basic", "whole-obj", "self-repair"},
 	}
-	for _, bm := range o.suite() {
-		base := run(bm, core.BaselineConfig(core.HW8x8), o)
-		row := Row{Label: bm.Name}
-		for _, sw := range []core.SWMode{core.SWBasic, core.SWWholeObject, core.SWSelfRepair} {
+	p := newPool(o.Jobs)
+	suite := o.suite()
+	modes := []core.SWMode{core.SWBasic, core.SWWholeObject, core.SWSelfRepair}
+	type futs struct {
+		base *task[core.Results]
+		sw   [3]*task[core.Results]
+	}
+	runs := make([]futs, len(suite))
+	for i, bm := range suite {
+		runs[i].base = p.submitRun(bm, core.BaselineConfig(core.HW8x8), o)
+		for j, sw := range modes {
 			cfg := core.DefaultConfig()
 			cfg.SW = sw
-			res := run(bm, cfg, o)
-			row.Cells = append(row.Cells, core.Speedup(res, base))
+			runs[i].sw[j] = p.submitRun(bm, cfg, o)
+		}
+	}
+	for i, bm := range suite {
+		base := runs[i].base.wait()
+		row := Row{Label: bm.Name}
+		for j := range modes {
+			row.Cells = append(row.Cells, core.Speedup(runs[i].sw[j].wait(), base))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -143,8 +194,14 @@ func Figure6(o Options) Table {
 			"hit", "hit-pf", "part-pf", "part-dem", "miss", "miss-pf",
 		},
 	}
-	for _, bm := range o.suite() {
-		res := run(bm, core.DefaultConfig(), o)
+	p := newPool(o.Jobs)
+	suite := o.suite()
+	runs := make([]*task[core.Results], len(suite))
+	for i, bm := range suite {
+		runs[i] = p.submitRun(bm, core.DefaultConfig(), o)
+	}
+	for i, bm := range suite {
+		res := runs[i].wait()
 		total := float64(res.Mem.Loads)
 		if total == 0 {
 			total = 1
@@ -171,25 +228,37 @@ func Figure7(o Options) Table {
 		Paper:   "best at window 256, threshold 3% (8 misses)",
 		Columns: []string{"1%", "3%", "6%", "12%"},
 	}
+	p := newPool(o.Jobs)
 	suite := o.suite()
-	bases := make([]core.Results, len(suite))
+	windows := []uint32{128, 256, 512}
+	pcts := []uint32{1, 3, 6, 12}
+	bases := make([]*task[core.Results], len(suite))
 	for i, bm := range suite {
-		bases[i] = run(bm, core.BaselineConfig(core.HW8x8), o)
+		bases[i] = p.submitRun(bm, core.BaselineConfig(core.HW8x8), o)
 	}
-	for _, window := range []uint32{128, 256, 512} {
-		row := Row{Label: fmt.Sprintf("window %d", window)}
-		for _, pct := range []uint32{1, 3, 6, 12} {
+	runs := make([][][]*task[core.Results], len(windows))
+	for w, window := range windows {
+		runs[w] = make([][]*task[core.Results], len(pcts))
+		for pi, pct := range pcts {
+			runs[w][pi] = make([]*task[core.Results], len(suite))
 			miss := window * pct / 100
 			if miss == 0 {
 				miss = 1
 			}
-			sum := 0.0
 			for i, bm := range suite {
 				cfg := core.DefaultConfig()
 				cfg.DLT.WindowSize = window
 				cfg.DLT.MissThreshold = miss
-				res := run(bm, cfg, o)
-				sum += core.Speedup(res, bases[i])
+				runs[w][pi][i] = p.submitRun(bm, cfg, o)
+			}
+		}
+	}
+	for w, window := range windows {
+		row := Row{Label: fmt.Sprintf("window %d", window)}
+		for pi := range pcts {
+			sum := 0.0
+			for i := range suite {
+				sum += core.Speedup(runs[w][pi][i].wait(), bases[i].wait())
 			}
 			row.Cells = append(row.Cells, sum/float64(len(suite)))
 		}
@@ -208,18 +277,24 @@ func Figure8(o Options) Table {
 		Paper:   "slight growth with size; 1024 entries enough",
 		Columns: []string{"128", "256", "512", "1024", "2048"},
 	}
+	p := newPool(o.Jobs)
 	suite := o.suite()
-	bases := make([]core.Results, len(suite))
+	sizes := []int{128, 256, 512, 1024, 2048}
+	bases := make([]*task[core.Results], len(suite))
+	runs := make([][]*task[core.Results], len(suite))
 	for i, bm := range suite {
-		bases[i] = run(bm, core.BaselineConfig(core.HW8x8), o)
+		bases[i] = p.submitRun(bm, core.BaselineConfig(core.HW8x8), o)
+		runs[i] = make([]*task[core.Results], len(sizes))
+		for j, entries := range sizes {
+			cfg := core.DefaultConfig()
+			cfg.DLT.Entries = entries
+			runs[i][j] = p.submitRun(bm, cfg, o)
+		}
 	}
 	for i, bm := range suite {
 		row := Row{Label: bm.Name}
-		for _, entries := range []int{128, 256, 512, 1024, 2048} {
-			cfg := core.DefaultConfig()
-			cfg.DLT.Entries = entries
-			res := run(bm, cfg, o)
-			row.Cells = append(row.Cells, core.Speedup(res, bases[i]))
+		for j := range sizes {
+			row.Cells = append(row.Cells, core.Speedup(runs[i][j].wait(), bases[i].wait()))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -237,12 +312,22 @@ func ExtraCache(o Options) Table {
 		Paper:   "~0.8% over the baseline",
 		Columns: []string{"IPC 64KB", "IPC +20KB", "gain %"},
 	}
+	p := newPool(o.Jobs)
+	suite := o.suite()
+	type futs struct{ base, big *task[core.Results] }
+	runs := make([]futs, len(suite))
 	// The DLT (1024 entries x ~20B) plus watch table is ~20KB of state.
-	for _, bm := range o.suite() {
-		base := run(bm, core.BaselineConfig(core.HW8x8), o)
+	for i, bm := range suite {
 		cfg := core.BaselineConfig(core.HW8x8)
 		cfg.Mem.L1 = memsys.CacheConfig{SizeBytes: 84 << 10, Assoc: 2, Latency: 3}
-		big := run(bm, cfg, o)
+		runs[i] = futs{
+			base: p.submitRun(bm, core.BaselineConfig(core.HW8x8), o),
+			big:  p.submitRun(bm, cfg, o),
+		}
+	}
+	for i, bm := range suite {
+		base := runs[i].base.wait()
+		big := runs[i].big.wait()
 		gain := (core.Speedup(big, base) - 1) * 100
 		t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: []float64{
 			base.IPC(), big.IPC(), gain,
@@ -263,12 +348,23 @@ func Figure9(o Options) Table {
 		Paper:   "software-only averages ~11% above hardware-only",
 		Columns: []string{"hw-only", "sw-only"},
 	}
-	for _, bm := range o.suite() {
-		none := run(bm, core.BaselineConfig(core.HWNone), o)
-		hw := run(bm, core.BaselineConfig(core.HW8x8), o)
+	p := newPool(o.Jobs)
+	suite := o.suite()
+	type futs struct{ none, hw, sw *task[core.Results] }
+	runs := make([]futs, len(suite))
+	for i, bm := range suite {
 		cfg := core.DefaultConfig()
 		cfg.HW = core.HWNone
-		sw := run(bm, cfg, o)
+		runs[i] = futs{
+			none: p.submitRun(bm, core.BaselineConfig(core.HWNone), o),
+			hw:   p.submitRun(bm, core.BaselineConfig(core.HW8x8), o),
+			sw:   p.submitRun(bm, cfg, o),
+		}
+	}
+	for i, bm := range suite {
+		none := runs[i].none.wait()
+		hw := runs[i].hw.wait()
+		sw := runs[i].sw.wait()
 		t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: []float64{
 			core.Speedup(hw, none), core.Speedup(sw, none),
 		}})

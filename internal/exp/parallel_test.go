@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"testing"
+
+	"tridentsp/internal/workloads"
+)
+
+// TestParallelRenderIdentical is the determinism golden test for the worker
+// pool: the rendered table must be byte-identical whether the runs execute
+// one at a time or four at a time. Figure5 covers the common per-benchmark
+// fan-out shape.
+func TestParallelRenderIdentical(t *testing.T) {
+	serial, par := QuickOptions(), QuickOptions()
+	serial.Jobs = 1
+	par.Jobs = 4
+	s := Figure5(serial).Render()
+	p := Figure5(par).Render()
+	if s != p {
+		t.Fatalf("fig5 output differs between -j1 and -j4:\n-- j1 --\n%s-- j4 --\n%s", s, p)
+	}
+}
+
+// TestParallelSweepIdentical covers the cross-run-dependency shape: Figure7
+// computes speedups against per-benchmark base runs submitted alongside the
+// sweep, so any assembly-order slip would change the averages.
+func TestParallelSweepIdentical(t *testing.T) {
+	o := Options{
+		Scale:      workloads.ScaleSmall,
+		Instrs:     150_000,
+		Benchmarks: []string{"swim", "mcf"},
+	}
+	serial, par := o, o
+	serial.Jobs = 1
+	par.Jobs = 4
+	s := Figure7(serial).Render()
+	p := Figure7(par).Render()
+	if s != p {
+		t.Fatalf("fig7 output differs between -j1 and -j4:\n-- j1 --\n%s-- j4 --\n%s", s, p)
+	}
+}
+
+// TestParallelResilienceIdentical covers the two-phase experiment: the
+// chaos rows need their fault-free bases resolved before submission; a
+// deadlock here (a pool task waiting on another task's future) would hang
+// at -j1, and nondeterministic assembly would change the table.
+func TestParallelResilienceIdentical(t *testing.T) {
+	o := Options{
+		Scale:      workloads.ScaleSmall,
+		Instrs:     150_000,
+		Benchmarks: []string{"mcf"},
+	}
+	serial, par := o, o
+	serial.Jobs = 1
+	par.Jobs = 3
+	s := Resilience(serial).Render()
+	p := Resilience(par).Render()
+	if s != p {
+		t.Fatalf("resilience output differs between -j1 and -j3:\n-- j1 --\n%s-- j3 --\n%s", s, p)
+	}
+}

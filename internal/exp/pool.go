@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"runtime"
+
+	"tridentsp/internal/core"
+	"tridentsp/internal/workloads"
+)
+
+// The experiment suites are embarrassingly parallel: every (benchmark,
+// config) run builds its own program image and core.System and shares no
+// mutable state with any other run. The pool fans those runs across a
+// bounded number of goroutines while the table is assembled on the calling
+// goroutine in submission order, so the rendered output is byte-identical
+// to the serial path at any job count.
+//
+// Rule: a task submitted to the pool must never wait on another task's
+// future, or a single-job pool deadlocks (the waiter holds the only slot).
+// Experiments with cross-run dependencies (Resilience's fault-free bases)
+// resolve the dependency in a phase before submitting the dependent tasks.
+
+// pool bounds concurrent simulator runs.
+type pool struct {
+	sem chan struct{}
+}
+
+// newPool creates a pool running at most jobs tasks at once; jobs <= 0
+// selects runtime.NumCPU().
+func newPool(jobs int) *pool {
+	if jobs <= 0 {
+		jobs = runtime.NumCPU()
+	}
+	return &pool{sem: make(chan struct{}, jobs)}
+}
+
+// task is a pending result. wait blocks until the task finishes and may be
+// called repeatedly, but only from one goroutine (tables are assembled by
+// the submitting goroutine).
+type task[T any] struct {
+	ch   chan T
+	res  T
+	done bool
+}
+
+func (t *task[T]) wait() T {
+	if !t.done {
+		t.res = <-t.ch
+		t.done = true
+	}
+	return t.res
+}
+
+// submit schedules fn and returns its future. Goroutines are spawned
+// eagerly and gate on the pool's slots, so submission never blocks.
+func submit[T any](p *pool, fn func() T) *task[T] {
+	t := &task[T]{ch: make(chan T, 1)}
+	go func() {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		t.ch <- fn()
+	}()
+	return t
+}
+
+// submitRun schedules one benchmark under one configuration.
+func (p *pool) submitRun(bm workloads.Benchmark, cfg core.Config, o Options) *task[core.Results] {
+	return submit(p, func() core.Results { return run(bm, cfg, o) })
+}

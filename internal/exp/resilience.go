@@ -39,66 +39,88 @@ func Resilience(o Options) Table {
 	if step == 0 {
 		step = 1
 	}
-	for _, bm := range o.suite() {
-		cfg := core.DefaultConfig()
-		cfg.Backout = true
-		base := run(bm, cfg, o)
+	p := newPool(o.Jobs)
+	suite := o.suite()
+	cfg := core.DefaultConfig()
+	cfg.Backout = true
+	// Phase 1: fault-free base runs. The chaos rows need the base IPC while
+	// they execute, and a pool task must not wait on another task's future
+	// (see pool.go), so the bases are fully resolved before the rows are
+	// submitted.
+	baseFuts := make([]*task[core.Results], len(suite))
+	for i, bm := range suite {
+		baseFuts[i] = p.submitRun(bm, cfg, o)
+	}
+	bases := make([]core.Results, len(suite))
+	for i := range suite {
+		bases[i] = baseFuts[i].wait()
+	}
+	// Phase 2: one task per (benchmark, preset) row.
+	rows := make([]*task[Row], 0, len(suite)*len(presets))
+	for i, bm := range suite {
+		bm, base := bm, bases[i]
 		for _, pr := range presets {
-			// Horizon in cycles: twice the instruction budget covers the
-			// whole run down to IPC 0.5; later events simply never fire.
-			sched, err := chaos.NewSchedule(pr.preset, 1, int64(o.Instrs)*2)
-			if err != nil {
-				panic(fmt.Sprintf("exp: resilience schedule: %v", err))
-			}
-			ccfg := cfg
-			ccfg.Chaos = sched
-			sys := core.NewSystem(ccfg, bm.Build(o.Scale))
+			pr := pr
+			rows = append(rows, submit(p, func() Row {
+				// Horizon in cycles: twice the instruction budget covers the
+				// whole run down to IPC 0.5; later events simply never fire.
+				sched, err := chaos.NewSchedule(pr.preset, 1, int64(o.Instrs)*2)
+				if err != nil {
+					panic(fmt.Sprintf("exp: resilience schedule: %v", err))
+				}
+				ccfg := cfg
+				ccfg.Chaos = sched
+				sys := core.NewSystem(ccfg, bm.Build(o.Scale))
 
-			var (
-				prevCycles int64
-				prevInstrs uint64
-				prevFaults uint64
-				faultAt    int64 = -1 // window start when the first fault landed
-				dip        float64
-				badUntil   int64 // end cycle of the last sub-90% window
-				final      core.Results
-			)
-			for target := step; ; target += step {
-				if target > o.Instrs {
-					target = o.Instrs
-				}
-				final = sys.Run(target)
-				if dc := final.Cycles - prevCycles; dc > 0 {
-					ipc := float64(final.OrigInstrs-prevInstrs) / float64(dc)
-					if faultAt < 0 && final.ChaosFaults > prevFaults {
-						faultAt = prevCycles
+				var (
+					prevCycles int64
+					prevInstrs uint64
+					prevFaults uint64
+					faultAt    int64 = -1 // window start when the first fault landed
+					dip        float64
+					badUntil   int64 // end cycle of the last sub-90% window
+					final      core.Results
+				)
+				for target := step; ; target += step {
+					if target > o.Instrs {
+						target = o.Instrs
 					}
-					if faultAt >= 0 && base.IPC() > 0 {
-						if d := 1 - ipc/base.IPC(); d > dip {
-							dip = d
+					final = sys.Run(target)
+					if dc := final.Cycles - prevCycles; dc > 0 {
+						ipc := float64(final.OrigInstrs-prevInstrs) / float64(dc)
+						if faultAt < 0 && final.ChaosFaults > prevFaults {
+							faultAt = prevCycles
 						}
-						if ipc < 0.9*base.IPC() {
-							badUntil = final.Cycles
+						if faultAt >= 0 && base.IPC() > 0 {
+							if d := 1 - ipc/base.IPC(); d > dip {
+								dip = d
+							}
+							if ipc < 0.9*base.IPC() {
+								badUntil = final.Cycles
+							}
 						}
 					}
+					prevCycles, prevInstrs, prevFaults = final.Cycles, final.OrigInstrs, final.ChaosFaults
+					if target == o.Instrs || final.Aborted != "" {
+						break
+					}
 				}
-				prevCycles, prevInstrs, prevFaults = final.Cycles, final.OrigInstrs, final.ChaosFaults
-				if target == o.Instrs || final.Aborted != "" {
-					break
+				recov := 0.0
+				if faultAt >= 0 && badUntil > faultAt {
+					recov = float64(badUntil-faultAt) / 1000
 				}
-			}
-			recov := 0.0
-			if faultAt >= 0 && badUntil > faultAt {
-				recov = float64(badUntil-faultAt) / 1000
-			}
-			t.Rows = append(t.Rows, Row{
-				Label: bm.Name + "/" + pr.short,
-				Cells: []float64{
-					base.IPC(), final.IPC(), 100 * dip, recov,
-					float64(final.ChaosFaults), float64(final.InvariantViolations),
-				},
-			})
+				return Row{
+					Label: bm.Name + "/" + pr.short,
+					Cells: []float64{
+						base.IPC(), final.IPC(), 100 * dip, recov,
+						float64(final.ChaosFaults), float64(final.InvariantViolations),
+					},
+				}
+			}))
 		}
+	}
+	for _, rf := range rows {
+		t.Rows = append(t.Rows, rf.wait())
 	}
 	meanRow(&t)
 	return t

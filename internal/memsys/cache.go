@@ -58,8 +58,13 @@ func newCache(cfg CacheConfig, lineSize int) *cache {
 		assoc:   cfg.Assoc,
 		latency: cfg.Latency,
 	}
+	// All sets share one backing array: constructing a hierarchy was one
+	// allocation per set (thousands per simulated run). The three-index
+	// slices cap each set at its own ways, so append never crosses into a
+	// neighbour.
+	backing := make([]line, numSets*cfg.Assoc)
 	for i := range c.sets {
-		c.sets[i] = make([]line, 0, cfg.Assoc)
+		c.sets[i] = backing[i*cfg.Assoc : i*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
 	return c
 }

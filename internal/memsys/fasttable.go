@@ -1,0 +1,161 @@
+package memsys
+
+// This file implements the open-addressed hash table backing the two
+// structures on the hierarchy's per-access hot path: the MSHR-like in-flight
+// fill tracker and the victim-tag index. Both were Go maps; every load
+// probes them, so the map's bucket indirection and per-entry allocations
+// dominated the simulator's profile. The replacement is a linear-probe table
+// with power-of-two capacity sized at construction, values stored inline,
+// and backward-shift deletion (no tombstones), so steady-state operation
+// allocates nothing.
+
+// hashU64 is a splitmix64-style finalizer: line addresses are sequential
+// per stream, so the low bits need thorough mixing before masking.
+func hashU64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// oaTable is an open-addressed uint64-keyed table with inline values.
+type oaTable[V any] struct {
+	keys []uint64
+	vals []V
+	used []bool
+	mask uint64
+	n    int
+
+	scratch []uint64 // reused by deleteWhere
+}
+
+// newOATable sizes the table for at least capacity entries at a load factor
+// that keeps probes short.
+func newOATable[V any](capacity int) *oaTable[V] {
+	size := 8
+	for size < 4*capacity {
+		size <<= 1
+	}
+	return &oaTable[V]{
+		keys: make([]uint64, size),
+		vals: make([]V, size),
+		used: make([]bool, size),
+		mask: uint64(size - 1),
+	}
+}
+
+func (t *oaTable[V]) len() int { return t.n }
+
+// slot returns the index holding k and true, or the insertion point and
+// false.
+func (t *oaTable[V]) slot(k uint64) (uint64, bool) {
+	i := hashU64(k) & t.mask
+	for t.used[i] {
+		if t.keys[i] == k {
+			return i, true
+		}
+		i = (i + 1) & t.mask
+	}
+	return i, false
+}
+
+// get returns the value stored for k.
+func (t *oaTable[V]) get(k uint64) (V, bool) {
+	if i, ok := t.slot(k); ok {
+		return t.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// contains reports whether k is present.
+func (t *oaTable[V]) contains(k uint64) bool {
+	_, ok := t.slot(k)
+	return ok
+}
+
+// put inserts or overwrites k.
+func (t *oaTable[V]) put(k uint64, v V) {
+	if uint64(t.n)*4 >= uint64(len(t.keys))*3 {
+		t.grow()
+	}
+	i, ok := t.slot(k)
+	if !ok {
+		t.n++
+		t.used[i] = true
+		t.keys[i] = k
+	}
+	t.vals[i] = v
+}
+
+func (t *oaTable[V]) grow() {
+	old := *t
+	size := len(old.keys) * 2
+	t.keys = make([]uint64, size)
+	t.vals = make([]V, size)
+	t.used = make([]bool, size)
+	t.mask = uint64(size - 1)
+	t.n = 0
+	for i := range old.keys {
+		if old.used[i] {
+			t.put(old.keys[i], old.vals[i])
+		}
+	}
+}
+
+// del removes k, reporting whether it was present. Deletion backward-shifts
+// the following probe cluster so no tombstones accumulate.
+func (t *oaTable[V]) del(k uint64) bool {
+	i, ok := t.slot(k)
+	if !ok {
+		return false
+	}
+	t.n--
+	var zero V
+	for {
+		t.used[i] = false
+		t.vals[i] = zero
+		j := i
+		for {
+			j = (j + 1) & t.mask
+			if !t.used[j] {
+				return true
+			}
+			home := hashU64(t.keys[j]) & t.mask
+			// Move j's entry into the hole at i if its probe path passes
+			// through i (cyclic interval test).
+			if (j > i && (home <= i || home > j)) || (j < i && home <= i && home > j) {
+				t.keys[i], t.vals[i] = t.keys[j], t.vals[j]
+				t.used[i] = true
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// deleteWhere removes every entry for which pred returns true. Victims are
+// collected first so backward-shift moves cannot hide entries from the scan.
+func (t *oaTable[V]) deleteWhere(pred func(k uint64, v V) bool) {
+	t.scratch = t.scratch[:0]
+	for i := range t.keys {
+		if t.used[i] && pred(t.keys[i], t.vals[i]) {
+			t.scratch = append(t.scratch, t.keys[i])
+		}
+	}
+	for _, k := range t.scratch {
+		t.del(k)
+	}
+}
+
+// clear empties the table, keeping its capacity.
+func (t *oaTable[V]) clear() {
+	var zero V
+	for i := range t.keys {
+		t.used[i] = false
+		t.vals[i] = zero
+	}
+	t.n = 0
+}

@@ -1,0 +1,208 @@
+package memsys
+
+import (
+	"testing"
+)
+
+// lcg is a tiny deterministic generator for the equivalence fuzzers.
+type lcg struct{ s uint64 }
+
+func (r *lcg) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 11
+}
+
+// TestOATableMatchesMap drives the open-addressed table and a Go map with
+// the same random operation stream and checks they never disagree. The key
+// space is kept small so deletes hit often and probe clusters wrap.
+func TestOATableMatchesMap(t *testing.T) {
+	tbl := newOATable[int64](8)
+	ref := map[uint64]int64{}
+	r := &lcg{s: 12345}
+	for op := 0; op < 200000; op++ {
+		k := r.next() % 97
+		switch r.next() % 4 {
+		case 0, 1: // put
+			v := int64(r.next())
+			tbl.put(k, v)
+			ref[k] = v
+		case 2: // delete
+			got := tbl.del(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: del(%d) = %v, map says %v", op, k, got, want)
+			}
+			delete(ref, k)
+		case 3: // lookup
+			gv, gok := tbl.get(k)
+			wv, wok := ref[k]
+			if gok != wok || (gok && gv != wv) {
+				t.Fatalf("op %d: get(%d) = %d,%v want %d,%v", op, k, gv, gok, wv, wok)
+			}
+		}
+		if tbl.len() != len(ref) {
+			t.Fatalf("op %d: len = %d, map has %d", op, tbl.len(), len(ref))
+		}
+	}
+	// Final sweep: every surviving key must round-trip.
+	for k, v := range ref {
+		if gv, ok := tbl.get(k); !ok || gv != v {
+			t.Fatalf("final: get(%d) = %d,%v want %d,true", k, gv, ok, v)
+		}
+	}
+}
+
+// TestOATableDeleteWhere checks predicate deletion against a map doing the
+// same, including re-use of the table afterwards.
+func TestOATableDeleteWhere(t *testing.T) {
+	tbl := newOATable[int64](4)
+	ref := map[uint64]int64{}
+	r := &lcg{s: 999}
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 50; i++ {
+			k := r.next() % 61
+			v := int64(r.next() % 1000)
+			tbl.put(k, v)
+			ref[k] = v
+		}
+		cut := int64(r.next() % 1000)
+		tbl.deleteWhere(func(_ uint64, v int64) bool { return v <= cut })
+		for k, v := range ref {
+			if v <= cut {
+				delete(ref, k)
+			}
+		}
+		if tbl.len() != len(ref) {
+			t.Fatalf("round %d: len = %d, want %d", round, tbl.len(), len(ref))
+		}
+		for k, v := range ref {
+			if gv, ok := tbl.get(k); !ok || gv != v {
+				t.Fatalf("round %d: get(%d) = %d,%v want %d,true", round, k, gv, ok, v)
+			}
+		}
+	}
+	tbl.clear()
+	if tbl.len() != 0 || tbl.contains(5) {
+		t.Fatal("clear left entries behind")
+	}
+}
+
+// TestOATableGrowth fills far past the construction capacity and verifies
+// every key survives the rehashes.
+func TestOATableGrowth(t *testing.T) {
+	tbl := newOATable[int64](2)
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		tbl.put(i*64, int64(i))
+	}
+	if tbl.len() != n {
+		t.Fatalf("len = %d, want %d", tbl.len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := tbl.get(i * 64); !ok || v != int64(i) {
+			t.Fatalf("get(%d) = %d,%v", i*64, v, ok)
+		}
+	}
+}
+
+// mapVictimSet is the seed's map-backed victim set, kept as the reference
+// implementation for the equivalence test below.
+type mapVictimSet struct {
+	set   map[uint64]int
+	ring  []uint64
+	next  int
+	valid []bool
+}
+
+func newMapVictimSet(capacity int) *mapVictimSet {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &mapVictimSet{
+		set:   make(map[uint64]int, capacity),
+		ring:  make([]uint64, capacity),
+		valid: make([]bool, capacity),
+	}
+}
+
+func (v *mapVictimSet) add(tag uint64) {
+	if _, ok := v.set[tag]; ok {
+		return
+	}
+	if v.valid[v.next] {
+		delete(v.set, v.ring[v.next])
+	}
+	v.ring[v.next] = tag
+	v.valid[v.next] = true
+	v.set[tag] = v.next
+	v.next = (v.next + 1) % len(v.ring)
+}
+
+func (v *mapVictimSet) remove(tag uint64) bool {
+	i, ok := v.set[tag]
+	if !ok {
+		return false
+	}
+	delete(v.set, tag)
+	v.valid[i] = false
+	return true
+}
+
+// TestVictimSetMatchesMapBacked runs the open-addressed victim set and the
+// seed's map-backed version through the same add/remove stream — FIFO
+// eviction order, duplicate suppression, and remove results must match
+// exactly for the Figure-6 miss classification to be unchanged.
+func TestVictimSetMatchesMapBacked(t *testing.T) {
+	for _, capacity := range []int{1, 7, 64} {
+		nu := newVictimSet(capacity)
+		ref := newMapVictimSet(capacity)
+		r := &lcg{s: uint64(capacity) * 31}
+		for op := 0; op < 100000; op++ {
+			tag := r.next() % 200
+			if r.next()%3 == 0 {
+				got, want := nu.remove(tag), ref.remove(tag)
+				if got != want {
+					t.Fatalf("cap %d op %d: remove(%d) = %v, want %v", capacity, op, tag, got, want)
+				}
+			} else {
+				nu.add(tag)
+				ref.add(tag)
+			}
+			if nu.len() != len(ref.set) {
+				t.Fatalf("cap %d op %d: len = %d, want %d", capacity, op, nu.len(), len(ref.set))
+			}
+		}
+		// Every tag the reference still holds must be removable from the
+		// new set and vice versa (checked by removing everything).
+		for tag := uint64(0); tag < 200; tag++ {
+			if got, want := nu.remove(tag), ref.remove(tag); got != want {
+				t.Fatalf("cap %d drain: remove(%d) = %v, want %v", capacity, tag, got, want)
+			}
+		}
+	}
+}
+
+// TestVictimSetClear checks that clear resets membership and FIFO state.
+func TestVictimSetClear(t *testing.T) {
+	v := newVictimSet(4)
+	for tag := uint64(0); tag < 6; tag++ {
+		v.add(tag)
+	}
+	v.clear()
+	if v.len() != 0 {
+		t.Fatalf("len after clear = %d", v.len())
+	}
+	if v.remove(5) {
+		t.Fatal("cleared set still held a tag")
+	}
+	// Refill past capacity: FIFO eviction must start from slot 0 again.
+	for tag := uint64(10); tag < 15; tag++ {
+		v.add(tag)
+	}
+	if v.remove(10) {
+		t.Fatal("oldest tag should have been evicted after wrap")
+	}
+	if !v.remove(14) {
+		t.Fatal("newest tag missing")
+	}
+}

@@ -148,7 +148,7 @@ type Hierarchy struct {
 	cfg        Config
 	lineShift  uint
 	l1, l2, l3 *cache
-	inflight   map[uint64]*fill
+	inflight   *oaTable[fill]
 	busFree    int64
 	prefetcher Prefetcher
 	victims    *victimSet
@@ -173,7 +173,7 @@ func New(cfg Config) *Hierarchy {
 		l1:        newCache(cfg.L1, cfg.LineSize),
 		l2:        newCache(cfg.L2, cfg.LineSize),
 		l3:        newCache(cfg.L3, cfg.LineSize),
-		inflight:  make(map[uint64]*fill),
+		inflight:  newOATable[fill](cfg.MaxInFlight),
 		victims:   newVictimSet(cfg.VictimHistory),
 	}
 }
@@ -223,7 +223,7 @@ func (h *Hierarchy) loadLine(la uint64, now int64) Result {
 	// In-flight fill probe: a line whose data has not arrived yet gives a
 	// partial hit for the residual latency; the first use of a prefetch
 	// is consumed by that partial hit.
-	if f, ok := h.inflight[la]; ok {
+	if f, ok := h.inflight.get(la); ok {
 		if f.ready > now {
 			lat := f.ready - now + h.cfg.L1.Latency
 			out := PartialDemand
@@ -235,7 +235,7 @@ func (h *Hierarchy) loadLine(la uint64, now int64) Result {
 			}
 			return Result{Latency: lat, Outcome: out, L1Miss: true}
 		}
-		delete(h.inflight, la)
+		h.inflight.del(la)
 	}
 
 	// L1 probe.
@@ -275,7 +275,7 @@ func (h *Hierarchy) loadLine(la uint64, now int64) Result {
 	}
 	ev := h.l1.insert(la, false)
 	h.noteEviction(ev, FillDemand)
-	h.inflight[la] = &fill{ready: now + lat, source: FillDemand}
+	h.inflight.put(la, fill{ready: now + lat, source: FillDemand})
 	return Result{Latency: lat, Outcome: out, L1Miss: true}
 }
 
@@ -298,7 +298,7 @@ func (h *Hierarchy) Prefetch(addr uint64, now int64) {
 		h.Stats.PrefetchesRedundant++
 		return
 	}
-	if _, ok := h.inflight[la]; ok {
+	if h.inflight.contains(la) {
 		h.Stats.PrefetchesRedundant++
 		return
 	}
@@ -306,14 +306,14 @@ func (h *Hierarchy) Prefetch(addr uint64, now int64) {
 		h.Stats.PrefetchesRedundant++
 		return
 	}
-	if len(h.inflight) >= h.cfg.MaxInFlight {
+	if h.inflight.len() >= h.cfg.MaxInFlight {
 		h.Stats.PrefetchesDropped++
 		return
 	}
 	lat, _ := h.probeBelow(la, now, true, true)
 	ev := h.l1.insert(la, true)
 	h.noteEviction(ev, FillSWPrefetch)
-	h.inflight[la] = &fill{ready: now + lat, source: FillSWPrefetch}
+	h.inflight.put(la, fill{ready: now + lat, source: FillSWPrefetch})
 }
 
 // StartFill initiates a line fetch on behalf of the hardware stream
@@ -325,7 +325,7 @@ func (h *Hierarchy) StartFill(lineAddr uint64, now int64) (ready int64, ok bool)
 	if h.l1.contains(lineAddr) {
 		return 0, false
 	}
-	if _, inflight := h.inflight[lineAddr]; inflight {
+	if h.inflight.contains(lineAddr) {
 		return 0, false
 	}
 	lat, _ := h.probeBelow(lineAddr, now, true, false)
@@ -384,28 +384,20 @@ func (h *Hierarchy) noteEviction(ev line, by FillSource) {
 // is just deletion. To keep the hot path cheap it only scans when the
 // in-flight set is at capacity.
 func (h *Hierarchy) sweep(now int64) {
-	if len(h.inflight) < h.cfg.MaxInFlight {
+	if h.inflight.len() < h.cfg.MaxInFlight {
 		return
 	}
-	for la, f := range h.inflight {
-		if f.ready <= now {
-			delete(h.inflight, la)
-		}
-	}
+	h.inflight.deleteWhere(func(_ uint64, f fill) bool { return f.ready <= now })
 }
 
 // Drain retires every fill completed by now; tests use it to reach a
 // settled state.
 func (h *Hierarchy) Drain(now int64) {
-	for la, f := range h.inflight {
-		if f.ready <= now {
-			delete(h.inflight, la)
-		}
-	}
+	h.inflight.deleteWhere(func(_ uint64, f fill) bool { return f.ready <= now })
 }
 
 // InFlight returns the number of outstanding fills.
-func (h *Hierarchy) InFlight() int { return len(h.inflight) }
+func (h *Hierarchy) InFlight() int { return h.inflight.len() }
 
 // SetMemLatency changes the memory access latency mid-run (fault injection:
 // a memory-system phase shift). Accesses already in flight keep the latency
@@ -435,8 +427,8 @@ func (h *Hierarchy) FlushCaches() {
 	h.Stats.WastedPrefetches += uint64(h.l1.flush())
 	h.l2.flush()
 	h.l3.flush()
-	h.inflight = make(map[uint64]*fill)
-	h.victims = newVictimSet(h.cfg.VictimHistory)
+	h.inflight.clear()
+	h.victims.clear()
 }
 
 // ContainsL1 reports whether the line holding addr is resident in L1
@@ -445,8 +437,10 @@ func (h *Hierarchy) ContainsL1(addr uint64) bool { return h.l1.contains(h.Line(a
 
 // victimSet is a bounded set of line tags displaced from L1 by prefetches,
 // used to classify later misses as caused by prefetching. It evicts FIFO.
+// The tag index is an open-addressed table sized at construction, so the
+// per-miss membership probe never touches a Go map.
 type victimSet struct {
-	set   map[uint64]int // tag -> ring index
+	idx   *oaTable[int32] // tag -> ring index
 	ring  []uint64
 	next  int
 	valid []bool
@@ -457,33 +451,42 @@ func newVictimSet(capacity int) *victimSet {
 		capacity = 1
 	}
 	return &victimSet{
-		set:   make(map[uint64]int, capacity),
+		idx:   newOATable[int32](capacity),
 		ring:  make([]uint64, capacity),
 		valid: make([]bool, capacity),
 	}
 }
 
 func (v *victimSet) add(tag uint64) {
-	if _, ok := v.set[tag]; ok {
+	if v.idx.contains(tag) {
 		return
 	}
 	if v.valid[v.next] {
-		delete(v.set, v.ring[v.next])
+		v.idx.del(v.ring[v.next])
 	}
 	v.ring[v.next] = tag
 	v.valid[v.next] = true
-	v.set[tag] = v.next
+	v.idx.put(tag, int32(v.next))
 	v.next = (v.next + 1) % len(v.ring)
 }
 
 func (v *victimSet) remove(tag uint64) bool {
-	i, ok := v.set[tag]
+	i, ok := v.idx.get(tag)
 	if !ok {
 		return false
 	}
-	delete(v.set, tag)
+	v.idx.del(tag)
 	v.valid[i] = false
 	return true
 }
 
-func (v *victimSet) len() int { return len(v.set) }
+func (v *victimSet) len() int { return v.idx.len() }
+
+// clear empties the set, keeping its capacity.
+func (v *victimSet) clear() {
+	v.idx.clear()
+	for i := range v.valid {
+		v.valid[i] = false
+	}
+	v.next = 0
+}

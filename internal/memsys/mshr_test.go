@@ -1,0 +1,117 @@
+package memsys
+
+import "testing"
+
+// mshrConfig keeps latencies round and the MSHR small so fill lifetimes are
+// easy to reason about.
+func mshrConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MaxInFlight = 4
+	return cfg
+}
+
+// TestMSHRFillMergeRetire pins the in-flight tracker's lifecycle: a demand
+// miss registers a fill, a second access to the same line merges into it as
+// a partial hit (paying only the residual), and once the data arrives the
+// entry retires and the line is an ordinary hit.
+func TestMSHRFillMergeRetire(t *testing.T) {
+	h := New(mshrConfig())
+	addr := uint64(0x10000)
+
+	r := h.Load(1, addr, 0)
+	if r.Outcome != Miss || h.InFlight() != 1 {
+		t.Fatalf("first access: outcome %v, inflight %d", r.Outcome, h.InFlight())
+	}
+	full := r.Latency
+
+	// Merge: halfway through the fill, the same line costs the residual.
+	r2 := h.Load(1, addr, full/2)
+	if r2.Outcome != PartialDemand {
+		t.Fatalf("merge outcome = %v", r2.Outcome)
+	}
+	if want := full - full/2 + h.L1Latency(); r2.Latency != want {
+		t.Fatalf("merge latency = %d, want %d", r2.Latency, want)
+	}
+
+	// Retire: after arrival, a plain hit and the entry is gone.
+	r3 := h.Load(1, addr, full+1)
+	if r3.Outcome != HitNone || r3.L1Miss {
+		t.Fatalf("post-fill outcome = %v", r3.Outcome)
+	}
+	if h.InFlight() != 0 {
+		t.Fatalf("inflight after retire = %d", h.InFlight())
+	}
+}
+
+// TestMSHRSweepFreesPrefetchSlots fills the MSHR with prefetches, lets them
+// complete, and checks the capacity sweep frees slots for new prefetches
+// instead of dropping them forever.
+func TestMSHRSweepFreesPrefetchSlots(t *testing.T) {
+	cfg := mshrConfig()
+	h := New(cfg)
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		h.Prefetch(uint64(0x20000+i*cfg.LineSize), 0)
+	}
+	if h.InFlight() != cfg.MaxInFlight {
+		t.Fatalf("inflight = %d, want %d", h.InFlight(), cfg.MaxInFlight)
+	}
+	// At capacity and before completion: dropped.
+	h.Prefetch(0x40000, 1)
+	if h.Stats.PrefetchesDropped != 1 {
+		t.Fatalf("dropped = %d, want 1", h.Stats.PrefetchesDropped)
+	}
+	// Long after completion the sweep reclaims every slot.
+	h.Prefetch(0x50000, 10*cfg.MemLatency)
+	if h.Stats.PrefetchesDropped != 1 || h.InFlight() != 1 {
+		t.Fatalf("after sweep: dropped = %d, inflight = %d",
+			h.Stats.PrefetchesDropped, h.InFlight())
+	}
+}
+
+// TestMSHRDemandBypassesCapacity checks demand misses always register a
+// fill even when prefetches have exhausted the MSHR budget — the in-flight
+// tracker must grow rather than lose the merge window.
+func TestMSHRDemandBypassesCapacity(t *testing.T) {
+	cfg := mshrConfig()
+	h := New(cfg)
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		h.Prefetch(uint64(0x20000+i*cfg.LineSize), 0)
+	}
+	for i := 0; i < 8; i++ {
+		r := h.Load(1, uint64(0x80000+i*cfg.LineSize), 0)
+		if !r.L1Miss {
+			t.Fatalf("demand %d did not miss", i)
+		}
+	}
+	if h.InFlight() != cfg.MaxInFlight+8 {
+		t.Fatalf("inflight = %d, want %d", h.InFlight(), cfg.MaxInFlight+8)
+	}
+}
+
+// TestMSHRFlushCancelsFills checks FlushCaches drops every in-flight fill
+// and victim tag: a line that was mid-fill misses again from scratch and is
+// not blamed on prefetching.
+func TestMSHRFlushCancelsFills(t *testing.T) {
+	cfg := mshrConfig()
+	cfg.L1.SizeBytes = 2 * cfg.LineSize // tiny L1 to force displacement
+	cfg.L1.Assoc = 1
+	h := New(cfg)
+	h.Load(1, 0x10000, 0)
+	h.Prefetch(0x30000, 0)
+	if h.InFlight() != 2 {
+		t.Fatalf("inflight = %d, want 2", h.InFlight())
+	}
+	h.FlushCaches()
+	if h.InFlight() != 0 {
+		t.Fatalf("inflight after flush = %d", h.InFlight())
+	}
+	r := h.Load(1, 0x10000, 1)
+	if r.Outcome != Miss {
+		t.Fatalf("post-flush reload outcome = %v, want fresh miss", r.Outcome)
+	}
+	// The tracker must still work after clear: merge on the new fill.
+	r2 := h.Load(1, 0x10000, 2)
+	if r2.Outcome != PartialDemand {
+		t.Fatalf("post-flush merge outcome = %v", r2.Outcome)
+	}
+}

@@ -25,6 +25,11 @@ type Program struct {
 	Data map[uint64]uint64
 	// Name identifies the program in stats output.
 	Name string
+
+	// insts is the predecoded-instruction cache built by Predecode; nil
+	// until then. It is deliberately not copied by Clone: a clone may be
+	// mutated, and the cache must never go stale.
+	insts []isa.Inst
 }
 
 // CodeEnd returns the first address past the code segment.
@@ -33,13 +38,32 @@ func (p *Program) CodeEnd() uint64 {
 }
 
 // InstAt decodes the instruction at pc, reporting whether pc lies inside the
-// code segment.
+// code segment. After Predecode it serves cached decodes instead of running
+// isa.Decode per call.
 func (p *Program) InstAt(pc uint64) (isa.Inst, bool) {
-	w, ok := p.WordAt(pc)
-	if !ok {
+	if pc < p.Base || pc >= p.CodeEnd() || pc%isa.WordSize != 0 {
 		return isa.Inst{}, false
 	}
-	return isa.Decode(w), true
+	i := (pc - p.Base) / isa.WordSize
+	if p.insts != nil {
+		return p.insts[i], true
+	}
+	return isa.Decode(p.Code[i]), true
+}
+
+// Predecode builds the instruction cache so repeated InstAt calls (trace
+// formation walks the same hot code over and over) stop re-decoding the
+// same words. The caller must not mutate Code afterwards; the simulator
+// only predecodes the pristine image, which is never patched.
+func (p *Program) Predecode() {
+	if p.insts != nil {
+		return
+	}
+	insts := make([]isa.Inst, len(p.Code))
+	for i, w := range p.Code {
+		insts[i] = isa.Decode(w)
+	}
+	p.insts = insts
 }
 
 // WordAt returns the raw instruction word at pc.

@@ -39,16 +39,41 @@ func Optimize(t *Trace) int {
 	return total
 }
 
+// regVals is the constant-propagation scratch table: one slot per
+// architectural register plus a validity mask. It lives on the stack of the
+// pass using it, so optimization runs are allocation-free and independent
+// instances can run on concurrent worker goroutines.
+type regVals struct {
+	val   [isa.NumRegs]uint64
+	known [isa.NumRegs]bool
+}
+
+func (rv *regVals) get(r isa.Reg) (uint64, bool) {
+	if r == isa.ZeroReg {
+		return 0, true
+	}
+	return rv.val[r], rv.known[r]
+}
+
+func (rv *regVals) set(r isa.Reg, v uint64) {
+	if r != isa.ZeroReg {
+		rv.val[r] = v
+		rv.known[r] = true
+	}
+}
+
+func (rv *regVals) forget(r isa.Reg) { rv.known[r] = false }
+
 // PropagateConstants tracks registers with compile-time-known values
 // through the trace and folds ALU operations over known operands into LDI.
 // It returns the number of instructions rewritten.
 func PropagateConstants(t *Trace) int {
-	known := map[isa.Reg]uint64{}
+	var known regVals
 	changed := 0
 	for i := range t.Insts {
 		ti := &t.Insts[i]
 		in := ti.Inst
-		if v, ok := foldInst(in, known); ok {
+		if v, ok := foldInst(in, &known); ok {
 			if in.Op != isa.LDI {
 				lit := isa.Inst{Op: isa.LDI, Rd: in.Rd, Imm: int64(v)}
 				if fits(lit.Imm) {
@@ -56,11 +81,11 @@ func PropagateConstants(t *Trace) int {
 					changed++
 				}
 			}
-			known[in.Rd] = v
+			known.set(in.Rd, v)
 			continue
 		}
 		if rd, ok := Writes(in); ok {
-			delete(known, rd)
+			known.forget(rd)
 		}
 	}
 	return changed
@@ -68,14 +93,8 @@ func PropagateConstants(t *Trace) int {
 
 // foldInst evaluates in if all its source registers are known constants,
 // returning the value it writes.
-func foldInst(in isa.Inst, known map[isa.Reg]uint64) (uint64, bool) {
-	get := func(r isa.Reg) (uint64, bool) {
-		if r == isa.ZeroReg {
-			return 0, true
-		}
-		v, ok := known[r]
-		return v, ok
-	}
+func foldInst(in isa.Inst, known *regVals) (uint64, bool) {
+	get := known.get
 	if in.Rd == isa.ZeroReg {
 		return 0, false
 	}
@@ -154,16 +173,9 @@ func foldInst(in isa.Inst, known map[isa.Reg]uint64) (uint64, bool) {
 	return 0, false
 }
 
-func fold2(in isa.Inst, known map[isa.Reg]uint64, f func(a, b uint64) uint64) (uint64, bool) {
-	get := func(r isa.Reg) (uint64, bool) {
-		if r == isa.ZeroReg {
-			return 0, true
-		}
-		v, ok := known[r]
-		return v, ok
-	}
-	a, okA := get(in.Ra)
-	b, okB := get(in.Rb)
+func fold2(in isa.Inst, known *regVals, f func(a, b uint64) uint64) (uint64, bool) {
+	a, okA := known.get(in.Ra)
+	b, okB := known.get(in.Rb)
 	if okA && okB {
 		return f(a, b), true
 	}
@@ -179,12 +191,51 @@ func b2u(b bool) uint64 {
 	return 0
 }
 
-// memKey identifies a memory location as (base register, offset); valid
-// only while the base register is unchanged.
-type memKey struct {
+// availEntry remembers one memory location, identified as (base register,
+// offset) — valid only while the base register is unchanged — and the
+// register holding its value. The available set is a small slice with
+// linear search: traces are short and the set rarely holds more than a
+// handful of live locations, so scanning beats a map and allocates nothing
+// after the first few appends.
+type availEntry struct {
 	base isa.Reg
 	off  int64
+	src  isa.Reg
 }
+
+type availSet struct{ entries []availEntry }
+
+func (a *availSet) find(base isa.Reg, off int64) (isa.Reg, bool) {
+	for i := range a.entries {
+		if a.entries[i].base == base && a.entries[i].off == off {
+			return a.entries[i].src, true
+		}
+	}
+	return 0, false
+}
+
+func (a *availSet) put(base isa.Reg, off int64, src isa.Reg) {
+	for i := range a.entries {
+		if a.entries[i].base == base && a.entries[i].off == off {
+			a.entries[i].src = src
+			return
+		}
+	}
+	a.entries = append(a.entries, availEntry{base: base, off: off, src: src})
+}
+
+// invalidateReg drops every entry whose base or source is r.
+func (a *availSet) invalidateReg(r isa.Reg) {
+	kept := a.entries[:0]
+	for _, e := range a.entries {
+		if e.base != r && e.src != r {
+			kept = append(kept, e)
+		}
+	}
+	a.entries = kept
+}
+
+func (a *availSet) reset() { a.entries = a.entries[:0] }
 
 // ForwardLoadsStores rewrites redundant loads as MOVEs: a load from the
 // same (base, offset) as an earlier load or store — with the base and the
@@ -193,44 +244,34 @@ type memKey struct {
 // This subsumes both Trident's redundant load removal and its store/load →
 // MOVE conversion (§3.2). It returns the number of loads rewritten.
 func ForwardLoadsStores(t *Trace) int {
-	avail := map[memKey]isa.Reg{} // location -> register holding its value
+	var avail availSet
 	changed := 0
-	invalidateReg := func(r isa.Reg) {
-		for k, v := range avail {
-			if k.base == r || v == r {
-				delete(avail, k)
-			}
-		}
-	}
 	for i := range t.Insts {
 		ti := &t.Insts[i]
 		in := ti.Inst
 		switch in.Op {
 		case isa.LD: // LDNF excluded: its value depends on mapping validity
-			k := memKey{base: in.Ra, off: in.Imm}
-			if src, ok := avail[k]; ok && src != in.Rd {
+			if src, ok := avail.find(in.Ra, in.Imm); ok && src != in.Rd {
 				ti.Inst = isa.Inst{Op: isa.MOVE, Rd: in.Rd, Ra: src}
 				changed++
-				invalidateReg(in.Rd)
-				avail[k] = in.Rd
+				avail.invalidateReg(in.Rd)
+				avail.put(in.Ra, in.Imm, in.Rd)
 				continue
 			}
-			invalidateReg(in.Rd)
+			avail.invalidateReg(in.Rd)
 			if in.Rd != isa.ZeroReg && in.Rd != in.Ra {
-				avail[k] = in.Rd
+				avail.put(in.Ra, in.Imm, in.Rd)
 			}
 		case isa.ST:
 			// No alias analysis: a store invalidates every remembered
 			// location except the one it defines.
-			for k := range avail {
-				delete(avail, k)
-			}
+			avail.reset()
 			if in.Rb != isa.ZeroReg {
-				avail[memKey{base: in.Ra, off: in.Imm}] = in.Rb
+				avail.put(in.Ra, in.Imm, in.Rb)
 			}
 		default:
 			if rd, ok := Writes(in); ok {
-				invalidateReg(rd)
+				avail.invalidateReg(rd)
 			}
 		}
 	}
@@ -318,13 +359,13 @@ func addImm(in isa.Inst) int64 {
 // rest of the trace is unreachable and dropped). It returns the number of
 // instructions removed or rewritten.
 func RemoveRedundantBranches(t *Trace) int {
-	known := map[isa.Reg]uint64{}
+	var known regVals
 	changed := 0
 	for i := 0; i < len(t.Insts); i++ {
 		ti := &t.Insts[i]
 		in := ti.Inst
 		if ti.Kind == ExitBranch {
-			if v, ok := condValue(in, known); ok {
+			if v, ok := condValue(in, &known); ok {
 				if !v {
 					// Never exits: delete, donating weight forward.
 					donateWeight(t, i)
@@ -345,26 +386,20 @@ func RemoveRedundantBranches(t *Trace) int {
 				return changed + 1
 			}
 		}
-		if v, ok := foldInst(in, known); ok {
-			known[in.Rd] = v
+		if v, ok := foldInst(in, &known); ok {
+			known.set(in.Rd, v)
 		} else if rd, ok := Writes(in); ok {
-			delete(known, rd)
+			known.forget(rd)
 		}
 	}
 	return changed
 }
 
 // condValue evaluates a conditional branch with a known condition register.
-func condValue(in isa.Inst, known map[isa.Reg]uint64) (bool, bool) {
-	var v uint64
-	if in.Ra == isa.ZeroReg {
-		v = 0
-	} else {
-		var ok bool
-		v, ok = known[in.Ra]
-		if !ok {
-			return false, false
-		}
+func condValue(in isa.Inst, known *regVals) (bool, bool) {
+	v, ok := known.get(in.Ra)
+	if !ok {
+		return false, false
 	}
 	switch in.Op {
 	case isa.BEQ:

@@ -68,19 +68,13 @@ func SpecializeLoad(tr *Trace, idx int, value uint64, guard isa.Reg) bool {
 // additions of zero become moves. It returns the number of instructions
 // rewritten.
 func ReduceKnownOperands(t *Trace) int {
-	known := map[isa.Reg]uint64{}
+	var known regVals
 	changed := 0
 	for i := range t.Insts {
 		ti := &t.Insts[i]
 		in := ti.Inst
 
-		get := func(r isa.Reg) (uint64, bool) {
-			if r == isa.ZeroReg {
-				return 0, true
-			}
-			v, ok := known[r]
-			return v, ok
-		}
+		get := known.get
 
 		switch in.Op {
 		case isa.MUL, isa.FMUL:
@@ -114,10 +108,10 @@ func ReduceKnownOperands(t *Trace) int {
 		}
 
 		// Track constants across the (possibly rewritten) instruction.
-		if v, ok := foldInst(ti.Inst, known); ok {
-			known[ti.Inst.Rd] = v
+		if v, ok := foldInst(ti.Inst, &known); ok {
+			known.set(ti.Inst.Rd, v)
 		} else if rd, ok := Writes(ti.Inst); ok {
-			delete(known, rd)
+			known.forget(rd)
 		}
 	}
 	return changed

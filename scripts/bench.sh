@@ -1,0 +1,54 @@
+#!/bin/sh
+# Benchmark snapshot: runs the per-figure benches (bench_test.go) with
+# -benchmem and emits one JSON document recording ns/op, B/op, allocs/op,
+# and every custom metric per bench. Checked-in snapshots start the repo's
+# performance trajectory:
+#
+#   scripts/bench.sh                     # writes BENCH_<yyyymmdd>.json
+#   scripts/bench.sh BENCH_after.json    # explicit output name
+#   BENCHTIME=5x scripts/bench.sh       # more iterations (default 1x)
+#   BENCHFILTER=Figure5 scripts/bench.sh # subset of benches
+#
+# Compare two snapshots by eye or with jq, e.g.:
+#
+#   jq -r '.benchmarks[] | "\(.name) \(.allocs_per_op)"' BENCH_baseline.json
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date +%Y%m%d).json}"
+benchtime="${BENCHTIME:-1x}"
+filter="${BENCHFILTER:-.}"
+
+raw=$(go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" .)
+
+printf '%s\n' "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v gover="$(go env GOVERSION)" -v benchtime="$benchtime" '
+BEGIN {
+	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", date, gover, benchtime
+	n = 0
+}
+/^Benchmark/ {
+	# Benchmark<Name>-<procs>  <iters>  <ns> ns/op  [<metric> <unit>]...  <B> B/op  <allocs> allocs/op
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (n++) printf ","
+	printf "\n    {\n      \"name\": \"%s\",\n      \"iterations\": %s", name, $2
+	for (i = 3; i < NF; i++) {
+		unit = $(i + 1)
+		if (unit == "ns/op") printf ",\n      \"ns_per_op\": %s", $i
+		else if (unit == "B/op") printf ",\n      \"bytes_per_op\": %s", $i
+		else if (unit == "allocs/op") printf ",\n      \"allocs_per_op\": %s", $i
+		else {
+			key = unit
+			gsub(/[^A-Za-z0-9_]/, "_", key)
+			printf ",\n      \"%s\": %s", key, $i
+		}
+		i++
+	}
+	printf "\n    }"
+}
+END { printf "\n  ]\n}\n" }
+' >"$out"
+
+echo "wrote $out"

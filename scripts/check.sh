@@ -1,12 +1,21 @@
 #!/bin/sh
 # Full local gate: compile everything, vet, and run the whole test suite
-# under the race detector. The simulator is single-goroutine by design, so
-# -race is a cheap way to prove the chaos harness and shadow runs introduced
-# no hidden sharing.
+# under the race detector. The simulator is single-goroutine by design but
+# the experiment harness fans runs across goroutines, so -race guards both
+# the chaos harness/shadow runs and the worker pool against hidden sharing.
+#
+# For performance work, scripts/bench.sh emits a BENCH_<date>.json snapshot
+# of the per-figure benchmarks to diff against the checked-in
+# BENCH_baseline.json / BENCH_after.json.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+# The no-shared-state rule the parallel harness relies on, checked first for
+# fast failure, then the full suite.
+go test -race -run TestConcurrentSystemsShareNothing ./internal/core/
 go test -race ./...
+# One-iteration bench smoke: keeps the benchmark path compiling and running.
+go test -run '^$' -bench BenchmarkFigure5 -benchtime 1x .
