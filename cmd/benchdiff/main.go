@@ -1,0 +1,125 @@
+// Command benchdiff compares two benchmark snapshots written by
+// scripts/bench.sh and renders a per-benchmark delta table.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//	benchdiff -threshold 0.05 BENCH_after.json BENCH_pr3.json
+//
+// Snapshots follow the repo's naming convention: BENCH_baseline.json is the
+// seed, BENCH_after.json the state after the previous perf PR, and each perf
+// PR commits its own BENCH_prN.json — so OLD is usually the newest snapshot
+// already checked in.
+//
+// The exit status is the contract: benchdiff exits non-zero when any
+// benchmark's ns/op regresses by more than -threshold (default 10%), which
+// lets scripts/check.sh and CI gate merges on it. allocs/op deltas are
+// reported but never gate: allocation counts are advisory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type snapshot struct {
+	Date       string  `json:"date"`
+	Go         string  `json:"go"`
+	Benchtime  string  `json:"benchtime"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+type entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10,
+		"fail when ns/op regresses by more than this fraction")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold 0.10] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldSnap, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newSnap, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	report, regressed := diff(oldSnap, newSnap, *threshold)
+	fmt.Print(report)
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.0f%%\n", *threshold*100)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &s, nil
+}
+
+// diff renders the delta table and reports whether any benchmark present in
+// both snapshots regressed beyond threshold. Benchmarks present on only one
+// side are listed but cannot gate.
+func diff(oldSnap, newSnap *snapshot, threshold float64) (string, bool) {
+	oldBy := make(map[string]entry, len(oldSnap.Benchmarks))
+	for _, e := range oldSnap.Benchmarks {
+		oldBy[e.Name] = e
+	}
+
+	out := fmt.Sprintf("%-28s %15s %15s %8s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "allocs")
+	regressed := false
+	matched := make(map[string]bool, len(newSnap.Benchmarks))
+	for _, n := range newSnap.Benchmarks {
+		o, ok := oldBy[n.Name]
+		if !ok {
+			out += fmt.Sprintf("%-28s %15s %15.0f %8s %8s\n", n.Name, "-", n.NsPerOp, "new", "-")
+			continue
+		}
+		matched[n.Name] = true
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = n.NsPerOp/o.NsPerOp - 1
+		}
+		mark := ""
+		if delta > threshold {
+			mark = " !"
+			regressed = true
+		}
+		out += fmt.Sprintf("%-28s %15.0f %15.0f %+7.1f%% %+8.0f%s\n",
+			n.Name, o.NsPerOp, n.NsPerOp, delta*100, n.AllocsPerOp-o.AllocsPerOp, mark)
+	}
+	for _, o := range oldSnap.Benchmarks {
+		if !matched[o.Name] {
+			out += fmt.Sprintf("%-28s %15.0f %15s %8s %8s\n", o.Name, o.NsPerOp, "-", "gone", "-")
+		}
+	}
+	return out, regressed
+}

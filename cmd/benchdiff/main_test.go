@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func snap(entries ...entry) *snapshot {
+	return &snapshot{Benchmarks: entries}
+}
+
+func TestDiffRegressionGate(t *testing.T) {
+	oldS := snap(
+		entry{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 10},
+		entry{Name: "BenchmarkB", NsPerOp: 200, AllocsPerOp: 20},
+	)
+	// A improves 40%, B regresses 20%: must trip a 10% threshold but not 25%.
+	newS := snap(
+		entry{Name: "BenchmarkA", NsPerOp: 60, AllocsPerOp: 8},
+		entry{Name: "BenchmarkB", NsPerOp: 240, AllocsPerOp: 20},
+	)
+	report, regressed := diff(oldS, newS, 0.10)
+	if !regressed {
+		t.Fatal("20% regression must trip a 10% threshold")
+	}
+	if !strings.Contains(report, "BenchmarkB") || !strings.Contains(report, "!") {
+		t.Fatalf("report does not flag the regressor:\n%s", report)
+	}
+	if !strings.Contains(report, "-40.0%") || !strings.Contains(report, "+20.0%") {
+		t.Fatalf("report deltas wrong:\n%s", report)
+	}
+	if _, regressed := diff(oldS, newS, 0.25); regressed {
+		t.Fatal("20% regression must pass a 25% threshold")
+	}
+}
+
+func TestDiffUnmatchedBenchmarks(t *testing.T) {
+	oldS := snap(
+		entry{Name: "BenchmarkKept", NsPerOp: 100},
+		entry{Name: "BenchmarkRemoved", NsPerOp: 500},
+	)
+	newS := snap(
+		entry{Name: "BenchmarkKept", NsPerOp: 100},
+		entry{Name: "BenchmarkAdded", NsPerOp: 300},
+	)
+	report, regressed := diff(oldS, newS, 0.10)
+	if regressed {
+		t.Fatalf("no common benchmark regressed:\n%s", report)
+	}
+	if !strings.Contains(report, "new") || !strings.Contains(report, "gone") {
+		t.Fatalf("added/removed benchmarks not marked:\n%s", report)
+	}
+}
+
+func TestDiffRealSnapshots(t *testing.T) {
+	// The checked-in trajectory must itself pass the gate: BENCH_after was
+	// an across-the-board improvement over BENCH_baseline.
+	oldS, err := load("../../BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newS, err := load("../../BENCH_after.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, regressed := diff(oldS, newS, 0.10)
+	if regressed {
+		t.Fatalf("checked-in snapshots regress:\n%s", report)
+	}
+}

@@ -36,6 +36,7 @@ func main() {
 		instrs     = flag.Uint64("instrs", 0, "per-run instruction budget")
 		bench      = flag.String("bench", "", "comma-separated benchmark subset")
 		jobs       = flag.Int("j", 0, "max concurrent simulator runs (0 = all CPUs)")
+		slowpath   = flag.Bool("slowpath", false, "force the reference one-step simulation loop (disable the block-batched engine)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -62,6 +63,7 @@ func main() {
 		opts.Benchmarks = names
 	}
 	opts.Jobs = *jobs
+	opts.DisableFastPath = *slowpath
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

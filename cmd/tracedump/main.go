@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"tridentsp/internal/core"
@@ -26,13 +27,21 @@ func main() {
 	)
 	flag.Parse()
 
-	bm, ok := workloads.ByName(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+	if err := dump(os.Stdout, *bench, *hw, *scale, *instrs); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
 	}
+}
+
+// dump runs the benchmark and writes the run statistics followed by the
+// trace report. Split from main so the output format is testable.
+func dump(w io.Writer, bench, hw, scale string, instrs uint64) error {
+	bm, ok := workloads.ByName(bench)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q", bench)
+	}
 	cfg := core.DefaultConfig()
-	switch *hw {
+	switch hw {
 	case "none":
 		cfg.HW = core.HWNone
 	case "4x4":
@@ -40,11 +49,10 @@ func main() {
 	case "8x8":
 		cfg.HW = core.HW8x8
 	default:
-		fmt.Fprintf(os.Stderr, "unknown hw config %q\n", *hw)
-		os.Exit(1)
+		return fmt.Errorf("unknown hw config %q", hw)
 	}
 	var sc workloads.Scale
-	switch *scale {
+	switch scale {
 	case "test":
 		sc = workloads.ScaleTest
 	case "small":
@@ -52,13 +60,13 @@ func main() {
 	case "full":
 		sc = workloads.ScaleFull
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
-		os.Exit(1)
+		return fmt.Errorf("unknown scale %q", scale)
 	}
 
 	sys := core.NewSystem(cfg, bm.Build(sc))
-	res := sys.Run(*instrs)
-	fmt.Print(res.String())
-	fmt.Println()
-	fmt.Print(sys.TraceReport())
+	res := sys.Run(instrs)
+	fmt.Fprint(w, res.String())
+	fmt.Fprintln(w)
+	fmt.Fprint(w, sys.TraceReport())
+	return nil
 }

@@ -49,6 +49,7 @@ func main() {
 		preset  = flag.String("chaos", "", "fault-injection preset: "+presetList())
 		seed    = flag.Uint64("chaos-seed", 1, "fault-injection schedule seed")
 		jobs    = flag.Int("j", 0, "max concurrent benchmark runs (0 = all CPUs)")
+		slow    = flag.Bool("slowpath", false, "force the reference one-step simulation loop (disable the block-batched engine)")
 	)
 	flag.Parse()
 
@@ -97,6 +98,7 @@ func main() {
 	}
 	cfg.Trident = *trident
 	cfg.LinkTraces = *link
+	cfg.DisableFastPath = *slow
 	cfg.Backout = *backout
 	cfg.ValueSpecialize = *valspec
 	cfg.PhaseClearMature = *phase

@@ -160,6 +160,7 @@ func (s *System) newShadow() *System {
 	cfg.Mem = s.cfg.Mem
 	cfg.Chaos = nil
 	cfg.LivelockWindow = 0
+	cfg.DisableFastPath = s.cfg.DisableFastPath
 	return NewSystem(cfg, s.pristine.Clone())
 }
 

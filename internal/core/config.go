@@ -156,6 +156,12 @@ type Config struct {
 	// reporting the reason in Results.Aborted instead of spinning to the
 	// cycle limit. 0 disables detection.
 	LivelockWindow int64
+
+	// DisableFastPath forces the reference one-step-at-a-time simulation
+	// loop instead of the event-horizon/block-batched engine (DESIGN §9).
+	// The two paths are bit-identical by construction — this knob exists so
+	// the differential tests (and -slowpath on the CLIs) can prove it.
+	DisableFastPath bool
 }
 
 // DefaultConfig is the paper's evaluated machine: Table 1 core and memory,

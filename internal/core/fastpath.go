@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+
+	"tridentsp/internal/cpu"
+)
+
+// This file implements the first level of the simulator's fast path: the
+// event horizon. The framework is event-driven — chaos edges, watchdog
+// probes, phase-window boundaries, and helper-thread completions all fire at
+// known future cycles — yet the reference loop re-checks every one of them
+// after every committed instruction. fastForward instead computes the
+// nearest cycle at which anything non-CPU can happen and retires whole
+// straight-line blocks (cpu.BlockCache) up to that horizon, running the
+// event machinery once per batch at exactly the instruction boundary the
+// one-step loop would have used. Anything the batch executor cannot model —
+// loads, stores, branches, FDIV, trace entries and exits, patched words —
+// falls back to the full step().
+//
+// Equivalence contract (enforced by TestFastPathDifferential): step()
+// executes one instruction and then processes whatever became due at the
+// post-commit cycle. ExecBlock stops after the first instruction whose
+// commit crosses the horizon or the weight budget, so the batch-end
+// processing below observes the same cycle, the same origInstrs, and the
+// same machine state as the slow path's per-step processing — bit for bit.
+
+// eventHorizon returns the earliest future cycle at which any non-CPU
+// machinery can act, given the current cycle. MaxInt64 means "nothing
+// scheduled": execution may batch freely until code-driven work (a load, a
+// branch, a trace boundary) forces a slow step anyway.
+func (s *System) eventHorizon(now int64) int64 {
+	hz := int64(math.MaxInt64)
+	if s.chaosRun != nil {
+		if v := s.chaosRun.NextAt(); v < hz {
+			hz = v
+		}
+	}
+	if s.monitor != nil {
+		if v := s.monitor.NextAt(); v < hz {
+			hz = v
+		}
+	}
+	if s.cfg.Trident {
+		if s.apply != nil && s.applyAt < hz {
+			hz = s.applyAt
+		}
+		// The helper completing changes state in three ways: a pending
+		// apply fires (capped above), the interference tax toggles off, and
+		// a queued event can dispatch. The latter two anchor to BusyUntil.
+		bu := s.helper.BusyUntil()
+		busy := now < bu
+		if (busy || s.interfering || (s.queue.Len() > 0 && s.apply == nil)) && bu < hz {
+			hz = bu
+		}
+	}
+	return hz
+}
+
+// fastForward retires instructions on the fast path until the next slow-step
+// condition: an ineligible instruction, a trace entry/exit, a patched word,
+// or the instruction budget. Event boundaries (the horizon) end a batch but
+// not the fast path — processing runs and batching resumes.
+func (s *System) fastForward(limit uint64) {
+	if s.cfg.DisableFastPath {
+		return
+	}
+	t := s.thread
+	hz := s.eventHorizon(t.Now())
+	for {
+		if t.Halted() {
+			return
+		}
+		pc := t.PC()
+		var (
+			blk     cpu.Block
+			ok      bool
+			inTrace bool
+		)
+		if s.cache.Contains(pc) {
+			// In-trace batching covers only the interior of the placement
+			// already being traversed: entries, loop-backs (pc == Start),
+			// and anything outside s.curPl carry tracking side effects that
+			// need the slow path.
+			pl := s.curPl
+			if pl == nil || pc <= pl.Start || pc >= pl.End {
+				return
+			}
+			if blk, ok = s.cache.BlockAt(pc); !ok {
+				return
+			}
+			// A block must not run past this placement's end into an
+			// adjacently placed trace (possible only if a trace ends in a
+			// straight-line instruction, but cheap to guarantee here).
+			if maxLen := int((pl.End - pc) / 8); len(blk.Insts) > maxLen {
+				blk.Insts = blk.Insts[:maxLen]
+				blk.Weights = blk.Weights[:maxLen]
+			}
+			inTrace = true
+		} else if s.isPatched(pc) {
+			return
+		} else if blk, ok = s.live.BlockAt(pc); !ok {
+			return
+		}
+
+		// Weight budget: stop exactly where the slow loop would — at the
+		// instruction that reaches the run limit, or (when phase detection
+		// is armed) the one that crosses the phase window.
+		budget := limit - s.origInstrs
+		if s.cfg.Trident && s.cfg.PhaseClearMature {
+			elapsed := s.origInstrs - s.phaseMarkInstrs
+			if pb := s.cfg.PhaseWindow - elapsed; elapsed < s.cfg.PhaseWindow && pb < budget {
+				budget = pb
+			}
+		}
+
+		_, w := t.ExecBlock(blk, budget, hz)
+		now := t.Now()
+
+		// Batch-end processing: the same due-checks step() runs after every
+		// instruction, in the same order. Each is a no-op unless its event
+		// actually came due at this boundary.
+		if s.chaosRun != nil && now >= s.chaosRun.NextAt() {
+			for _, ed := range s.chaosRun.Due(now) {
+				s.applyChaosEdge(ed)
+			}
+		}
+		s.origInstrs += w
+		if !inTrace && s.curPl != nil {
+			// First original-code instruction after a trace exit.
+			s.curPl = nil
+			s.inTraversal = false
+		}
+		if s.cfg.Trident {
+			if s.cfg.PhaseClearMature &&
+				s.origInstrs-s.phaseMarkInstrs >= s.cfg.PhaseWindow {
+				s.checkPhase()
+			}
+			s.pump(now)
+			busy := s.helper.Busy(now)
+			if busy != s.interfering {
+				s.interfering = busy
+				t.SetInterference(busy)
+			}
+		}
+		s.lastNow = now
+		if s.monitor != nil && now >= s.monitor.NextAt() {
+			s.monitor.Tick(now)
+		}
+		if s.origInstrs >= limit {
+			return
+		}
+		hz = s.eventHorizon(now)
+	}
+}

@@ -222,19 +222,40 @@ func (s *System) DLT() *dlt.Table { return s.table }
 // later call with a higher limit continues the same machine.
 func (s *System) Run(limit uint64) Results {
 	s.syncShadowInit()
+	if s.cfg.LivelockWindow == 0 {
+		// No livelock detection: skip the per-step progress bookkeeping
+		// entirely.
+		for s.origInstrs < limit && !s.thread.Halted() && s.aborted == "" {
+			s.fastForward(limit)
+			if s.origInstrs >= limit || s.thread.Halted() {
+				break
+			}
+			s.step()
+		}
+		return s.results()
+	}
 	lastInstrs := s.origInstrs
 	lastProgress := s.thread.Now()
 	for s.origInstrs < limit && !s.thread.Halted() && s.aborted == "" {
+		// Fast-path batches always retire original instructions or stop at
+		// an event boundary within a trace; either way they count as
+		// progress checkpoints just like the slow steps below.
+		s.fastForward(limit)
+		if s.origInstrs != lastInstrs {
+			lastInstrs = s.origInstrs
+			lastProgress = s.thread.Now()
+		}
+		if s.origInstrs >= limit || s.thread.Halted() {
+			break
+		}
 		s.step()
-		if s.cfg.LivelockWindow > 0 {
-			if s.origInstrs != lastInstrs {
-				lastInstrs = s.origInstrs
-				lastProgress = s.thread.Now()
-			} else if s.thread.Now()-lastProgress >= s.cfg.LivelockWindow {
-				s.aborted = fmt.Sprintf(
-					"livelock: no original-instruction progress for %d cycles (pc=%#x, cycle=%d)",
-					s.thread.Now()-lastProgress, s.thread.PC(), s.thread.Now())
-			}
+		if s.origInstrs != lastInstrs {
+			lastInstrs = s.origInstrs
+			lastProgress = s.thread.Now()
+		} else if s.thread.Now()-lastProgress >= s.cfg.LivelockWindow {
+			s.aborted = fmt.Sprintf(
+				"livelock: no original-instruction progress for %d cycles (pc=%#x, cycle=%d)",
+				s.thread.Now()-lastProgress, s.thread.PC(), s.thread.Now())
 		}
 	}
 	return s.results()
@@ -256,9 +277,12 @@ func (s *System) step() {
 		}
 	}
 
-	// Placement tracking: which hot trace (if any) is executing.
+	// Placement tracking: which hot trace (if any) is executing. The
+	// containment probe is resolved once and reused by the branch-profiling
+	// filter below.
 	var pl *trident.Placement
-	if s.cache.Contains(pc) {
+	inCache := s.cache.Contains(pc)
+	if inCache {
 		if s.curPl != nil && pc >= s.curPl.Start && pc < s.curPl.End {
 			pl = s.curPl
 		} else if p, ok := s.cache.PlacementAt(pc); ok {
@@ -297,7 +321,7 @@ func (s *System) step() {
 
 	// Branch profiling (original code only: in-trace loop branches target
 	// the code cache and must not seed new traces).
-	if s.cfg.Trident && pl == nil && !s.cache.Contains(pc) {
+	if s.cfg.Trident && pl == nil && !inCache {
 		switch info.Branch {
 		case cpu.BranchTaken, cpu.BranchNotTaken:
 			taken := info.Branch == cpu.BranchTaken

@@ -1,0 +1,236 @@
+package cpu
+
+import (
+	"math"
+
+	"tridentsp/internal/isa"
+)
+
+// This file implements the second level of the simulator's fast path: a
+// decoded basic-block cache over a code image. A block is a maximal
+// straight-line run of register-only instructions (ALU, immediates, moves —
+// nothing that touches memory, control flow, the branch predictor, or the
+// stall counter). Such a run has no observable effect outside the register
+// file, the taint tracker, and the issue counter, so Thread.ExecBlock can
+// retire it in one tight loop instead of one full Step dispatch per
+// instruction. Everything event-driven (chaos edges, watchdog probes, the
+// helper-thread pump) happens between blocks, at the same instruction
+// boundaries the one-step loop would have used.
+
+// blockEligible reports whether op can live inside a block: its semantics
+// must read and write registers only, at the fixed one-issue-slot cost.
+// FDIV is excluded (it charges stallCycles), as is everything touching
+// memory, control flow, or the halt state.
+func blockEligible(op isa.Op) bool {
+	switch op {
+	case isa.NOP,
+		isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR,
+		isa.SLL, isa.SRL, isa.CMPLT, isa.CMPEQ,
+		isa.ADDI, isa.SUBI, isa.MULI, isa.ANDI, isa.ORI, isa.XORI,
+		isa.SLLI, isa.SRLI, isa.CMPLTI, isa.CMPEQI,
+		isa.LDA, isa.MOVE, isa.LDI, isa.LDIH,
+		isa.FADD, isa.FMUL:
+		return true
+	}
+	return false
+}
+
+// Block is one straight-line run of block-eligible instructions. The slices
+// alias the owning cache's decoded image, so a Block is only valid until the
+// next patch or placement; callers fetch a fresh one per batch.
+type Block struct {
+	Insts []isa.Inst
+	// Weights holds per-instruction original-instruction weights (code-cache
+	// traces carry 0 for inserted code, >1 for folded code). nil means every
+	// instruction weighs exactly 1 (original program code).
+	Weights []int
+}
+
+// blockEnt memoizes the block length starting at one word index. gen tags
+// the entry with the cache generation it was computed under, so a patch
+// invalidates every entry with a single counter bump instead of a sweep.
+type blockEnt struct {
+	gen uint64
+	n   int32
+}
+
+// BlockCache lazily maps instruction addresses to Blocks over one decoded
+// image. Invalidation is O(1): any mutation of the image bumps gen, and
+// stale entries rebuild on first use.
+type BlockCache struct {
+	base    uint64
+	insts   []isa.Inst
+	weights []int
+	gen     uint64
+	ents    []blockEnt
+}
+
+// NewBlockCache creates an empty cache; SetSource attaches the image.
+func NewBlockCache(base uint64) *BlockCache {
+	return &BlockCache{base: base, gen: 1}
+}
+
+// SetSource (re)points the cache at the decoded image and drops every cached
+// descriptor. Call it whenever the image slice may have been reallocated or
+// extended (e.g. a trace placement appending to the code cache); for
+// in-place word patches Invalidate suffices.
+func (c *BlockCache) SetSource(insts []isa.Inst, weights []int) {
+	c.insts, c.weights = insts, weights
+	c.gen++
+	if len(c.ents) < len(insts) {
+		c.ents = append(c.ents, make([]blockEnt, len(insts)-len(c.ents))...)
+	}
+}
+
+// Invalidate drops every cached descriptor (the image was patched in place).
+func (c *BlockCache) Invalidate() { c.gen++ }
+
+// At returns the block starting at pc. ok is false when pc is outside the
+// image, unaligned, or the instruction at pc is not block-eligible.
+func (c *BlockCache) At(pc uint64) (Block, bool) {
+	if pc < c.base || pc%isa.WordSize != 0 {
+		return Block{}, false
+	}
+	i := (pc - c.base) / isa.WordSize
+	if i >= uint64(len(c.insts)) {
+		return Block{}, false
+	}
+	e := &c.ents[i]
+	if e.gen != c.gen {
+		n := 0
+		for j := int(i); j < len(c.insts) && blockEligible(c.insts[j].Op); j++ {
+			n++
+		}
+		e.gen, e.n = c.gen, int32(n)
+	}
+	if e.n == 0 {
+		return Block{}, false
+	}
+	end := int(i) + int(e.n)
+	b := Block{Insts: c.insts[i:end]}
+	if c.weights != nil {
+		b.Weights = c.weights[i:end]
+	}
+	return b, true
+}
+
+// ExecBlock retires instructions from b until the cumulative weight reaches
+// weightBudget, the thread's cycle counter reaches horizon, or the block
+// ends — whichever comes first. Like the one-step loop, the stop conditions
+// are evaluated after each commit, so at least one instruction retires and
+// the final instruction is exactly the one whose commit crossed the budget
+// or horizon. It returns the instructions retired and their total weight.
+//
+// The caller guarantees the thread is not halted and t.PC() addresses
+// b.Insts[0]; semantics, taint propagation, and issue accounting mirror
+// Step exactly for the block-eligible opcodes.
+func (t *Thread) ExecBlock(b Block, weightBudget uint64, horizon int64) (int, uint64) {
+	// Within a block stallCycles is constant (no stalling ops), so
+	// "Now() >= horizon" reduces to one issue-unit comparison.
+	unitsCap := int64(math.MaxInt64)
+	if horizon != math.MaxInt64 {
+		switch rem := horizon - t.stallCycles; {
+		case rem <= 0:
+			unitsCap = 0
+		case rem <= math.MaxInt64/t.unitsPerCycle:
+			unitsCap = rem * t.unitsPerCycle
+		}
+	}
+	units := t.unitsPerInst
+	if t.interfering {
+		units += t.cfg.InterferenceNum
+	}
+	n, weight := 0, uint64(0)
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		switch in.Op {
+		case isa.NOP:
+
+		case isa.ADD:
+			t.setReg(in.Rd, t.regs[in.Ra]+t.regs[in.Rb])
+		case isa.SUB:
+			t.setReg(in.Rd, t.regs[in.Ra]-t.regs[in.Rb])
+		case isa.MUL:
+			t.setReg(in.Rd, t.regs[in.Ra]*t.regs[in.Rb])
+		case isa.AND:
+			t.setReg(in.Rd, t.regs[in.Ra]&t.regs[in.Rb])
+		case isa.OR:
+			t.setReg(in.Rd, t.regs[in.Ra]|t.regs[in.Rb])
+		case isa.XOR:
+			t.setReg(in.Rd, t.regs[in.Ra]^t.regs[in.Rb])
+		case isa.SLL:
+			t.setReg(in.Rd, t.regs[in.Ra]<<(t.regs[in.Rb]&63))
+		case isa.SRL:
+			t.setReg(in.Rd, t.regs[in.Ra]>>(t.regs[in.Rb]&63))
+		case isa.CMPLT:
+			t.setReg(in.Rd, b2u(int64(t.regs[in.Ra]) < int64(t.regs[in.Rb])))
+		case isa.CMPEQ:
+			t.setReg(in.Rd, b2u(t.regs[in.Ra] == t.regs[in.Rb]))
+
+		case isa.ADDI, isa.LDA:
+			t.setReg(in.Rd, t.regs[in.Ra]+uint64(in.Imm))
+		case isa.SUBI:
+			t.setReg(in.Rd, t.regs[in.Ra]-uint64(in.Imm))
+		case isa.MULI:
+			t.setReg(in.Rd, t.regs[in.Ra]*uint64(in.Imm))
+		case isa.ANDI:
+			t.setReg(in.Rd, t.regs[in.Ra]&uint64(in.Imm))
+		case isa.ORI:
+			t.setReg(in.Rd, t.regs[in.Ra]|uint64(in.Imm))
+		case isa.XORI:
+			t.setReg(in.Rd, t.regs[in.Ra]^uint64(in.Imm))
+		case isa.SLLI:
+			t.setReg(in.Rd, t.regs[in.Ra]<<(uint64(in.Imm)&63))
+		case isa.SRLI:
+			t.setReg(in.Rd, t.regs[in.Ra]>>(uint64(in.Imm)&63))
+		case isa.CMPLTI:
+			t.setReg(in.Rd, b2u(int64(t.regs[in.Ra]) < in.Imm))
+		case isa.CMPEQI:
+			t.setReg(in.Rd, b2u(t.regs[in.Ra] == uint64(in.Imm)))
+		case isa.MOVE:
+			t.setReg(in.Rd, t.regs[in.Ra])
+		case isa.LDI:
+			t.setReg(in.Rd, uint64(in.Imm))
+		case isa.LDIH:
+			t.setReg(in.Rd, t.regs[in.Ra]<<32|uint64(uint32(in.Imm)))
+
+		case isa.FADD:
+			t.setReg(in.Rd, t.regs[in.Ra]+t.regs[in.Rb])
+		case isa.FMUL:
+			t.setReg(in.Rd, t.regs[in.Ra]*t.regs[in.Rb])
+		}
+
+		// Taint propagation, mirroring updateTaint for the eligible subset
+		// (all ClassALU/ClassFP except NOP, which is ClassNop).
+		if in.Op != isa.NOP && in.Rd != isa.ZeroReg {
+			switch in.Op {
+			case isa.LDI:
+				t.taintSrc[in.Rd] = 0
+			case isa.MOVE, isa.LDIH, isa.ADDI, isa.SUBI, isa.MULI, isa.ANDI,
+				isa.ORI, isa.XORI, isa.SLLI, isa.SRLI, isa.CMPLTI, isa.CMPEQI,
+				isa.LDA:
+				t.taintSrc[in.Rd] = t.taintSrc[in.Ra]
+			default:
+				if s := t.taintSrc[in.Ra]; s != 0 {
+					t.taintSrc[in.Rd] = s
+				} else {
+					t.taintSrc[in.Rd] = t.taintSrc[in.Rb]
+				}
+			}
+		}
+
+		t.issueUnits += units
+		n++
+		if b.Weights != nil {
+			weight += uint64(b.Weights[i])
+		} else {
+			weight++
+		}
+		if weight >= weightBudget || t.issueUnits >= unitsCap {
+			break
+		}
+	}
+	t.committed += uint64(n)
+	t.pc += uint64(n) * isa.WordSize
+	return n, weight
+}

@@ -71,16 +71,17 @@ type CodeSpace interface {
 
 // ProgramSpace adapts a program image (pre-decoded) as a CodeSpace.
 type ProgramSpace struct {
-	base  uint64
-	insts []isa.Inst
+	base   uint64
+	insts  []isa.Inst
+	blocks *BlockCache
 }
 
 // NewProgramSpace pre-decodes a program.
 func NewProgramSpace(p *program.Program) *ProgramSpace {
 	s := &ProgramSpace{base: p.Base, insts: make([]isa.Inst, len(p.Code))}
-	for i, w := range p.Code {
-		s.insts[i] = isa.Decode(w)
-	}
+	copy(s.insts, p.Decoded())
+	s.blocks = NewBlockCache(p.Base)
+	s.blocks.SetSource(s.insts, nil)
 	return s
 }
 
@@ -106,7 +107,15 @@ func (s *ProgramSpace) Patch(pc uint64, w uint64) error {
 		return fmt.Errorf("cpu: patch outside code space at %#x", pc)
 	}
 	s.insts[i] = isa.Decode(w)
+	// A patched word may split or join straight-line runs; drop every
+	// cached block descriptor so the fast path re-derives them.
+	s.blocks.Invalidate()
 	return nil
+}
+
+// BlockAt returns the straight-line block starting at pc (see BlockCache).
+func (s *ProgramSpace) BlockAt(pc uint64) (Block, bool) {
+	return s.blocks.At(pc)
 }
 
 // BranchKind describes the control behaviour of a committed instruction.

@@ -31,6 +31,10 @@ type Options struct {
 	// negative selects runtime.NumCPU(). Any value produces byte-identical
 	// tables: results are assembled in submission order.
 	Jobs int
+	// DisableFastPath forces the reference one-step simulation loop
+	// (core.Config.DisableFastPath) in every run. Tables are identical
+	// either way; the knob exists to prove that.
+	DisableFastPath bool
 }
 
 // withDefaults fills unset options.
@@ -69,6 +73,7 @@ func (o Options) suite() []workloads.Benchmark {
 
 // run executes one benchmark under one configuration.
 func run(bm workloads.Benchmark, cfg core.Config, o Options) core.Results {
+	cfg.DisableFastPath = o.DisableFastPath
 	p := bm.Build(o.Scale)
 	return core.NewSystem(cfg, p).Run(o.Instrs)
 }

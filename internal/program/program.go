@@ -66,6 +66,14 @@ func (p *Program) Predecode() {
 	p.insts = insts
 }
 
+// Decoded returns the predecoded instruction image, running Predecode first
+// if needed. Callers must treat the slice as read-only; mutable consumers
+// (the live image the simulator patches) copy it.
+func (p *Program) Decoded() []isa.Inst {
+	p.Predecode()
+	return p.insts
+}
+
 // WordAt returns the raw instruction word at pc.
 func (p *Program) WordAt(pc uint64) (uint64, bool) {
 	if pc < p.Base || pc >= p.CodeEnd() || pc%isa.WordSize != 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tridentsp/internal/cpu"
 	"tridentsp/internal/isa"
 	"tridentsp/internal/trace"
 )
@@ -29,12 +30,17 @@ type CodeCache struct {
 
 	placements []Placement // sorted by Start
 	nextID     int
+
+	// blocks caches straight-line instruction runs for the simulator's fast
+	// path; invalidated whenever the placed image changes.
+	blocks *cpu.BlockCache
 }
 
 // NewCodeCache creates a cache whose traces occupy addresses from base
 // upward. base must be above the original program image.
 func NewCodeCache(base uint64) *CodeCache {
-	return &CodeCache{base: base &^ 7, nextID: 1}
+	base &^= 7
+	return &CodeCache{base: base, nextID: 1, blocks: cpu.NewBlockCache(base)}
 }
 
 // Base returns the first code-cache address.
@@ -84,7 +90,17 @@ func (c *CodeCache) Place(tr *trace.Trace) (*Placement, error) {
 		Live:    true,
 	}
 	c.placements = append(c.placements, pl)
+	// Placing appends to (and may reallocate) the decoded image; repoint
+	// the block cache and drop its descriptors.
+	c.blocks.SetSource(c.insts, c.weights)
 	return &c.placements[len(c.placements)-1], nil
+}
+
+// BlockAt returns the straight-line block starting at pc (see
+// cpu.BlockCache); block weights carry the trace's per-instruction
+// original-instruction weights.
+func (c *CodeCache) BlockAt(pc uint64) (cpu.Block, bool) {
+	return c.blocks.At(pc)
 }
 
 // Fetch returns the decoded instruction at pc; ok is false outside the
@@ -119,6 +135,8 @@ func (c *CodeCache) PatchImm(pc uint64, imm int64) error {
 	}
 	c.words[i] = w
 	c.insts[i] = isa.Decode(w)
+	// The patched word changed under any block descriptor spanning it.
+	c.blocks.Invalidate()
 	return nil
 }
 

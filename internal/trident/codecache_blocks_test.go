@@ -1,0 +1,109 @@
+package trident
+
+import (
+	"testing"
+
+	"tridentsp/internal/isa"
+	"tridentsp/internal/trace"
+)
+
+// straightTrace builds a trace whose body is a run of block-eligible ALU ops
+// (with an inserted, weight-0 prefetch-setup LDA in the middle) ending in an
+// exit jump, mirroring the shape the optimizer emits.
+func straightTrace() *trace.Trace {
+	return &trace.Trace{StartPC: 0x1000, Insts: []trace.Inst{
+		{Inst: isa.Inst{Op: isa.ADDI, Rd: 1, Ra: 1, Imm: 8}, Kind: trace.Normal, Weight: 1},
+		{Inst: isa.Inst{Op: isa.LDA, Rd: 30, Ra: 1, Imm: 64}, Kind: trace.Normal, Inserted: true},
+		{Inst: isa.Inst{Op: isa.SUBI, Rd: 4, Ra: 4, Imm: 1}, Kind: trace.Normal, Weight: 2},
+		{Inst: isa.Inst{Op: isa.PREFETCH, Ra: 30, Imm: 128}, Kind: trace.Normal, Inserted: true},
+		{Inst: isa.Inst{Op: isa.BR, Rd: isa.ZeroReg}, Kind: trace.ExitJump, ExitTarget: 0x1000},
+	}}
+}
+
+func TestCodeCacheBlockAt(t *testing.T) {
+	cc := NewCodeCache(0x10000000)
+	pl, err := cc.Place(straightTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The block at the trace start covers the three eligible instructions
+	// and stops before the PREFETCH; its weights must match Weight().
+	blk, ok := cc.BlockAt(pl.Start)
+	if !ok {
+		t.Fatal("no block at trace start")
+	}
+	if len(blk.Insts) != 3 {
+		t.Fatalf("block length %d, want 3 (stop before PREFETCH)", len(blk.Insts))
+	}
+	if blk.Weights == nil {
+		t.Fatal("code-cache block must carry trace weights")
+	}
+	for i := range blk.Insts {
+		pc := pl.Start + uint64(i)*isa.WordSize
+		if blk.Weights[i] != cc.Weight(pc) {
+			t.Errorf("weight[%d] = %d, Weight(%#x) = %d", i, blk.Weights[i], pc, cc.Weight(pc))
+		}
+	}
+	// The PREFETCH and the exit jump must not head a block.
+	if _, ok := cc.BlockAt(pl.Start + 3*isa.WordSize); ok {
+		t.Fatal("PREFETCH must not head a block")
+	}
+	if _, ok := cc.BlockAt(pl.End - isa.WordSize); ok {
+		t.Fatal("exit jump must not head a block")
+	}
+}
+
+// TestCodeCacheBlockPatchImm is the self-repair interaction: a
+// prefetch-distance rewrite (PatchImm) must invalidate block descriptors so
+// the next fetch through the block path decodes the rewritten word.
+func TestCodeCacheBlockPatchImm(t *testing.T) {
+	cc := NewCodeCache(0x10000000)
+	pl, err := cc.Place(straightTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the descriptor first so staleness is actually possible.
+	if _, ok := cc.BlockAt(pl.Start); !ok {
+		t.Fatal("no block at trace start")
+	}
+	// Rewrite the ADDI stride at the block head (the same primitive repair
+	// uses on PREFETCH distances; any word in the span must invalidate).
+	if err := cc.PatchImm(pl.Start, 16); err != nil {
+		t.Fatal(err)
+	}
+	blk, ok := cc.BlockAt(pl.Start)
+	if !ok {
+		t.Fatal("no block after PatchImm")
+	}
+	if blk.Insts[0].Imm != 16 {
+		t.Fatalf("stale block after PatchImm: imm = %d, want 16", blk.Insts[0].Imm)
+	}
+}
+
+// TestCodeCacheBlockSurvivesPlace guards the append-reallocation hazard:
+// placing a second trace may reallocate the decoded image, so descriptors
+// handed out afterwards must alias the new backing arrays.
+func TestCodeCacheBlockSurvivesPlace(t *testing.T) {
+	cc := NewCodeCache(0x10000000)
+	p1, err := cc.Place(straightTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cc.BlockAt(p1.Start); !ok {
+		t.Fatal("no block in first trace")
+	}
+	p2, err := cc.Place(straightTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, start := range []uint64{p1.Start, p2.Start} {
+		blk, ok := cc.BlockAt(start)
+		if !ok || len(blk.Insts) != 3 {
+			t.Fatalf("block at %#x after second Place: ok=%v len=%d", start, ok, len(blk.Insts))
+		}
+		in, _ := cc.Fetch(start)
+		if blk.Insts[0] != in {
+			t.Fatalf("block at %#x aliases a stale image", start)
+		}
+	}
+}

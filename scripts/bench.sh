@@ -9,7 +9,13 @@
 #   BENCHTIME=5x scripts/bench.sh       # more iterations (default 1x)
 #   BENCHFILTER=Figure5 scripts/bench.sh # subset of benches
 #
-# Compare two snapshots by eye or with jq, e.g.:
+# Snapshot naming convention: BENCH_baseline.json is the seed,
+# BENCH_after.json the first perf PR, BENCH_prN.json each later perf PR.
+# Compare two snapshots with cmd/benchdiff (non-zero exit on regression):
+#
+#   go run ./cmd/benchdiff BENCH_after.json BENCH_pr3.json
+#
+# or by eye with jq, e.g.:
 #
 #   jq -r '.benchmarks[] | "\(.name) \(.allocs_per_op)"' BENCH_baseline.json
 set -eu

@@ -5,8 +5,9 @@
 # the chaos harness/shadow runs and the worker pool against hidden sharing.
 #
 # For performance work, scripts/bench.sh emits a BENCH_<date>.json snapshot
-# of the per-figure benchmarks to diff against the checked-in
-# BENCH_baseline.json / BENCH_after.json.
+# of the per-figure benchmarks. Snapshot naming: BENCH_baseline.json is the
+# seed, BENCH_after.json the first perf PR, BENCH_prN.json each later perf
+# PR; compare any two with cmd/benchdiff.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -19,3 +20,7 @@ go test -race -run TestConcurrentSystemsShareNothing ./internal/core/
 go test -race ./...
 # One-iteration bench smoke: keeps the benchmark path compiling and running.
 go test -run '^$' -bench BenchmarkFigure5 -benchtime 1x .
+# benchdiff smoke over the two newest checked-in snapshots: exercises the
+# comparison tool and asserts the committed perf trajectory has no >5%
+# ns/op regression step.
+go run ./cmd/benchdiff -threshold 0.05 BENCH_after.json BENCH_pr3.json
