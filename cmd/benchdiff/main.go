@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 )
 
@@ -34,6 +35,7 @@ type snapshot struct {
 type entry struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
@@ -86,40 +88,50 @@ func load(path string) (*snapshot, error) {
 
 // diff renders the delta table and reports whether any benchmark present in
 // both snapshots regressed beyond threshold. Benchmarks present on only one
-// side are listed but cannot gate.
+// side are listed but cannot gate. A geomean summary row aggregates the
+// ns/op ratio over the matched set (the honest cross-benchmark average for
+// ratios; an arithmetic mean would let one big benchmark mask the rest).
 func diff(oldSnap, newSnap *snapshot, threshold float64) (string, bool) {
 	oldBy := make(map[string]entry, len(oldSnap.Benchmarks))
 	for _, e := range oldSnap.Benchmarks {
 		oldBy[e.Name] = e
 	}
 
-	out := fmt.Sprintf("%-28s %15s %15s %8s %8s\n",
-		"benchmark", "old ns/op", "new ns/op", "delta", "allocs")
+	out := fmt.Sprintf("%-28s %15s %15s %8s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "B/op", "allocs")
 	regressed := false
+	logSum, logN := 0.0, 0
 	matched := make(map[string]bool, len(newSnap.Benchmarks))
 	for _, n := range newSnap.Benchmarks {
 		o, ok := oldBy[n.Name]
 		if !ok {
-			out += fmt.Sprintf("%-28s %15s %15.0f %8s %8s\n", n.Name, "-", n.NsPerOp, "new", "-")
+			out += fmt.Sprintf("%-28s %15s %15.0f %8s %12s %8s\n", n.Name, "-", n.NsPerOp, "new", "-", "-")
 			continue
 		}
 		matched[n.Name] = true
 		delta := 0.0
 		if o.NsPerOp > 0 {
 			delta = n.NsPerOp/o.NsPerOp - 1
+			logSum += math.Log(n.NsPerOp / o.NsPerOp)
+			logN++
 		}
 		mark := ""
 		if delta > threshold {
 			mark = " !"
 			regressed = true
 		}
-		out += fmt.Sprintf("%-28s %15.0f %15.0f %+7.1f%% %+8.0f%s\n",
-			n.Name, o.NsPerOp, n.NsPerOp, delta*100, n.AllocsPerOp-o.AllocsPerOp, mark)
+		out += fmt.Sprintf("%-28s %15.0f %15.0f %+7.1f%% %+12.0f %+8.0f%s\n",
+			n.Name, o.NsPerOp, n.NsPerOp, delta*100,
+			n.BytesPerOp-o.BytesPerOp, n.AllocsPerOp-o.AllocsPerOp, mark)
 	}
 	for _, o := range oldSnap.Benchmarks {
 		if !matched[o.Name] {
-			out += fmt.Sprintf("%-28s %15.0f %15s %8s %8s\n", o.Name, o.NsPerOp, "-", "gone", "-")
+			out += fmt.Sprintf("%-28s %15.0f %15s %8s %12s %8s\n", o.Name, o.NsPerOp, "-", "gone", "-", "-")
 		}
+	}
+	if logN > 0 {
+		out += fmt.Sprintf("%-28s %15s %15s %+7.1f%%\n",
+			"geomean", "", "", (math.Exp(logSum/float64(logN))-1)*100)
 	}
 	return out, regressed
 }

@@ -52,6 +52,31 @@ func TestDiffUnmatchedBenchmarks(t *testing.T) {
 	}
 }
 
+func TestDiffGeomeanAndBytes(t *testing.T) {
+	oldS := snap(
+		entry{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: 1000},
+		entry{Name: "BenchmarkB", NsPerOp: 200, BytesPerOp: 4000},
+	)
+	// Ratios 0.6 and 1.2: geomean sqrt(0.72) = 0.84853 -> -15.1%.
+	newS := snap(
+		entry{Name: "BenchmarkA", NsPerOp: 60, BytesPerOp: 1500},
+		entry{Name: "BenchmarkB", NsPerOp: 240, BytesPerOp: 3000},
+	)
+	report, _ := diff(oldS, newS, 0.25)
+	if !strings.Contains(report, "geomean") || !strings.Contains(report, "-15.1%") {
+		t.Fatalf("geomean row missing or wrong:\n%s", report)
+	}
+	if !strings.Contains(report, "+500") || !strings.Contains(report, "-1000") {
+		t.Fatalf("B/op deltas missing:\n%s", report)
+	}
+	// The geomean row must not appear when nothing matched.
+	report, _ = diff(snap(entry{Name: "BenchmarkX", NsPerOp: 1}),
+		snap(entry{Name: "BenchmarkY", NsPerOp: 1}), 0.25)
+	if strings.Contains(report, "geomean") {
+		t.Fatalf("geomean over empty matched set:\n%s", report)
+	}
+}
+
 func TestDiffRealSnapshots(t *testing.T) {
 	// The checked-in trajectory must itself pass the gate: BENCH_after was
 	// an across-the-board improvement over BENCH_baseline.

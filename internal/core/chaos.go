@@ -161,7 +161,7 @@ func (s *System) newShadow() *System {
 	cfg.Chaos = nil
 	cfg.LivelockWindow = 0
 	cfg.DisableFastPath = s.cfg.DisableFastPath
-	return NewSystem(cfg, s.pristine.Clone())
+	return NewSystem(cfg, s.pristine.ClonePristine())
 }
 
 // syncShadowInit copies the main thread's starting registers into the

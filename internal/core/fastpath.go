@@ -4,31 +4,46 @@ import (
 	"math"
 
 	"tridentsp/internal/cpu"
+	"tridentsp/internal/isa"
+	"tridentsp/internal/memsys"
+	"tridentsp/internal/trident"
 )
 
 // This file implements the first level of the simulator's fast path: the
 // event horizon. The framework is event-driven — chaos edges, watchdog
-// probes, phase-window boundaries, and helper-thread completions all fire at
-// known future cycles — yet the reference loop re-checks every one of them
-// after every committed instruction. fastForward instead computes the
-// nearest cycle at which anything non-CPU can happen and retires whole
-// straight-line blocks (cpu.BlockCache) up to that horizon, running the
-// event machinery once per batch at exactly the instruction boundary the
-// one-step loop would have used. Anything the batch executor cannot model —
-// loads, stores, branches, FDIV, trace entries and exits, patched words —
-// falls back to the full step().
+// probes, phase-window boundaries, helper-thread completions, and in-flight
+// fill arrivals all fire at known future cycles — yet the reference loop
+// re-checks every one of them after every committed instruction. fastForward
+// instead computes the nearest cycle at which anything non-CPU can happen
+// and retires whole superblocks (cpu.BlockCache) up to that horizon, running
+// the event machinery once per batch at exactly the instruction boundary the
+// one-step loop would have used.
+//
+// Since the superblock engine, batches carry memory operations and loop
+// back-edges too. The core-side monitoring the slow path performs per
+// instruction (DLT/VPT updates for in-trace loads, branch profiling in
+// original code, traversal timing at trace loop-backs) is mirrored into the
+// batch through cpu.SBHooks, each hook a verbatim transliteration of the
+// corresponding step() clause. The remaining slow-path set is exactly the
+// event-visible instructions: loads the L1-hit probe declines (misses,
+// partial hits, MSHR pressure), FDIV, jumps, trace entries and exits,
+// patched words, and any instruction whose monitoring raised a helper event
+// (the batch stops so the pump dispatches at the same cycle the slow path
+// would have).
 //
 // Equivalence contract (enforced by TestFastPathDifferential): step()
 // executes one instruction and then processes whatever became due at the
-// post-commit cycle. ExecBlock stops after the first instruction whose
-// commit crosses the horizon or the weight budget, so the batch-end
-// processing below observes the same cycle, the same origInstrs, and the
-// same machine state as the slow path's per-step processing — bit for bit.
+// post-commit cycle. ExecSuperBlock stops after the first instruction whose
+// commit crosses the horizon or the weight budget — pre-stopping hooked
+// instructions that might cross, so a hook never observes an instruction
+// past the horizon — and the batch-end processing below observes the same
+// cycle, the same origInstrs, and the same machine state as the slow path's
+// per-step processing — bit for bit.
 
 // eventHorizon returns the earliest future cycle at which any non-CPU
 // machinery can act, given the current cycle. MaxInt64 means "nothing
-// scheduled": execution may batch freely until code-driven work (a load, a
-// branch, a trace boundary) forces a slow step anyway.
+// scheduled": execution may batch freely until code-driven work (a declined
+// load, a trace boundary, a patched word) forces a slow step anyway.
 func (s *System) eventHorizon(now int64) int64 {
 	hz := int64(math.MaxInt64)
 	if s.chaosRun != nil {
@@ -54,13 +69,21 @@ func (s *System) eventHorizon(now int64) int64 {
 			hz = bu
 		}
 	}
+	// An in-flight fill arriving re-prices later accesses to its line
+	// (partial hit residual → plain hit), so batches never run across a
+	// fill-ready boundary; this keeps partial-hit timing exact even though
+	// the fast probe itself declines every in-flight line.
+	if v := s.hier.EarliestFill(now); v < hz {
+		hz = v
+	}
 	return hz
 }
 
 // fastForward retires instructions on the fast path until the next slow-step
-// condition: an ineligible instruction, a trace entry/exit, a patched word,
-// or the instruction budget. Event boundaries (the horizon) end a batch but
-// not the fast path — processing runs and batching resumes.
+// condition: an instruction the batch executor cannot prove equivalent, a
+// trace entry, a patched word, or the instruction budget. Event boundaries
+// (the horizon) end a batch but not the fast path — processing runs and
+// batching resumes.
 func (s *System) fastForward(limit uint64) {
 	if s.cfg.DisableFastPath {
 		return
@@ -76,14 +99,19 @@ func (s *System) fastForward(limit uint64) {
 			blk     cpu.Block
 			ok      bool
 			inTrace bool
+			hooks   *cpu.SBHooks
 		)
 		if s.cache.Contains(pc) {
-			// In-trace batching covers only the interior of the placement
-			// already being traversed: entries, loop-backs (pc == Start),
-			// and anything outside s.curPl carry tracking side effects that
-			// need the slow path.
+			// In-trace batching covers the placement already being
+			// traversed, including launches at its head: the loop-back
+			// traversal record is deferred (sbHeadPending) until the batch
+			// proves the head actually retired. First entries (curPl still
+			// elsewhere) carry entry-tracking side effects and stay slow.
 			pl := s.curPl
-			if pl == nil || pc <= pl.Start || pc >= pl.End {
+			if pl == nil || pc < pl.Start || pc >= pl.End {
+				return
+			}
+			if pc == pl.Start && !s.inTraversal {
 				return
 			}
 			if blk, ok = s.cache.BlockAt(pc); !ok {
@@ -97,10 +125,15 @@ func (s *System) fastForward(limit uint64) {
 				blk.Weights = blk.Weights[:maxLen]
 			}
 			inTrace = true
+			hooks = &s.sbTraceHooks
+			s.sbPl, s.sbEntry = pl, pc
+			s.sbHeadPending = pc == pl.Start
 		} else if s.isPatched(pc) {
 			return
 		} else if blk, ok = s.live.BlockAt(pc); !ok {
 			return
+		} else if s.cfg.Trident {
+			hooks = &s.sbOrigHooks
 		}
 
 		// Weight budget: stop exactly where the slow loop would — at the
@@ -114,7 +147,15 @@ func (s *System) fastForward(limit uint64) {
 			}
 		}
 
-		_, w := t.ExecBlock(blk, budget, hz)
+		ex := t.ExecSuperBlock(blk, budget, hz, hooks)
+		if ex.N == 0 {
+			// The first instruction already needs the slow path: nothing
+			// committed, nothing to process — including a deferred head
+			// record, whose instruction will now retire through step() and
+			// be recorded by trackTraversal instead.
+			s.sbHeadPending = false
+			return
+		}
 		now := t.Now()
 
 		// Batch-end processing: the same due-checks step() runs after every
@@ -125,12 +166,22 @@ func (s *System) fastForward(limit uint64) {
 				s.applyChaosEdge(ed)
 			}
 		}
-		s.origInstrs += w
-		if !inTrace && s.curPl != nil {
+		s.origInstrs += ex.Weight
+		if inTrace {
+			// A batch that launched at the trace head completed the prior
+			// traversal with its first instruction (trackTraversal's
+			// loop-back arm); folds inside the batch flushed it already.
+			s.flushHeadRecord()
+		} else if s.curPl != nil {
 			// First original-code instruction after a trace exit.
 			s.curPl = nil
 			s.inTraversal = false
 		}
+		// Load accounting, deferred from the batch: the slow path counts
+		// these per load, but nothing between the loads and this boundary
+		// reads them (the phase check below is the first reader).
+		s.stats.loadsTotal += uint64(ex.Loads)
+		s.stats.missesTotal += uint64(ex.WouldMiss)
 		if s.cfg.Trident {
 			if s.cfg.PhaseClearMature &&
 				s.origInstrs-s.phaseMarkInstrs >= s.cfg.PhaseWindow {
@@ -147,9 +198,137 @@ func (s *System) fastForward(limit uint64) {
 		if s.monitor != nil && now >= s.monitor.NextAt() {
 			s.monitor.Tick(now)
 		}
-		if s.origInstrs >= limit {
+		if ex.NeedSlow || s.origInstrs >= limit {
 			return
 		}
 		hz = s.eventHorizon(now)
 	}
+}
+
+// initSBHooks binds the batch-observation hooks once at construction (the
+// method values allocate).
+func (s *System) initSBHooks() {
+	s.sbTraceHooks = cpu.SBHooks{
+		Load:     s.sbTraceLoad,
+		LoopBack: s.sbLoopBack,
+	}
+	s.sbOrigHooks = cpu.SBHooks{
+		Branch: s.sbOrigBranch,
+	}
+}
+
+// recordTraversal is trackTraversal's loop-back arm, applied at cycle at:
+// the traversal that just closed ran from traversalStart to at.
+func (s *System) recordTraversal(at int64) {
+	pl := s.sbPl
+	if we, ok := s.watch.ByID(pl.TraceID); ok {
+		we.RecordTraversal(at - s.traversalStart)
+	}
+	s.stats.traceTraversal++
+	s.traversalStart = at
+	if s.cfg.Backout {
+		if a := s.activity[pl.TraceID]; a != nil {
+			a.traversals++
+		}
+	}
+}
+
+// flushHeadRecord issues the traversal record deferred at a head launch.
+// The slow path records when the head instruction commits, using the cycle
+// of the instruction *before* it (s.lastNow); at flush time s.lastNow still
+// holds exactly that pre-batch value.
+func (s *System) flushHeadRecord() {
+	if !s.sbHeadPending {
+		return
+	}
+	s.sbHeadPending = false
+	s.recordTraversal(s.lastNow)
+}
+
+// sbLoopBack fires when a batched trace fold is about to re-execute the
+// block entry. When the entry is the trace head this is trackTraversal's
+// loop-back: the pending head record (if the batch launched at the head)
+// flushes first, then the traversal that the branch just closed is recorded
+// at the branch's post-commit cycle — the same value the slow path would
+// record one step later via lastNow.
+func (s *System) sbLoopBack(now int64) {
+	if s.sbEntry != s.sbPl.Start {
+		return
+	}
+	s.flushHeadRecord()
+	s.recordTraversal(now)
+}
+
+// sbTraceLoad is monitorLoad, transliterated for a batched in-trace load.
+// It must stop the batch exactly when a helper event was enqueued: the slow
+// path's pump would dispatch it at this very cycle, so the batch has to end
+// for the batch-end pump to run at the same point. loadsTotal/missesTotal
+// are deliberately not counted here — the batch aggregates them (SBExec) and
+// the boundary processing adds them before any reader runs.
+func (s *System) sbTraceLoad(pc, addr, value uint64, res memsys.Result, now int64) bool {
+	pl := s.sbPl
+	idx := (pc - pl.Start) / isa.WordSize
+	ti := &pl.Trace.Insts[idx]
+	if ti.Inserted || ti.OrigPC == 0 {
+		return false
+	}
+	origPC, headPC := ti.OrigPC, pl.Trace.StartPC
+
+	s.stats.loadsInTrace++
+	stop := false
+	if s.vpt != nil && s.vpt.Update(origPC, value) {
+		ev := trident.Event{Kind: trident.EventInvariantLoad, Raised: now, LoadPC: origPC}
+		ev.Hot.StartPC = headPC
+		if s.queue.Push(ev) {
+			stop = true
+		}
+	}
+	if wouldMiss(res) {
+		s.stats.missesInTrace++
+		if s.opt != nil && s.opt.Covered(headPC, origPC) {
+			s.stats.missesCovered++
+		}
+	}
+	// A fast-path load is never an L1 miss, so the DLT sample is always
+	// (miss=false, lat=0) — identical to what the slow path would feed it
+	// for the same access. The window boundary can still cross the
+	// delinquency threshold on earlier misses, so the event path stays.
+	if !s.table.Update(origPC, addr, false, 0) {
+		return stop
+	}
+	if s.opt == nil {
+		s.table.ClearCounters(origPC)
+		return stop
+	}
+	we, ok := s.watch.ByStart(headPC)
+	if !ok || we.OptFlag {
+		s.table.ClearCounters(origPC)
+		return stop
+	}
+	ev := trident.Event{
+		Kind:    trident.EventDelinquentLoad,
+		Raised:  now,
+		LoadPC:  origPC,
+		TraceID: we.TraceID,
+	}
+	ev.Hot.StartPC = headPC
+	if s.queue.Push(ev) {
+		we.OptFlag = true
+		return true
+	}
+	s.table.ClearCounters(origPC)
+	return stop
+}
+
+// sbOrigBranch is the branch-profiling clause of step(), transliterated for
+// a batched original-code conditional branch. The batch launch guarantees
+// pc is outside the code cache and outside any placement, which is the slow
+// path's profiling precondition. The batch stops when a hot-trace event was
+// enqueued, for the same pump-timing reason as sbTraceLoad.
+func (s *System) sbOrigBranch(pc uint64, in *isa.Inst, taken bool, now int64) bool {
+	target := isa.BranchTarget(pc, *in)
+	if hot, fired := s.prof.OnCondBranch(pc, target, taken); fired {
+		return s.enqueueHot(hot, now)
+	}
+	return false
 }

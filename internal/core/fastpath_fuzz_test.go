@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"tridentsp/internal/isa"
+	"tridentsp/internal/program"
+)
+
+// FuzzFastPathDifferential extends the repo's fuzz infrastructure (see
+// internal/asm.FuzzAssemble) to the batch engine: arbitrary bytes become a
+// structured hot loop mixing ALU ops, loads, non-faulting loads, stores,
+// prefetches, FDIVs, and data-dependent forward branches, and the program
+// runs on both paths. Any divergence in Results, final PC, the register
+// file, or the memory-system statistics fails. The loop is hot by
+// construction, so Trident forms traces over fuzz-chosen bodies and the
+// batcher executes them — covering member classifications (and slow-path
+// exclusions like FDIV) the hand-written differential matrix cannot
+// enumerate.
+func FuzzFastPathDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x66, 0x99, 0xb3})                       // load/store/prefetch
+	f.Add([]byte{0xc4, 0xd5, 0xe6, 0xf7})                 // fdiv + branches
+	f.Add(bytes.Repeat([]byte{0x67}, 24))                 // load-dense body
+	f.Add(bytes.Repeat([]byte{0x9a, 0x08, 0xd1, 0x3f}, 8)) // store/ldnf/branch mix
+	seq := make([]byte, 64)
+	for i := range seq {
+		seq[i] = byte(i * 37)
+	}
+	f.Add(seq)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 192 {
+			data = data[:192]
+		}
+		fast := DefaultConfig()
+		slow := DefaultConfig()
+		slow.DisableFastPath = true
+		sysF := NewSystem(fast, buildFuzzProgram(data))
+		sysS := NewSystem(slow, buildFuzzProgram(data))
+		resF := sysF.Run(30_000)
+		resS := sysS.Run(30_000)
+		if resF != resS {
+			t.Fatalf("Results diverged\nfast: %+v\nslow: %+v", resF, resS)
+		}
+		if pcF, pcS := sysF.Thread().PC(), sysS.Thread().PC(); pcF != pcS {
+			t.Fatalf("final PC diverged: fast %#x, slow %#x", pcF, pcS)
+		}
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			if vF, vS := sysF.Thread().Reg(r), sysS.Thread().Reg(r); vF != vS {
+				t.Fatalf("r%d diverged: fast %#x, slow %#x", r, vF, vS)
+			}
+		}
+		if sysF.hier.Stats != sysS.hier.Stats {
+			t.Fatalf("memsys.Stats diverged\nfast: %+v\nslow: %+v",
+				sysF.hier.Stats, sysS.hier.Stats)
+		}
+	})
+}
+
+// buildFuzzProgram turns fuzz bytes into a runnable hot loop. The mapping is
+// total (every byte string yields a valid program) and deterministic, with
+// the loop bookkeeping kept in registers the fuzz body never writes.
+func buildFuzzProgram(data []byte) *program.Program {
+	b := program.NewBuilder("fuzz", 0x1000, 1<<20)
+	arr := b.Alloc(32 << 10)
+	// Seed every third line's first word: loads see a mix of mapped and
+	// unmapped words, so LDNF's valid-word semantics are exercised too.
+	for i := uint64(0); i < 512; i += 3 {
+		b.SetWord(arr+i*64, i*0x9e3779b97f4a7c15+1)
+	}
+
+	const (
+		rPtr  = 1  // arr + index, recomputed each iteration
+		rCnt  = 4  // outer counter
+		rIdx  = 17 // masked walking index
+		rMask = 20
+		rArr  = 24
+	)
+	body := func(i int) isa.Reg { return isa.Reg(5 + i&7) } // r5..r12
+
+	b.Ldi(rArr, arr)
+	b.Ldi(rMask, (16<<10)-8)
+	b.Ldi(rIdx, 0)
+	b.Ldi(rCnt, 1<<40) // effectively endless; the run limit stops execution
+	b.Label("loop")
+	b.Op(isa.ADD, rPtr, rArr, rIdx)
+
+	skips := 0
+	for i, v := range data {
+		rd := body(int(v >> 4))
+		ra := body(int(v >> 2))
+		rb := body(int(v))
+		off := int64(v>>2) * 8 % 2048
+		switch v & 15 {
+		case 0, 1:
+			b.Op(isa.ADD, rd, ra, rb)
+		case 2:
+			b.Op(isa.SUB, rd, ra, rb)
+		case 3:
+			b.Op(isa.XOR, rd, ra, rb)
+		case 4:
+			b.Op(isa.MUL, rd, ra, rb)
+		case 5:
+			b.OpI(isa.ADDI, rd, ra, int64(v>>4))
+		case 6, 7:
+			b.Ld(rd, rPtr, off)
+		case 8:
+			b.Emit(isa.Inst{Op: isa.LDNF, Rd: rd, Ra: rPtr, Imm: off})
+		case 9, 10:
+			b.St(rb, rPtr, off)
+		case 11:
+			b.Emit(isa.Inst{Op: isa.PREFETCH, Ra: rPtr, Imm: off * 4})
+		case 12:
+			b.Op(isa.FDIV, rd, ra, rb)
+		case 13, 14:
+			// Data-dependent forward skip over one instruction: the branch
+			// direction varies run-time state, so the profiler's bitmaps and
+			// the batcher's fold handling both see fuzz-chosen shapes.
+			op := isa.BEQ
+			if v&1 == 0 {
+				op = isa.BNE
+			}
+			label := "s" + string(rune('a'+skips%26)) + string(rune('a'+skips/26))
+			skips++
+			b.CondBr(op, ra, label)
+			b.OpI(isa.ADDI, rd, rd, int64(i)+1)
+			b.Label(label)
+		default:
+			b.Op(isa.AND, rd, ra, rb)
+		}
+	}
+
+	b.OpI(isa.ADDI, rIdx, rIdx, 40)
+	b.Op(isa.AND, rIdx, rIdx, rMask)
+	b.OpI(isa.SUBI, rCnt, rCnt, 1)
+	b.CondBr(isa.BNE, rCnt, "loop")
+	b.Halt()
+	return b.MustBuild()
+}

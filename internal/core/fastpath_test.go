@@ -6,6 +6,7 @@ import (
 
 	"tridentsp/internal/chaos"
 	"tridentsp/internal/isa"
+	"tridentsp/internal/memsys"
 	"tridentsp/internal/workloads"
 )
 
@@ -41,6 +42,22 @@ func diffRun(t *testing.T, label string, cfg Config, bm workloads.Benchmark,
 		if vF, vS := sysF.Thread().Reg(r), sysS.Thread().Reg(r); vF != vS {
 			t.Errorf("%s: r%d diverged: fast %#x, slow %#x", label, r, vF, vS)
 		}
+	}
+	// The memory system is where the fast path actually diverges in
+	// mechanism (LoadFast probe, inline stores and prefetches, deferred
+	// sweeps), so its counters are asserted explicitly: first the per-
+	// outcome load classification — partial hits and prefetch-displacement
+	// misses are where timing bugs would surface — then the whole Stats
+	// struct (comparable, so == is the exact check).
+	stF, stS := sysF.hier.Stats, sysS.hier.Stats
+	for o := memsys.Outcome(0); int(o) < memsys.NumOutcomes; o++ {
+		if stF.ByOutcome[o] != stS.ByOutcome[o] {
+			t.Errorf("%s: %v loads diverged: fast %d, slow %d",
+				label, o, stF.ByOutcome[o], stS.ByOutcome[o])
+		}
+	}
+	if stF != stS {
+		t.Errorf("%s: memsys.Stats diverged\nfast: %+v\nslow: %+v", label, stF, stS)
 	}
 }
 

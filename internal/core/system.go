@@ -56,6 +56,16 @@ type System struct {
 	applyAt        int64
 	interfering    bool
 
+	// Superblock batch state (fastpath.go). sbPl/sbEntry describe the batch
+	// being executed so the SBHooks (bound once in sbTraceHooks/sbOrigHooks)
+	// can observe it; sbHeadPending defers a trace-head traversal record
+	// until the batch proves the head instruction retired.
+	sbTraceHooks  cpu.SBHooks
+	sbOrigHooks   cpu.SBHooks
+	sbPl          *trident.Placement
+	sbEntry       uint64
+	sbHeadPending bool
+
 	// Trace back-out bookkeeping (per live trace ID).
 	activity map[int]*traceActivity
 
@@ -113,7 +123,7 @@ func NewSystem(cfg Config, prog *program.Program) *System {
 	}
 	s := &System{
 		cfg:         cfg,
-		pristine:    prog.Clone(),
+		pristine:    prog.ClonePristine(),
 		mem:         program.NewMemory(prog),
 		hier:        memsys.New(cfg.Mem),
 		bp:          branchpred.New(branchpred.DefaultConfig()),
@@ -152,6 +162,7 @@ func NewSystem(cfg Config, prog *program.Program) *System {
 			s.attachWatchdog()
 		}
 	}
+	s.initSBHooks()
 	return s
 }
 
@@ -566,13 +577,15 @@ func (s *System) monitorLoad(pl *trident.Placement, pc uint64, info cpu.StepInfo
 	}
 }
 
-// enqueueHot raises a hot-trace event.
-func (s *System) enqueueHot(hot trident.HotTrace, now int64) {
+// enqueueHot raises a hot-trace event, reporting whether the event queue
+// actually changed (the fast path must end its batch then, so the pump runs
+// at the same cycle the slow path's would).
+func (s *System) enqueueHot(hot trident.HotTrace, now int64) bool {
 	if _, exists := s.watch.ByStart(hot.StartPC); exists {
 		s.prof.MarkFormed(hot.StartPC)
-		return
+		return false
 	}
-	s.queue.Push(trident.Event{Kind: trident.EventHotTrace, Raised: now, Hot: hot})
+	return s.queue.Push(trident.Event{Kind: trident.EventHotTrace, Raised: now, Hot: hot})
 }
 
 // pump applies a completed optimization and dispatches the next queued

@@ -1,27 +1,45 @@
 package cpu
 
 import (
-	"math"
-
 	"tridentsp/internal/isa"
 )
 
 // This file implements the second level of the simulator's fast path: a
-// decoded basic-block cache over a code image. A block is a maximal
-// straight-line run of register-only instructions (ALU, immediates, moves —
-// nothing that touches memory, control flow, the branch predictor, or the
-// stall counter). Such a run has no observable effect outside the register
-// file, the taint tracker, and the issue counter, so Thread.ExecBlock can
-// retire it in one tight loop instead of one full Step dispatch per
-// instruction. Everything event-driven (chaos edges, watchdog probes, the
-// helper-thread pump) happens between blocks, at the same instruction
-// boundaries the one-step loop would have used.
+// decoded superblock cache over a code image. A superblock is a maximal
+// straight-line run of instructions the batch executor (ExecSuperBlock) can
+// retire without the full Step dispatch: register-only ALU work, memory
+// operations that stay on the hierarchy's fast paths (loads that hit L1,
+// non-blocking stores and prefetches), and one optional conditional branch
+// terminating the run — included so a hot loop's back-edge can fold the
+// block onto itself and whole iterations retire per call. Everything
+// event-driven (chaos edges, watchdog probes, the helper-thread pump)
+// happens between batches, at the same instruction boundaries the one-step
+// loop would have used; anything that charges stalls or redirects control
+// unpredictably (FDIV, jumps, HALT, patched words) ends the block and falls
+// back to step().
 
-// blockEligible reports whether op can live inside a block: its semantics
-// must read and write registers only, at the fixed one-issue-slot cost.
-// FDIV is excluded (it charges stallCycles), as is everything touching
-// memory, control flow, or the halt state.
-func blockEligible(op isa.Op) bool {
+// memberKind classifies an opcode's role in a superblock.
+type memberKind uint8
+
+const (
+	// memberNo: not batchable — ends the block, excluded.
+	memberNo memberKind = iota
+	// memberPlain: reads and writes registers only, at the fixed
+	// one-issue-slot cost (FDIV is excluded: it charges stallCycles).
+	memberPlain
+	// memberMem: LD/LDNF/ST/PREFETCH — batchable while the memory
+	// hierarchy's fast probes apply; a declined probe stops the batch
+	// mid-block with exact resume state.
+	memberMem
+	// memberBranch: a conditional branch — included as the block's final
+	// instruction so the executor can resolve it inline (with the real
+	// predictor) and fold a taken back-edge to the block entry.
+	memberBranch
+)
+
+// blockMember classifies op. Only conditional branches terminate a block
+// while belonging to it; BR/JMP/HALT and FDIV end the scan outright.
+func blockMember(op isa.Op) memberKind {
 	switch op {
 	case isa.NOP,
 		isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR,
@@ -30,14 +48,19 @@ func blockEligible(op isa.Op) bool {
 		isa.SLLI, isa.SRLI, isa.CMPLTI, isa.CMPEQI,
 		isa.LDA, isa.MOVE, isa.LDI, isa.LDIH,
 		isa.FADD, isa.FMUL:
-		return true
+		return memberPlain
+	case isa.LD, isa.LDNF, isa.ST, isa.PREFETCH:
+		return memberMem
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+		return memberBranch
 	}
-	return false
+	return memberNo
 }
 
-// Block is one straight-line run of block-eligible instructions. The slices
-// alias the owning cache's decoded image, so a Block is only valid until the
-// next patch or placement; callers fetch a fresh one per batch.
+// Block is one superblock: a straight-line run of member instructions, with
+// at most one conditional branch, in final position. The slices alias the
+// owning cache's decoded image, so a Block is only valid until the next
+// patch or placement; callers fetch a fresh one per batch.
 type Block struct {
 	Insts []isa.Inst
 	// Weights holds per-instruction original-instruction weights (code-cache
@@ -71,22 +94,27 @@ func NewBlockCache(base uint64) *BlockCache {
 }
 
 // SetSource (re)points the cache at the decoded image and drops every cached
-// descriptor. Call it whenever the image slice may have been reallocated or
-// extended (e.g. a trace placement appending to the code cache); for
-// in-place word patches Invalidate suffices.
+// descriptor. Call it whenever the image slice may have been reallocated,
+// extended, or truncated (e.g. a trace placement appending to the code
+// cache); for in-place word patches Invalidate suffices.
 func (c *BlockCache) SetSource(insts []isa.Inst, weights []int) {
 	c.insts, c.weights = insts, weights
 	c.gen++
 	if len(c.ents) < len(insts) {
 		c.ents = append(c.ents, make([]blockEnt, len(insts)-len(c.ents))...)
+	} else {
+		// Shrink with the image: without the trim a shorter image would
+		// keep stale descriptors alive past its end forever (they are
+		// gen-guarded, but they pin memory and would survive regrowth).
+		c.ents = c.ents[:len(insts)]
 	}
 }
 
 // Invalidate drops every cached descriptor (the image was patched in place).
 func (c *BlockCache) Invalidate() { c.gen++ }
 
-// At returns the block starting at pc. ok is false when pc is outside the
-// image, unaligned, or the instruction at pc is not block-eligible.
+// At returns the superblock starting at pc. ok is false when pc is outside
+// the image, unaligned, or the instruction at pc is not a block member.
 func (c *BlockCache) At(pc uint64) (Block, bool) {
 	if pc < c.base || pc%isa.WordSize != 0 {
 		return Block{}, false
@@ -98,8 +126,17 @@ func (c *BlockCache) At(pc uint64) (Block, bool) {
 	e := &c.ents[i]
 	if e.gen != c.gen {
 		n := 0
-		for j := int(i); j < len(c.insts) && blockEligible(c.insts[j].Op); j++ {
-			n++
+	scan:
+		for j := int(i); j < len(c.insts); j++ {
+			switch blockMember(c.insts[j].Op) {
+			case memberPlain, memberMem:
+				n++
+			case memberBranch:
+				n++
+				break scan
+			default:
+				break scan
+			}
 		}
 		e.gen, e.n = c.gen, int32(n)
 	}
@@ -112,125 +149,4 @@ func (c *BlockCache) At(pc uint64) (Block, bool) {
 		b.Weights = c.weights[i:end]
 	}
 	return b, true
-}
-
-// ExecBlock retires instructions from b until the cumulative weight reaches
-// weightBudget, the thread's cycle counter reaches horizon, or the block
-// ends — whichever comes first. Like the one-step loop, the stop conditions
-// are evaluated after each commit, so at least one instruction retires and
-// the final instruction is exactly the one whose commit crossed the budget
-// or horizon. It returns the instructions retired and their total weight.
-//
-// The caller guarantees the thread is not halted and t.PC() addresses
-// b.Insts[0]; semantics, taint propagation, and issue accounting mirror
-// Step exactly for the block-eligible opcodes.
-func (t *Thread) ExecBlock(b Block, weightBudget uint64, horizon int64) (int, uint64) {
-	// Within a block stallCycles is constant (no stalling ops), so
-	// "Now() >= horizon" reduces to one issue-unit comparison.
-	unitsCap := int64(math.MaxInt64)
-	if horizon != math.MaxInt64 {
-		switch rem := horizon - t.stallCycles; {
-		case rem <= 0:
-			unitsCap = 0
-		case rem <= math.MaxInt64/t.unitsPerCycle:
-			unitsCap = rem * t.unitsPerCycle
-		}
-	}
-	units := t.unitsPerInst
-	if t.interfering {
-		units += t.cfg.InterferenceNum
-	}
-	n, weight := 0, uint64(0)
-	for i := range b.Insts {
-		in := &b.Insts[i]
-		switch in.Op {
-		case isa.NOP:
-
-		case isa.ADD:
-			t.setReg(in.Rd, t.regs[in.Ra]+t.regs[in.Rb])
-		case isa.SUB:
-			t.setReg(in.Rd, t.regs[in.Ra]-t.regs[in.Rb])
-		case isa.MUL:
-			t.setReg(in.Rd, t.regs[in.Ra]*t.regs[in.Rb])
-		case isa.AND:
-			t.setReg(in.Rd, t.regs[in.Ra]&t.regs[in.Rb])
-		case isa.OR:
-			t.setReg(in.Rd, t.regs[in.Ra]|t.regs[in.Rb])
-		case isa.XOR:
-			t.setReg(in.Rd, t.regs[in.Ra]^t.regs[in.Rb])
-		case isa.SLL:
-			t.setReg(in.Rd, t.regs[in.Ra]<<(t.regs[in.Rb]&63))
-		case isa.SRL:
-			t.setReg(in.Rd, t.regs[in.Ra]>>(t.regs[in.Rb]&63))
-		case isa.CMPLT:
-			t.setReg(in.Rd, b2u(int64(t.regs[in.Ra]) < int64(t.regs[in.Rb])))
-		case isa.CMPEQ:
-			t.setReg(in.Rd, b2u(t.regs[in.Ra] == t.regs[in.Rb]))
-
-		case isa.ADDI, isa.LDA:
-			t.setReg(in.Rd, t.regs[in.Ra]+uint64(in.Imm))
-		case isa.SUBI:
-			t.setReg(in.Rd, t.regs[in.Ra]-uint64(in.Imm))
-		case isa.MULI:
-			t.setReg(in.Rd, t.regs[in.Ra]*uint64(in.Imm))
-		case isa.ANDI:
-			t.setReg(in.Rd, t.regs[in.Ra]&uint64(in.Imm))
-		case isa.ORI:
-			t.setReg(in.Rd, t.regs[in.Ra]|uint64(in.Imm))
-		case isa.XORI:
-			t.setReg(in.Rd, t.regs[in.Ra]^uint64(in.Imm))
-		case isa.SLLI:
-			t.setReg(in.Rd, t.regs[in.Ra]<<(uint64(in.Imm)&63))
-		case isa.SRLI:
-			t.setReg(in.Rd, t.regs[in.Ra]>>(uint64(in.Imm)&63))
-		case isa.CMPLTI:
-			t.setReg(in.Rd, b2u(int64(t.regs[in.Ra]) < in.Imm))
-		case isa.CMPEQI:
-			t.setReg(in.Rd, b2u(t.regs[in.Ra] == uint64(in.Imm)))
-		case isa.MOVE:
-			t.setReg(in.Rd, t.regs[in.Ra])
-		case isa.LDI:
-			t.setReg(in.Rd, uint64(in.Imm))
-		case isa.LDIH:
-			t.setReg(in.Rd, t.regs[in.Ra]<<32|uint64(uint32(in.Imm)))
-
-		case isa.FADD:
-			t.setReg(in.Rd, t.regs[in.Ra]+t.regs[in.Rb])
-		case isa.FMUL:
-			t.setReg(in.Rd, t.regs[in.Ra]*t.regs[in.Rb])
-		}
-
-		// Taint propagation, mirroring updateTaint for the eligible subset
-		// (all ClassALU/ClassFP except NOP, which is ClassNop).
-		if in.Op != isa.NOP && in.Rd != isa.ZeroReg {
-			switch in.Op {
-			case isa.LDI:
-				t.taintSrc[in.Rd] = 0
-			case isa.MOVE, isa.LDIH, isa.ADDI, isa.SUBI, isa.MULI, isa.ANDI,
-				isa.ORI, isa.XORI, isa.SLLI, isa.SRLI, isa.CMPLTI, isa.CMPEQI,
-				isa.LDA:
-				t.taintSrc[in.Rd] = t.taintSrc[in.Ra]
-			default:
-				if s := t.taintSrc[in.Ra]; s != 0 {
-					t.taintSrc[in.Rd] = s
-				} else {
-					t.taintSrc[in.Rd] = t.taintSrc[in.Rb]
-				}
-			}
-		}
-
-		t.issueUnits += units
-		n++
-		if b.Weights != nil {
-			weight += uint64(b.Weights[i])
-		} else {
-			weight++
-		}
-		if weight >= weightBudget || t.issueUnits >= unitsCap {
-			break
-		}
-	}
-	t.committed += uint64(n)
-	t.pc += uint64(n) * isa.WordSize
-	return n, weight
 }

@@ -206,28 +206,37 @@ func TestBlockCacheMidRunPatch(t *testing.T) {
 	}
 }
 
-// TestBlockEligibility pins the opcode partition: ops with memory, control,
-// or stall side effects must never enter a block.
-func TestBlockEligibility(t *testing.T) {
-	ineligible := []isa.Op{
-		isa.LD, isa.LDNF, isa.ST, isa.PREFETCH, isa.FDIV,
-		isa.BR, isa.JMP, isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.HALT,
-	}
-	for _, op := range ineligible {
-		if blockEligible(op) {
-			t.Errorf("%v must not be block-eligible", op)
+// TestBlockMembership pins the opcode partition: stall-charging and
+// indirect-control ops must never enter a superblock; memory ops and
+// conditional branches are members with their own kinds (the executor
+// relies on branches only ever appearing via memberBranch, i.e. last).
+func TestBlockMembership(t *testing.T) {
+	excluded := []isa.Op{isa.FDIV, isa.BR, isa.JMP, isa.HALT}
+	for _, op := range excluded {
+		if blockMember(op) != memberNo {
+			t.Errorf("%v must not be a block member", op)
 		}
 	}
-	eligible := []isa.Op{
+	plain := []isa.Op{
 		isa.NOP, isa.ADD, isa.SUB, isa.MUL, isa.AND, isa.OR, isa.XOR,
 		isa.SLL, isa.SRL, isa.CMPLT, isa.CMPEQ, isa.ADDI, isa.SUBI,
 		isa.MULI, isa.ANDI, isa.ORI, isa.XORI, isa.SLLI, isa.SRLI,
 		isa.CMPLTI, isa.CMPEQI, isa.LDA, isa.MOVE, isa.LDI, isa.LDIH,
 		isa.FADD, isa.FMUL,
 	}
-	for _, op := range eligible {
-		if !blockEligible(op) {
-			t.Errorf("%v must be block-eligible", op)
+	for _, op := range plain {
+		if blockMember(op) != memberPlain {
+			t.Errorf("%v must be a plain block member", op)
+		}
+	}
+	for _, op := range []isa.Op{isa.LD, isa.LDNF, isa.ST, isa.PREFETCH} {
+		if blockMember(op) != memberMem {
+			t.Errorf("%v must be a memory block member", op)
+		}
+	}
+	for _, op := range []isa.Op{isa.BEQ, isa.BNE, isa.BLT, isa.BGE} {
+		if blockMember(op) != memberBranch {
+			t.Errorf("%v must be a branch block member", op)
 		}
 	}
 }

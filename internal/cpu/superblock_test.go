@@ -1,0 +1,266 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"tridentsp/internal/isa"
+)
+
+// runRef drives a thread through the one-step interpreter to completion.
+func runRef(th *Thread) {
+	for !th.Halted() {
+		th.Step()
+	}
+}
+
+// runBatched drives a thread through ExecSuperBlock wherever a block exists,
+// falling back to Step for the instruction at PC otherwise (the same policy
+// the core's fast path uses).
+func runBatched(t *testing.T, th *Thread, ps *ProgramSpace) {
+	t.Helper()
+	for guard := 0; !th.Halted(); guard++ {
+		if guard > 1_000_000 {
+			t.Fatal("batched run did not terminate")
+		}
+		blk, ok := ps.BlockAt(th.PC())
+		if !ok {
+			th.Step()
+			continue
+		}
+		ex := th.ExecSuperBlock(blk, math.MaxUint64, math.MaxInt64, nil)
+		if ex.N == 0 || ex.NeedSlow {
+			th.Step()
+		}
+	}
+}
+
+// assertSameState compares the complete architectural, timing, taint, and
+// memory-system state of two threads.
+func assertSameState(t *testing.T, got, want *Thread) {
+	t.Helper()
+	if got.PC() != want.PC() {
+		t.Errorf("pc diverged: batched %#x, step %#x", got.PC(), want.PC())
+	}
+	if got.Now() != want.Now() {
+		t.Errorf("cycle diverged: batched %d, step %d", got.Now(), want.Now())
+	}
+	if got.Committed() != want.Committed() {
+		t.Errorf("committed diverged: batched %d, step %d", got.Committed(), want.Committed())
+	}
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if got.Reg(r) != want.Reg(r) {
+			t.Errorf("r%d diverged: batched %#x, step %#x", r, got.Reg(r), want.Reg(r))
+		}
+		if got.taintSrc[r] != want.taintSrc[r] {
+			t.Errorf("taint[r%d] diverged: batched %#x, step %#x",
+				r, got.taintSrc[r], want.taintSrc[r])
+		}
+	}
+	if got.hier.Stats != want.hier.Stats {
+		t.Errorf("memsys stats diverged:\nbatched %+v\nstep    %+v",
+			got.hier.Stats, want.hier.Stats)
+	}
+}
+
+// TestExecSuperBlockMatchesStep runs a memory-and-branch-heavy loop kernel
+// through the batched executor and the one-step interpreter and requires
+// bit-identical state, including the memory hierarchy's statistics.
+func TestExecSuperBlockMatchesStep(t *testing.T) {
+	// A stride loop: store then reload a word per iteration, prefetch ahead,
+	// decrement, branch back. Every opcode kind a superblock admits.
+	seq := []isa.Inst{
+		{Op: isa.LDI, Rd: 1, Imm: 0x4000},            // 0x1000 base
+		{Op: isa.LDI, Rd: 2, Imm: 64},                // 0x1008 counter
+		{Op: isa.ST, Ra: 1, Rb: 2, Imm: 0},           // 0x1010 loop: mem[r1] = r2
+		{Op: isa.LD, Rd: 3, Ra: 1, Imm: 0},           // 0x1018 r3 = mem[r1]
+		{Op: isa.PREFETCH, Ra: 1, Imm: 256},          // 0x1020
+		{Op: isa.ADD, Rd: 4, Ra: 4, Rb: 3},           // 0x1028 accumulate
+		{Op: isa.ADDI, Rd: 1, Ra: 1, Imm: 8},         // 0x1030 advance
+		{Op: isa.SUBI, Rd: 2, Ra: 2, Imm: 1},         // 0x1038
+		{Op: isa.BNE, Ra: 2, Imm: isa.BranchDisp(0x1040, 0x1010)}, // 0x1040
+		{Op: isa.HALT}, // 0x1048
+	}
+	p := buildProgram(t, seq)
+
+	ref, _ := newTestThread(p)
+	runRef(ref)
+
+	th, ps := newTestThread(p)
+	runBatched(t, th, ps)
+	assertSameState(t, th, ref)
+	if th.Reg(4) == 0 {
+		t.Fatal("kernel accumulated nothing; test is vacuous")
+	}
+}
+
+// TestSuperBlockMissStopsExactly forces an L1 miss mid-superblock and pins
+// the resume contract: the batch stops with N counting only the retired
+// prefix, PC addressing exactly the missing load, and a Step() resume plus
+// re-batch produces the slow path's state.
+func TestSuperBlockMissStopsExactly(t *testing.T) {
+	seq := []isa.Inst{
+		{Op: isa.LDI, Rd: 1, Imm: 0x4000},  // 0x1000
+		{Op: isa.ADDI, Rd: 2, Ra: 2, Imm: 7}, // 0x1008
+		{Op: isa.LD, Rd: 3, Ra: 1, Imm: 0},   // 0x1010 cold: must stop here
+		{Op: isa.LD, Rd: 4, Ra: 1, Imm: 0},   // 0x1018 sweeps the expired fill
+		{Op: isa.LD, Rd: 5, Ra: 1, Imm: 0},   // 0x1020 fast-probe hit
+		{Op: isa.HALT},                       // 0x1028
+	}
+	p := buildProgram(t, seq)
+	th, ps := newTestThread(p)
+
+	blk, ok := ps.BlockAt(0x1000)
+	if !ok || len(blk.Insts) != 5 {
+		t.Fatalf("block at entry: ok=%v len=%d, want 5 (through the loads)", ok, len(blk.Insts))
+	}
+	ex := th.ExecSuperBlock(blk, math.MaxUint64, math.MaxInt64, nil)
+	if !ex.NeedSlow {
+		t.Fatal("cold load did not request the slow path")
+	}
+	if ex.N != 2 || th.PC() != 0x1010 {
+		t.Fatalf("stopped after %d instructions at pc %#x, want 2 instructions at 0x1010",
+			ex.N, th.PC())
+	}
+	if ex.Loads != 0 {
+		t.Fatalf("declined load counted: Loads=%d", ex.Loads)
+	}
+
+	// Resume through Step: the load misses, fills L1.
+	th.Step()
+	if th.PC() != 0x1018 {
+		t.Fatalf("pc after slow load = %#x, want 0x1018", th.PC())
+	}
+	th.AddStall(1000) // wait out the fill so the line's latency has elapsed
+
+	// The line is resident but its expired in-flight fill entry has not been
+	// swept; the fast probe must keep declining until a full Load sweeps it
+	// (that sweep is where redundancy accounting happens on the slow path).
+	blk2, ok := ps.BlockAt(th.PC())
+	if !ok {
+		t.Fatal("no block at resume point")
+	}
+	ex2 := th.ExecSuperBlock(blk2, math.MaxUint64, math.MaxInt64, nil)
+	if !ex2.NeedSlow || ex2.N != 0 || th.PC() != 0x1018 {
+		t.Fatalf("unswept fill: %+v pc=%#x, want immediate decline at 0x1018", ex2, th.PC())
+	}
+	th.Step() // slow load: sweeps the fill, hits L1
+
+	// Now the probe is provably idle: the third load batches fast.
+	blk3, ok := ps.BlockAt(th.PC())
+	if !ok {
+		t.Fatal("no block at second resume point")
+	}
+	ex3 := th.ExecSuperBlock(blk3, math.MaxUint64, math.MaxInt64, nil)
+	if ex3.NeedSlow || ex3.N != 1 || ex3.Loads != 1 {
+		t.Fatalf("resumed batch: %+v, want one fast load", ex3)
+	}
+	if th.Reg(5) != th.Reg(3) || th.Reg(4) != th.Reg(3) {
+		t.Fatalf("load values diverged: r3=%#x r4=%#x r5=%#x",
+			th.Reg(3), th.Reg(4), th.Reg(5))
+	}
+	if got := th.hier.Stats.Loads; got != 3 {
+		t.Fatalf("hierarchy saw %d loads, want 3", got)
+	}
+	if got := th.hier.Stats.L1Hits; got != 2 {
+		t.Fatalf("hierarchy saw %d L1 hits, want 2", got)
+	}
+}
+
+// TestSuperBlockFoldsBackEdge pins the loop-folding contract: once the batch
+// entry coincides with the loop head, whole iterations retire per call, the
+// branch predictor is trained exactly as the one-step loop trains it, and a
+// final not-taken branch exits with the fall-through PC.
+func TestSuperBlockFoldsBackEdge(t *testing.T) {
+	seq := []isa.Inst{
+		{Op: isa.LDI, Rd: 1, Imm: 8},         // 0x1000
+		{Op: isa.SUBI, Rd: 1, Ra: 1, Imm: 1}, // 0x1008 loop
+		{Op: isa.BNE, Ra: 1, Imm: isa.BranchDisp(0x1010, 0x1008)}, // 0x1010
+		{Op: isa.HALT}, // 0x1018
+	}
+	p := buildProgram(t, seq)
+
+	ref, _ := newTestThread(p)
+	runRef(ref)
+
+	th, ps := newTestThread(p)
+	// First batch enters at 0x1000: the back-edge targets 0x1008, not the
+	// entry, so the taken branch exits the batch after one iteration.
+	blk, _ := ps.BlockAt(0x1000)
+	ex := th.ExecSuperBlock(blk, math.MaxUint64, math.MaxInt64, nil)
+	if ex.N != 3 || th.PC() != 0x1008 {
+		t.Fatalf("entry batch: %+v pc=%#x, want 3 instructions ending at 0x1008", ex, th.PC())
+	}
+	// Second batch enters at the loop head: the remaining 7 iterations fold
+	// and retire in this single call.
+	blk2, _ := ps.BlockAt(0x1008)
+	ex2 := th.ExecSuperBlock(blk2, math.MaxUint64, math.MaxInt64, nil)
+	if ex2.N != 14 {
+		t.Fatalf("folded batch retired %d instructions, want 14 (7 iterations)", ex2.N)
+	}
+	if th.PC() != 0x1018 {
+		t.Fatalf("exit pc = %#x, want fall-through 0x1018", th.PC())
+	}
+	th.Step() // HALT
+	assertSameState(t, th, ref)
+}
+
+// TestSuperBlockHonorsWeightBudgetAcrossFolds pins that folding does not
+// overrun the weight budget: the batch stops on the instruction whose commit
+// reached it, even mid-iteration.
+func TestSuperBlockHonorsWeightBudgetAcrossFolds(t *testing.T) {
+	seq := []isa.Inst{
+		{Op: isa.SUBI, Rd: 1, Ra: 1, Imm: 1}, // 0x1000 loop (r1 starts 0 → huge)
+		{Op: isa.BNE, Ra: 1, Imm: isa.BranchDisp(0x1008, 0x1000)}, // 0x1008
+		{Op: isa.HALT},
+	}
+	p := buildProgram(t, seq)
+	th, ps := newTestThread(p)
+	blk, _ := ps.BlockAt(0x1000)
+	ex := th.ExecSuperBlock(blk, 11, math.MaxInt64, nil)
+	if ex.N != 11 || ex.Weight != 11 {
+		t.Fatalf("budget stop: %+v, want exactly 11 retired", ex)
+	}
+	// 11 instructions = 5 full iterations + the 6th SUBI: pc must sit on
+	// the 6th iteration's branch.
+	if th.PC() != 0x1008 {
+		t.Fatalf("pc = %#x, want 0x1008 mid-iteration", th.PC())
+	}
+}
+
+// TestBlockCacheShrinkGrow pins the SetSource length contract: re-pointing
+// the cache at a shorter image trims the descriptor table, and growing it
+// again yields correct block lengths everywhere (no stale descriptors).
+func TestBlockCacheShrinkGrow(t *testing.T) {
+	mk := func(n int) []isa.Inst {
+		insts := make([]isa.Inst, n)
+		for i := range insts {
+			insts[i] = isa.Inst{Op: isa.ADDI, Rd: 1, Ra: 1, Imm: 1}
+		}
+		return insts
+	}
+	c := NewBlockCache(0)
+	c.SetSource(mk(8), nil)
+	if blk, ok := c.At(0); !ok || len(blk.Insts) != 8 {
+		t.Fatalf("initial image: ok=%v len=%d, want 8", ok, len(blk.Insts))
+	}
+
+	c.SetSource(mk(3), nil)
+	if len(c.ents) != 3 {
+		t.Fatalf("ents not trimmed: len=%d, want 3", len(c.ents))
+	}
+	if blk, ok := c.At(0); !ok || len(blk.Insts) != 3 {
+		t.Fatalf("shrunk image: ok=%v len=%d, want 3", ok, len(blk.Insts))
+	}
+	if _, ok := c.At(5 * isa.WordSize); ok {
+		t.Fatal("block reported beyond the shrunk image")
+	}
+
+	c.SetSource(mk(6), nil)
+	if blk, ok := c.At(0); !ok || len(blk.Insts) != 6 {
+		t.Fatalf("regrown image: ok=%v len=%d, want 6", ok, len(blk.Insts))
+	}
+	if blk, ok := c.At(4 * isa.WordSize); !ok || len(blk.Insts) != 2 {
+		t.Fatalf("regrown tail: ok=%v len=%d, want 2", ok, len(blk.Insts))
+	}
+}

@@ -150,6 +150,16 @@ func (t *oaTable[V]) deleteWhere(pred func(k uint64, v V) bool) {
 	}
 }
 
+// each calls fn for every entry, in table order. fn must not mutate the
+// table.
+func (t *oaTable[V]) each(fn func(k uint64, v V)) {
+	for i := range t.keys {
+		if t.used[i] {
+			fn(t.keys[i], t.vals[i])
+		}
+	}
+}
+
 // clear empties the table, keeping its capacity.
 func (t *oaTable[V]) clear() {
 	var zero V

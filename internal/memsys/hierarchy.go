@@ -1,5 +1,7 @@
 package memsys
 
+import "math"
+
 // Config describes the whole memory hierarchy. The defaults reproduce the
 // paper's Table 1.
 type Config struct {
@@ -153,6 +155,13 @@ type Hierarchy struct {
 	prefetcher Prefetcher
 	victims    *victimSet
 
+	// fillHeap is a lazy min-heap of the ready cycles of fills that were in
+	// flight at some point: puts push, deletions leave stale entries behind
+	// (they only ever make the heap's answer conservative), and EarliestFill
+	// pops everything at or below the current cycle. Bounded by the fills
+	// issued within one memory latency of now, so it stays tiny.
+	fillHeap []int64
+
 	// Stats is exported for the stats collector; it is not safe for
 	// concurrent mutation (the simulator is single-goroutine).
 	Stats Stats
@@ -219,6 +228,52 @@ func (h *Hierarchy) Load(pc, addr uint64, now int64) Result {
 	return res
 }
 
+// LoadFast is the L1-hit short circuit for Load. When it returns ok the
+// access has fully committed and Result plus every Stats field are
+// bit-identical to what Load would have produced; when it returns !ok the
+// hierarchy is untouched and the caller must run Load instead.
+//
+// The fast path applies only when the slow path's extra machinery is
+// provably inert: below MSHR capacity sweep is a no-op, and with no
+// in-flight fill for the line (pending or expired) the inflight probe
+// neither classifies a partial hit nor retires an entry. An L1 hit then
+// reduces Load to the recency bump, the stats bumps, and a no-miss Train
+// call — which by construction never allocates a stream.
+func (h *Hierarchy) LoadFast(pc, addr uint64, now int64) (Result, bool) {
+	la := h.Line(addr)
+	if h.inflight.len() >= h.cfg.MaxInFlight || h.inflight.contains(la) {
+		return Result{}, false
+	}
+	l := h.l1.lookup(la) // pure on miss: recency moves only on hit
+	if l == nil {
+		return Result{}, false
+	}
+	h.Stats.Loads++
+	h.Stats.L1Hits++
+	out := HitNone
+	if l.prefetched {
+		out = HitPrefetched
+		l.prefetched = false
+	}
+	res := Result{Latency: h.cfg.L1.Latency, Outcome: out}
+	h.Stats.TotalLoadLatency += res.Latency
+	h.Stats.ByOutcome[res.Outcome]++
+	if h.prefetcher != nil {
+		h.prefetcher.Train(pc, addr, now, false)
+	}
+	return res, true
+}
+
+// CanLoadFast reports whether LoadFast(pc, addr, now) would succeed,
+// without committing anything. The batch engine uses it to decide whether
+// launching a superblock at a trace head is guaranteed to retire at least
+// its first instruction.
+func (h *Hierarchy) CanLoadFast(addr uint64, now int64) bool {
+	la := h.Line(addr)
+	return h.inflight.len() < h.cfg.MaxInFlight &&
+		!h.inflight.contains(la) && h.l1.contains(la)
+}
+
 func (h *Hierarchy) loadLine(la uint64, now int64) Result {
 	// In-flight fill probe: a line whose data has not arrived yet gives a
 	// partial hit for the residual latency; the first use of a prefetch
@@ -235,7 +290,7 @@ func (h *Hierarchy) loadLine(la uint64, now int64) Result {
 			}
 			return Result{Latency: lat, Outcome: out, L1Miss: true}
 		}
-		h.inflight.del(la)
+		h.fillDel(la)
 	}
 
 	// L1 probe.
@@ -275,16 +330,37 @@ func (h *Hierarchy) loadLine(la uint64, now int64) Result {
 	}
 	ev := h.l1.insert(la, false)
 	h.noteEviction(ev, FillDemand)
-	h.inflight.put(la, fill{ready: now + lat, source: FillDemand})
+	h.fillPut(la, fill{ready: now + lat, source: FillDemand})
 	return Result{Latency: lat, Outcome: out, L1Miss: true}
 }
 
 // Store performs a demand store. Stores are write-through and non-blocking:
 // they update recency if the line is present but never allocate or stall.
+// Like Load, a store first retires completed fills: the recency state a
+// store touches must be the same state a load at the same cycle would see.
 func (h *Hierarchy) Store(addr uint64, now int64) {
+	h.sweep(now)
 	h.Stats.Stores++
 	la := h.Line(addr)
 	h.l1.lookup(la)
+}
+
+// StoreFast is Store's short circuit: when the MSHR is below capacity,
+// Store's sweep is a no-op and the store reduces to a stats bump plus the
+// recency touch. Returns false (hierarchy untouched) when the caller must
+// run Store.
+func (h *Hierarchy) StoreFast(addr uint64, now int64) bool {
+	if h.inflight.len() >= h.cfg.MaxInFlight {
+		return false
+	}
+	h.Stats.Stores++
+	h.l1.lookup(h.Line(addr))
+	return true
+}
+
+// CanStoreFast reports whether StoreFast would succeed.
+func (h *Hierarchy) CanStoreFast() bool {
+	return h.inflight.len() < h.cfg.MaxInFlight
 }
 
 // Prefetch handles a software prefetch instruction: non-binding, non-
@@ -313,7 +389,7 @@ func (h *Hierarchy) Prefetch(addr uint64, now int64) {
 	lat, _ := h.probeBelow(la, now, true, true)
 	ev := h.l1.insert(la, true)
 	h.noteEviction(ev, FillSWPrefetch)
-	h.inflight.put(la, fill{ready: now + lat, source: FillSWPrefetch})
+	h.fillPut(la, fill{ready: now + lat, source: FillSWPrefetch})
 }
 
 // StartFill initiates a line fetch on behalf of the hardware stream
@@ -396,6 +472,65 @@ func (h *Hierarchy) Drain(now int64) {
 	h.inflight.deleteWhere(func(_ uint64, f fill) bool { return f.ready <= now })
 }
 
+// fillPut tracks a new in-flight fill and pushes its ready cycle onto the
+// lazy heap backing EarliestFill.
+func (h *Hierarchy) fillPut(la uint64, f fill) {
+	hp := append(h.fillHeap, f.ready)
+	for i := len(hp) - 1; i > 0; {
+		p := (i - 1) / 2
+		if hp[p] <= hp[i] {
+			break
+		}
+		hp[p], hp[i] = hp[i], hp[p]
+		i = p
+	}
+	h.fillHeap = hp
+	h.inflight.put(la, f)
+}
+
+// fillDel removes an in-flight fill. The heap entry is left behind:
+// deletion can only raise the true minimum, so the stale entry makes
+// EarliestFill answer early at worst — an early horizon just splits a
+// batch, never produces a wrong one — and it pops as soon as the clock
+// passes its ready cycle.
+func (h *Hierarchy) fillDel(la uint64) {
+	h.inflight.del(la)
+}
+
+// EarliestFill returns a cycle no later than the earliest ready cycle
+// strictly after now among in-flight fills, or math.MaxInt64 when none is
+// pending. The batch engine folds this into the event horizon so a batch
+// never runs past the cycle a partial hit's residual latency would change;
+// a conservative (early) answer is harmless. Ready cycles are immutable, so
+// heap entries at or below now can never matter again and are popped.
+func (h *Hierarchy) EarliestFill(now int64) int64 {
+	hp := h.fillHeap
+	for len(hp) > 0 && hp[0] <= now {
+		n := len(hp) - 1
+		hp[0] = hp[n]
+		hp = hp[:n]
+		for i := 0; ; {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if c+1 < n && hp[c+1] < hp[c] {
+				c++
+			}
+			if hp[i] <= hp[c] {
+				break
+			}
+			hp[i], hp[c] = hp[c], hp[i]
+			i = c
+		}
+	}
+	h.fillHeap = hp
+	if len(hp) == 0 {
+		return math.MaxInt64
+	}
+	return hp[0]
+}
+
 // InFlight returns the number of outstanding fills.
 func (h *Hierarchy) InFlight() int { return h.inflight.len() }
 
@@ -428,6 +563,7 @@ func (h *Hierarchy) FlushCaches() {
 	h.l2.flush()
 	h.l3.flush()
 	h.inflight.clear()
+	h.fillHeap = h.fillHeap[:0]
 	h.victims.clear()
 }
 

@@ -8,6 +8,7 @@ package program
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 
 	"tridentsp/internal/isa"
@@ -30,6 +31,14 @@ type Program struct {
 	// until then. It is deliberately not copied by Clone: a clone may be
 	// mutated, and the cache must never go stale.
 	insts []isa.Inst
+
+	// memImage is the paged form of Data, built lazily by NewMemory and
+	// shared with clones (every simulator run deep-copies pages from it,
+	// which is far cheaper than re-walking the Data map). memImageLen is
+	// len(Data) at build time; NewMemory rebuilds when it no longer
+	// matches, so entries added after a build are never silently dropped.
+	memImage    *Memory
+	memImageLen int
 }
 
 // CodeEnd returns the first address past the code segment.
@@ -83,14 +92,30 @@ func (p *Program) WordAt(pc uint64) (uint64, bool) {
 }
 
 // Clone returns a deep copy of the program; the live image the simulator
-// patches is a clone of the pristine program.
+// patches is a clone of the pristine program. Cloning builds the source's
+// paged memory image (if Data is non-empty) and shares it with the clone:
+// clones exist to be run, and runs start by copying the image. The length
+// check in NewMemory guards against Data entries added after this point;
+// in-place overwrites of existing entries after cloning are not tracked.
 func (p *Program) Clone() *Program {
 	c := &Program{Base: p.Base, Entry: p.Entry, Name: p.Name}
 	c.Code = append([]uint64(nil), p.Code...)
-	c.Data = make(map[uint64]uint64, len(p.Data))
-	for a, v := range p.Data {
-		c.Data[a] = v
+	c.Data = maps.Clone(p.Data)
+	if c.Data == nil {
+		c.Data = map[uint64]uint64{}
 	}
+	c.memImage, c.memImageLen = p.ensureMemImage(), len(p.Data)
+	return c
+}
+
+// ClonePristine returns the cheap clone the simulator keeps as its pristine
+// code image alongside the live, patched one: Code is deep-copied (patching
+// must not reach the pristine copy), while Data — which the simulator never
+// mutates — and the built memory image are shared with the source.
+func (p *Program) ClonePristine() *Program {
+	c := &Program{Base: p.Base, Entry: p.Entry, Name: p.Name, Data: p.Data}
+	c.Code = append([]uint64(nil), p.Code...)
+	c.memImage, c.memImageLen = p.ensureMemImage(), len(p.Data)
 	return c
 }
 
@@ -104,54 +129,152 @@ func (p *Program) Listing() []string {
 	return out
 }
 
-// Memory is the simulated 64-bit data memory: a sparse map of 8-byte words.
-// Addresses need not be aligned; unaligned accesses read/write the aligned
-// word containing the address (the workloads only use aligned accesses, but
-// the memory must not fault on synthesized prefetch addresses).
+// Memory is the simulated 64-bit data memory. Addresses need not be
+// aligned; unaligned accesses read/write the aligned word containing the
+// address (the workloads only use aligned accesses, but the memory must not
+// fault on synthesized prefetch addresses).
+//
+// Storage is paged: a map from page index to 4KB word arrays, with a
+// one-entry cache of the last page touched. Data accesses are the hottest
+// operation in the simulator — the workloads stream over arrays and chase
+// pointers word by word — and the page cache turns almost all of them into
+// two array indexings instead of a hash probe. A per-word valid bitmap
+// preserves the sparse-map semantics Valid relies on (written-with-zero is
+// distinguishable from never-written).
 type Memory struct {
-	words map[uint64]uint64
+	pages    map[uint64]*memPage
+	lastIdx  uint64
+	lastPage *memPage
+	mapped   int
 }
 
-// NewMemory creates a memory initialized from the program's data image.
+const (
+	memPageShift = 9 // 512 words = 4KB per page
+	memPageWords = 1 << memPageShift
+	memPageMask  = memPageWords - 1
+)
+
+type memPage struct {
+	words [memPageWords]uint64
+	valid [memPageWords / 64]uint64
+}
+
+// NewMemory creates a memory initialized from the program's data image. The
+// paged image is built once per program (or whenever Data has grown since)
+// and cached; each call returns an independent deep copy of it.
 func NewMemory(p *Program) *Memory {
-	m := &Memory{words: make(map[uint64]uint64, len(p.Data)+1024)}
-	for a, v := range p.Data {
-		m.words[a&^7] = v
+	return p.ensureMemImage().clone()
+}
+
+// Prebuild forces the lazy caches (predecoded instructions and the paged
+// memory image). A program shared as an immutable master — cloned
+// concurrently by a harness worker pool — must be prebuilt before it is
+// published, so the clones only ever read it.
+func (p *Program) Prebuild() {
+	p.Predecode()
+	p.ensureMemImage()
+}
+
+// ensureMemImage builds (or rebuilds, when Data has grown) the cached paged
+// form of Data.
+func (p *Program) ensureMemImage() *Memory {
+	if p.memImage == nil || p.memImageLen != len(p.Data) {
+		m := &Memory{pages: make(map[uint64]*memPage, len(p.Data)/memPageWords+8)}
+		for a, v := range p.Data {
+			m.Store(a, v)
+		}
+		p.memImage, p.memImageLen = m, len(p.Data)
 	}
-	return m
+	return p.memImage
+}
+
+// clone returns an independent deep copy; page copies are straight
+// memmoves, so this is much cheaper than rebuilding from a sparse map.
+func (m *Memory) clone() *Memory {
+	c := &Memory{pages: make(map[uint64]*memPage, len(m.pages)), mapped: m.mapped}
+	for idx, pg := range m.pages {
+		np := new(memPage)
+		*np = *pg
+		c.pages[idx] = np
+	}
+	return c
+}
+
+// page returns the page containing word index w, or nil when the page has
+// never been written, refreshing the one-entry cache on a hit.
+func (m *Memory) page(w uint64) *memPage {
+	idx := w >> memPageShift
+	if pg := m.lastPage; pg != nil && idx == m.lastIdx {
+		return pg
+	}
+	pg := m.pages[idx]
+	if pg != nil {
+		m.lastIdx, m.lastPage = idx, pg
+	}
+	return pg
 }
 
 // Load reads the 8-byte word containing addr. Unmapped addresses read zero.
 func (m *Memory) Load(addr uint64) uint64 {
-	return m.words[addr&^7]
+	w := addr >> 3
+	pg := m.page(w)
+	if pg == nil {
+		return 0
+	}
+	return pg.words[w&memPageMask]
 }
 
 // Store writes the 8-byte word containing addr.
 func (m *Memory) Store(addr, val uint64) {
-	m.words[addr&^7] = val
+	w := addr >> 3
+	pg := m.page(w)
+	if pg == nil {
+		idx := w >> memPageShift
+		pg = &memPage{}
+		m.pages[idx] = pg
+		m.lastIdx, m.lastPage = idx, pg
+	}
+	o := w & memPageMask
+	pg.words[o] = val
+	if bit := uint64(1) << (o & 63); pg.valid[o>>6]&bit == 0 {
+		pg.valid[o>>6] |= bit
+		m.mapped++
+	}
 }
 
 // Valid reports whether the word containing addr has ever been written.
 // LDNF uses this to model the non-faulting load returning zero for invalid
 // addresses.
 func (m *Memory) Valid(addr uint64) bool {
-	_, ok := m.words[addr&^7]
-	return ok
+	w := addr >> 3
+	pg := m.page(w)
+	if pg == nil {
+		return false
+	}
+	o := w & memPageMask
+	return pg.valid[o>>6]&(1<<(o&63)) != 0
 }
 
 // Footprint returns the number of distinct mapped words.
-func (m *Memory) Footprint() int { return len(m.words) }
+func (m *Memory) Footprint() int { return m.mapped }
 
 // Snapshot returns the memory contents in deterministic (sorted) order; used
 // by the transparency property tests to compare architectural state.
 func (m *Memory) Snapshot() []WordValue {
-	out := make([]WordValue, 0, len(m.words))
-	for a, v := range m.words {
-		if v != 0 {
-			out = append(out, WordValue{Addr: a, Val: v})
+	idxs := make([]uint64, 0, len(m.pages))
+	for idx := range m.pages {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	var out []WordValue
+	for _, idx := range idxs {
+		pg := m.pages[idx]
+		for o, v := range pg.words {
+			if v != 0 && pg.valid[o>>6]&(1<<(uint(o)&63)) != 0 {
+				out = append(out, WordValue{Addr: (idx<<memPageShift | uint64(o)) << 3, Val: v})
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
 }
 

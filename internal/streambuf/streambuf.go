@@ -165,6 +165,12 @@ func (s *StreamBuffers) Contains(lineAddr uint64) bool {
 
 // Train observes a committed load: updates the stride predictor, and on a
 // confident miss allocates a stream. Implements memsys.Prefetcher.
+//
+// The no-miss path is the fast one: an L1 hit can never allocate or touch a
+// buffer, so it pays only the stride-table update and returns. The memsys
+// L1-hit short circuit (Hierarchy.LoadFast) relies on this guarantee — a
+// Train(…, l1Miss=false) call must be free of buffer side effects or the
+// fast path would need to treat every load as a potential stat edge.
 func (s *StreamBuffers) Train(pc, addr uint64, now int64, l1Miss bool) {
 	e := &s.table[(pc>>3)&uint64(len(s.table)-1)]
 	if !e.valid || e.pc != pc {
@@ -172,6 +178,7 @@ func (s *StreamBuffers) Train(pc, addr uint64, now int64, l1Miss bool) {
 		return
 	}
 	stride := int64(addr) - int64(e.lastAddr)
+	e.lastAddr = addr
 	if stride == e.stride && stride != 0 {
 		if e.conf < 3 {
 			e.conf++
@@ -182,9 +189,10 @@ func (s *StreamBuffers) Train(pc, addr uint64, now int64, l1Miss bool) {
 			e.conf--
 		}
 	}
-	e.lastAddr = addr
-
-	if l1Miss && e.conf >= s.cfg.ConfidenceThreshold && e.stride != 0 {
+	if !l1Miss {
+		return
+	}
+	if e.conf >= s.cfg.ConfidenceThreshold && e.stride != 0 {
 		s.allocate(addr, e.stride, now)
 	}
 }

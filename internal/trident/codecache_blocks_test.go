@@ -26,14 +26,15 @@ func TestCodeCacheBlockAt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The block at the trace start covers the three eligible instructions
-	// and stops before the PREFETCH; its weights must match Weight().
+	// The block at the trace start covers the four member instructions
+	// (PREFETCH batches since the superblock engine) and stops before the
+	// exit jump; its weights must match Weight().
 	blk, ok := cc.BlockAt(pl.Start)
 	if !ok {
 		t.Fatal("no block at trace start")
 	}
-	if len(blk.Insts) != 3 {
-		t.Fatalf("block length %d, want 3 (stop before PREFETCH)", len(blk.Insts))
+	if len(blk.Insts) != 4 {
+		t.Fatalf("block length %d, want 4 (stop before the exit jump)", len(blk.Insts))
 	}
 	if blk.Weights == nil {
 		t.Fatal("code-cache block must carry trace weights")
@@ -44,9 +45,10 @@ func TestCodeCacheBlockAt(t *testing.T) {
 			t.Errorf("weight[%d] = %d, Weight(%#x) = %d", i, blk.Weights[i], pc, cc.Weight(pc))
 		}
 	}
-	// The PREFETCH and the exit jump must not head a block.
-	if _, ok := cc.BlockAt(pl.Start + 3*isa.WordSize); ok {
-		t.Fatal("PREFETCH must not head a block")
+	// The PREFETCH heads its own (one-instruction) block; the exit jump
+	// must not head one.
+	if blk, ok := cc.BlockAt(pl.Start + 3*isa.WordSize); !ok || len(blk.Insts) != 1 {
+		t.Fatalf("PREFETCH block: ok=%v len=%d, want a 1-instruction block", ok, len(blk.Insts))
 	}
 	if _, ok := cc.BlockAt(pl.End - isa.WordSize); ok {
 		t.Fatal("exit jump must not head a block")
@@ -98,7 +100,7 @@ func TestCodeCacheBlockSurvivesPlace(t *testing.T) {
 	}
 	for _, start := range []uint64{p1.Start, p2.Start} {
 		blk, ok := cc.BlockAt(start)
-		if !ok || len(blk.Insts) != 3 {
+		if !ok || len(blk.Insts) != 4 {
 			t.Fatalf("block at %#x after second Place: ok=%v len=%d", start, ok, len(blk.Insts))
 		}
 		in, _ := cc.Fetch(start)

@@ -15,6 +15,8 @@
 package workloads
 
 import (
+	"sync"
+
 	"tridentsp/internal/isa"
 	"tridentsp/internal/program"
 )
@@ -51,20 +53,53 @@ type Benchmark struct {
 // All returns the fourteen benchmarks in the paper's order.
 func All() []Benchmark {
 	return []Benchmark{
-		{"applu", "FP PDE solver; >1000-instruction inner loop, distance 1 optimal", Applu},
-		{"art", "FP neural net; repeated dense scans of weight arrays", Art},
-		{"dot", "pointer-intensive; shuffled chunk chains, irregular control, low trace coverage", Dot},
-		{"equake", "FP sparse matvec; index-array streams plus indirect loads", Equake},
-		{"facerec", "FP image match; long-stride scans, estimate is sufficient", Facerec},
-		{"fma3d", "FP crash solver; medium body, strided element arrays", Fma3d},
-		{"galgel", "FP fluid dynamics; row/column matrix sweeps", Galgel},
-		{"gap", "group-theory interpreter; dispatch via indirect jumps, one small hot kernel", Gap},
-		{"mcf", "network simplex; arena-allocated pointer chase with multi-field nodes", Mcf},
-		{"mgrid", "FP multigrid; three stride classes incl. plane strides", Mgrid},
-		{"parser", "dictionary hash probing; unpredictable branches, unprefetchable loads", Parser},
-		{"swim", "FP shallow water; unit-stride triple-array sweep, HW-prefetch friendly", Swim},
-		{"vis", "image rotation; column-major walk of row-major pixels, whole-object loads", Vis},
-		{"wupwise", "FP QCD; medium-stride matrix-vector kernels", Wupwise},
+		{"applu", "FP PDE solver; >1000-instruction inner loop, distance 1 optimal", cached("applu", Applu)},
+		{"art", "FP neural net; repeated dense scans of weight arrays", cached("art", Art)},
+		{"dot", "pointer-intensive; shuffled chunk chains, irregular control, low trace coverage", cached("dot", Dot)},
+		{"equake", "FP sparse matvec; index-array streams plus indirect loads", cached("equake", Equake)},
+		{"facerec", "FP image match; long-stride scans, estimate is sufficient", cached("facerec", Facerec)},
+		{"fma3d", "FP crash solver; medium body, strided element arrays", cached("fma3d", Fma3d)},
+		{"galgel", "FP fluid dynamics; row/column matrix sweeps", cached("galgel", Galgel)},
+		{"gap", "group-theory interpreter; dispatch via indirect jumps, one small hot kernel", cached("gap", Gap)},
+		{"mcf", "network simplex; arena-allocated pointer chase with multi-field nodes", cached("mcf", Mcf)},
+		{"mgrid", "FP multigrid; three stride classes incl. plane strides", cached("mgrid", Mgrid)},
+		{"parser", "dictionary hash probing; unpredictable branches, unprefetchable loads", cached("parser", Parser)},
+		{"swim", "FP shallow water; unit-stride triple-array sweep, HW-prefetch friendly", cached("swim", Swim)},
+		{"vis", "image rotation; column-major walk of row-major pixels, whole-object loads", cached("vis", Vis)},
+		{"wupwise", "FP QCD; medium-stride matrix-vector kernels", cached("wupwise", Wupwise)},
+	}
+}
+
+// buildCache holds one immutable, prebuilt master program per (benchmark,
+// scale). The builders are deterministic (pinned by TestDeterministicBuilds),
+// and the experiment harness builds each workload dozens of times — once per
+// configuration per figure — so cloning a master is a large constant saving
+// over re-emitting code and re-generating data.
+var (
+	buildMu    sync.Mutex
+	buildCache = map[buildKey]*program.Program{}
+)
+
+type buildKey struct {
+	name  string
+	scale Scale
+}
+
+// cached wraps a builder with the master-program cache. The master's lazy
+// caches are forced before it is published, so concurrent harness workers
+// cloning it only ever read.
+func cached(name string, build func(Scale) *program.Program) func(Scale) *program.Program {
+	return func(s Scale) *program.Program {
+		k := buildKey{name, s}
+		buildMu.Lock()
+		p, ok := buildCache[k]
+		if !ok {
+			p = build(s)
+			p.Prebuild()
+			buildCache[k] = p
+		}
+		buildMu.Unlock()
+		return p.Clone()
 	}
 }
 

@@ -20,7 +20,10 @@ go test -race -run TestConcurrentSystemsShareNothing ./internal/core/
 go test -race ./...
 # One-iteration bench smoke: keeps the benchmark path compiling and running.
 go test -run '^$' -bench BenchmarkFigure5 -benchtime 1x .
-# benchdiff smoke over the two newest checked-in snapshots: exercises the
-# comparison tool and asserts the committed perf trajectory has no >5%
-# ns/op regression step.
-go run ./cmd/benchdiff -threshold 0.05 BENCH_after.json BENCH_pr3.json
+# benchdiff gate over the two newest checked-in snapshots (version sort
+# orders BENCH_pr9 < BENCH_pr10; baseline/after predate the prN series):
+# exercises the comparison tool and asserts the committed perf trajectory
+# has no >5% ns/op regression step, without editing this script per PR.
+old=$(ls BENCH_*.json | sort -V | tail -2 | head -1)
+new=$(ls BENCH_*.json | sort -V | tail -1)
+go run ./cmd/benchdiff -threshold 0.05 "$old" "$new"
