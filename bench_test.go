@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"tridentsp"
+	"tridentsp/internal/telemetry"
 )
 
 // benchOptions is the reduced configuration for benches: small scale, short
@@ -148,6 +149,34 @@ func BenchmarkAblations(b *testing.B) {
 		"speedup_selfrepair":   0,
 		"speedup_estimateinit": 1,
 		"speedup_noderef":      2,
+	})
+}
+
+// BenchmarkTelemetryOverhead pins the telemetry cost contract at the
+// system level: the figure benches all run with telemetry disabled (a nil
+// tracer), so "disabled" here must match BenchmarkSimulatorThroughput's
+// shape — the benchdiff gate across snapshots proves the wiring added
+// nothing — while "enabled" shows what full event recording actually
+// costs when opted into.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	bm, _ := tridentsp.Benchmark("swim")
+	prog := bm.Build(tridentsp.ScaleSmall)
+	run := func(b *testing.B, cfg tridentsp.Config) {
+		b.ReportAllocs()
+		var instrs uint64
+		for i := 0; i < b.N; i++ {
+			res := tridentsp.Run(cfg, prog.Clone(), 300_000)
+			instrs += res.OrigInstrs
+		}
+		b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim_instrs/s")
+	}
+	b.Run("disabled", func(b *testing.B) {
+		run(b, tridentsp.DefaultConfig())
+	})
+	b.Run("enabled", func(b *testing.B) {
+		cfg := tridentsp.DefaultConfig()
+		cfg.Telemetry = &telemetry.Options{}
+		run(b, cfg)
 	})
 }
 

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+
+	"tridentsp/internal/exp/render"
 )
 
 type snapshot struct {
@@ -97,15 +99,18 @@ func diff(oldSnap, newSnap *snapshot, threshold float64) (string, bool) {
 		oldBy[e.Name] = e
 	}
 
-	out := fmt.Sprintf("%-28s %15s %15s %8s %12s %8s\n",
-		"benchmark", "old ns/op", "new ns/op", "delta", "B/op", "allocs")
+	widths := []int{-28, 15, 15, 8, 12, 8}
+	row := func(cells ...string) string {
+		return render.Columns(" ", widths, cells...)
+	}
+	out := row("benchmark", "old ns/op", "new ns/op", "delta", "B/op", "allocs") + "\n"
 	regressed := false
 	logSum, logN := 0.0, 0
 	matched := make(map[string]bool, len(newSnap.Benchmarks))
 	for _, n := range newSnap.Benchmarks {
 		o, ok := oldBy[n.Name]
 		if !ok {
-			out += fmt.Sprintf("%-28s %15s %15.0f %8s %12s %8s\n", n.Name, "-", n.NsPerOp, "new", "-", "-")
+			out += row(n.Name, "-", fmt.Sprintf("%.0f", n.NsPerOp), "new", "-", "-") + "\n"
 			continue
 		}
 		matched[n.Name] = true
@@ -120,18 +125,19 @@ func diff(oldSnap, newSnap *snapshot, threshold float64) (string, bool) {
 			mark = " !"
 			regressed = true
 		}
-		out += fmt.Sprintf("%-28s %15.0f %15.0f %+7.1f%% %+12.0f %+8.0f%s\n",
-			n.Name, o.NsPerOp, n.NsPerOp, delta*100,
-			n.BytesPerOp-o.BytesPerOp, n.AllocsPerOp-o.AllocsPerOp, mark)
+		out += row(n.Name, fmt.Sprintf("%.0f", o.NsPerOp), fmt.Sprintf("%.0f", n.NsPerOp),
+			fmt.Sprintf("%+.1f%%", delta*100),
+			fmt.Sprintf("%+.0f", n.BytesPerOp-o.BytesPerOp),
+			fmt.Sprintf("%+.0f", n.AllocsPerOp-o.AllocsPerOp)) + mark + "\n"
 	}
 	for _, o := range oldSnap.Benchmarks {
 		if !matched[o.Name] {
-			out += fmt.Sprintf("%-28s %15.0f %15s %8s %12s %8s\n", o.Name, o.NsPerOp, "-", "gone", "-", "-")
+			out += row(o.Name, fmt.Sprintf("%.0f", o.NsPerOp), "-", "gone", "-", "-") + "\n"
 		}
 	}
 	if logN > 0 {
-		out += fmt.Sprintf("%-28s %15s %15s %+7.1f%%\n",
-			"geomean", "", "", (math.Exp(logSum/float64(logN))-1)*100)
+		out += row("geomean", "", "",
+			fmt.Sprintf("%+.1f%%", (math.Exp(logSum/float64(logN))-1)*100)) + "\n"
 	}
 	return out, regressed
 }

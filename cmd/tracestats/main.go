@@ -1,0 +1,201 @@
+// Command tracestats summarizes a telemetry event stream written by
+// tridentsim -trace-out. It renders the three views the flat JSONL makes
+// tedious to read by hand:
+//
+//   - per-load repair timelines — every insert → ±1 repair → mature
+//     sequence the self-repairing optimizer ran, per (trace head, load);
+//   - fast-path residency — how many cycles and original instructions the
+//     block-batched engine retired, versus the whole run;
+//   - the slow-path trigger histogram — why each fast-path session handed
+//     control back to the reference one-step loop.
+//
+// Usage:
+//
+//	tridentsim -bench mcf -trace-out mcf.jsonl
+//	tracestats mcf.jsonl
+//	tracestats -repairs mcf.jsonl   # one section only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"tridentsp/internal/exp/render"
+	"tridentsp/internal/telemetry"
+)
+
+func main() {
+	var (
+		repairs   = flag.Bool("repairs", false, "print only the per-load repair timelines")
+		residency = flag.Bool("residency", false, "print only the fast-path residency summary")
+		triggers  = flag.Bool("triggers", false, "print only the slow-path trigger histogram")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: tracestats [-repairs|-residency|-triggers] TRACE.jsonl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracestats: %v\n", err)
+		os.Exit(1)
+	}
+	events, err := telemetry.ParseJSONL(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracestats: %v\n", err)
+		os.Exit(1)
+	}
+	all := !*repairs && !*residency && !*triggers
+	if all || *repairs {
+		fmt.Print(repairTimelines(events))
+	}
+	if all || *residency {
+		fmt.Print(fastPathResidency(events))
+	}
+	if all || *triggers {
+		fmt.Print(triggerHistogram(events))
+	}
+}
+
+// loadKey identifies one repaired load: the trace head it belongs to plus
+// the load's original PC.
+type loadKey struct {
+	head, load uint64
+}
+
+// repairTimelines renders each load's insert → repair → mature history in
+// event order. Insert events are keyed by the triggering load; repairs and
+// matures carry the load PC directly.
+func repairTimelines(events []telemetry.Event) string {
+	steps := make(map[loadKey][]string)
+	var order []loadKey
+	note := func(k loadKey, s string) {
+		if _, seen := steps[k]; !seen {
+			order = append(order, k)
+		}
+		steps[k] = append(steps[k], s)
+	}
+	for _, e := range events {
+		k := loadKey{head: e.Aux, load: e.PC}
+		switch e.Kind {
+		case telemetry.KindPrefetchInsert:
+			note(k, fmt.Sprintf("insert@%d d=%d", e.Cycle, e.Arg))
+		case telemetry.KindPrefetchRepair:
+			note(k, fmt.Sprintf("repair@%d %d->%d", e.Cycle, e.Arg2, e.Arg))
+		case telemetry.KindPrefetchMature:
+			note(k, fmt.Sprintf("mature@%d d=%d", e.Cycle, e.Arg))
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("repair timelines:\n")
+	if len(order) == 0 {
+		sb.WriteString("  (no prefetch events)\n")
+		return sb.String()
+	}
+	for _, k := range order {
+		fmt.Fprintf(&sb, "  head %#x load %#x: %s\n",
+			k.head, k.load, strings.Join(steps[k], " | "))
+	}
+	return sb.String()
+}
+
+// fastPathResidency sums the engine ring's fast-exit spans: cycles spent
+// inside batching sessions and original instructions they retired, against
+// the stream's last cycle. Engine events are ring-buffered, so on overflow
+// the numbers cover the retained window (the stream's dropped count is not
+// recorded per ring; the session count makes truncation visible).
+func fastPathResidency(events []telemetry.Event) string {
+	var (
+		sessions   uint64
+		spanCycles int64
+		batched    int64
+		lastCycle  int64
+	)
+	for _, e := range events {
+		if e.Cycle > lastCycle {
+			lastCycle = e.Cycle
+		}
+		if e.Kind != telemetry.KindFastExit {
+			continue
+		}
+		sessions++
+		if d := e.Cycle - int64(e.Aux); d > 0 {
+			spanCycles += d
+		}
+		batched += e.Arg2
+	}
+	var sb strings.Builder
+	sb.WriteString("fast-path residency:\n")
+	if sessions == 0 {
+		sb.WriteString("  (no fast-path events; slow path or engine ring empty)\n")
+		return sb.String()
+	}
+	pct := 0.0
+	if lastCycle > 0 {
+		pct = 100 * float64(spanCycles) / float64(lastCycle)
+	}
+	fmt.Fprintf(&sb, "  sessions: %d  batched orig instrs: %d\n", sessions, batched)
+	fmt.Fprintf(&sb, "  cycles in fast path: %d / %d (%.1f%%)\n", spanCycles, lastCycle, pct)
+	return sb.String()
+}
+
+// triggerHistogram counts fast-exit events by exit reason.
+func triggerHistogram(events []telemetry.Event) string {
+	var counts [telemetry.NumFPReasons]uint64
+	var total uint64
+	for _, e := range events {
+		if e.Kind != telemetry.KindFastExit {
+			continue
+		}
+		if r := telemetry.FPReason(e.Arg); r < telemetry.NumFPReasons {
+			counts[r]++
+			total++
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("slow-path triggers:\n")
+	if total == 0 {
+		sb.WriteString("  (no fast-path exits recorded)\n")
+		return sb.String()
+	}
+	type rc struct {
+		reason telemetry.FPReason
+		n      uint64
+	}
+	var rows []rc
+	for r := telemetry.FPReason(0); r < telemetry.NumFPReasons; r++ {
+		if counts[r] > 0 {
+			rows = append(rows, rc{r, counts[r]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].reason < rows[j].reason
+	})
+	widths := []int{-12, 10, 8}
+	for _, r := range rows {
+		sb.WriteString("  " + render.Columns(" ", widths,
+			r.reason.String(), fmt.Sprintf("%d", r.n),
+			fmt.Sprintf("%.1f%%", 100*float64(r.n)/float64(total))) + "\n")
+	}
+	return sb.String()
+}
+
+// summarize renders every section; split from main for tests.
+func summarize(w io.Writer, events []telemetry.Event) {
+	io.WriteString(w, repairTimelines(events))
+	io.WriteString(w, fastPathResidency(events))
+	io.WriteString(w, triggerHistogram(events))
+}

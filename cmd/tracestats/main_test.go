@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"tridentsp/internal/telemetry"
+)
+
+func evs() []telemetry.Event {
+	return []telemetry.Event{
+		{Seq: 0, Cycle: 10, Kind: telemetry.KindFastEnter, PC: 0x1000},
+		{Seq: 1, Cycle: 90, Kind: telemetry.KindFastExit, PC: 0x1040,
+			Aux: 10, Arg: int64(telemetry.FPNeedSlow), Arg2: 70},
+		{Seq: 2, Cycle: 100, Kind: telemetry.KindPrefetchInsert, PC: 0x2000,
+			Aux: 0x1040, Arg: 1, Arg2: 2},
+		{Seq: 3, Cycle: 200, Kind: telemetry.KindPrefetchRepair, PC: 0x2000,
+			Aux: 0x1040, Arg: 2, Arg2: 1},
+		{Seq: 4, Cycle: 300, Kind: telemetry.KindPrefetchRepair, PC: 0x2000,
+			Aux: 0x1040, Arg: 3, Arg2: 2},
+		{Seq: 5, Cycle: 400, Kind: telemetry.KindPrefetchMature, PC: 0x2000,
+			Aux: 0x1040, Arg: 3},
+		{Seq: 6, Cycle: 410, Kind: telemetry.KindFastEnter, PC: 0x1000},
+		{Seq: 7, Cycle: 500, Kind: telemetry.KindFastExit, PC: 0x1040,
+			Aux: 410, Arg: int64(telemetry.FPLimit), Arg2: 80},
+	}
+}
+
+func TestRepairTimelines(t *testing.T) {
+	out := repairTimelines(evs())
+	want := "  head 0x1040 load 0x2000: insert@100 d=1 | repair@200 1->2 | repair@300 2->3 | mature@400 d=3\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("timeline missing:\nwant %q\ngot:\n%s", want, out)
+	}
+}
+
+func TestFastPathResidency(t *testing.T) {
+	out := fastPathResidency(evs())
+	for _, want := range []string{"sessions: 2", "batched orig instrs: 150",
+		"cycles in fast path: 170 / 500 (34.0%)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("residency missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTriggerHistogram(t *testing.T) {
+	out := triggerHistogram(evs())
+	for _, want := range []string{"need-slow", "limit", "50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyStreamSections(t *testing.T) {
+	var sb strings.Builder
+	summarize(&sb, nil)
+	out := sb.String()
+	for _, want := range []string{"(no prefetch events)", "(no fast-path events",
+		"(no fast-path exits recorded)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty-stream output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -23,13 +23,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 
 	"tridentsp/internal/chaos"
 	"tridentsp/internal/core"
 	"tridentsp/internal/memsys"
+	"tridentsp/internal/telemetry"
 	"tridentsp/internal/workloads"
 )
 
@@ -50,6 +53,11 @@ func main() {
 		seed    = flag.Uint64("chaos-seed", 1, "fault-injection schedule seed")
 		jobs    = flag.Int("j", 0, "max concurrent benchmark runs (0 = all CPUs)")
 		slow    = flag.Bool("slowpath", false, "force the reference one-step simulation loop (disable the block-batched engine)")
+
+		traceOut   = flag.String("trace-out", "", "write the telemetry event stream as JSONL to this file")
+		chromeOut  = flag.String("chrome-out", "", "write the event stream as Chrome trace_event JSON (load in chrome://tracing or Perfetto)")
+		metricsOut = flag.String("metrics-out", "", "write the metrics registry as JSON to this file")
+		traceRing  = flag.Int("trace-ring", 0, "telemetry ring capacity in events (0 = default)")
 	)
 	flag.Parse()
 
@@ -139,6 +147,8 @@ func main() {
 		os.Exit(1)
 	}
 
+	telemetryOn := *traceOut != "" || *chromeOut != "" || *metricsOut != ""
+
 	// Fan the benchmarks across workers; reports print in argument order.
 	nj := *jobs
 	if nj <= 0 {
@@ -148,7 +158,9 @@ func main() {
 	type outcome struct {
 		report string
 		failed bool
+		err    error
 	}
+	multi := len(bms) > 1
 	outs := make([]chan outcome, len(bms))
 	for i, bm := range bms {
 		outs[i] = make(chan outcome, 1)
@@ -161,10 +173,20 @@ func main() {
 				ccfg.Chaos = sched
 				ccfg.ChaosShadow = true
 			}
-			res := core.NewSystem(ccfg, bm.Build(sc)).Run(*instrs)
+			if telemetryOn {
+				ccfg.Telemetry = &telemetry.Options{RingCap: *traceRing}
+			}
+			sys := core.NewSystem(ccfg, bm.Build(sc))
+			res := sys.Run(*instrs)
+			var err error
+			if telemetryOn {
+				err = exportTelemetry(sys.Telemetry(), bm.Name, multi,
+					*traceOut, *chromeOut, *metricsOut)
+			}
 			outs[i] <- outcome{
 				report: renderRun(res, *verbose),
 				failed: res.Aborted != "" || res.InvariantViolations > 0,
+				err:    err,
 			}
 		}()
 	}
@@ -172,11 +194,70 @@ func main() {
 	for i := range bms {
 		out := <-outs[i]
 		fmt.Print(out.report)
+		if out.err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", out.err)
+			exitCode = 1
+		}
 		if out.failed {
 			exitCode = 2
 		}
 	}
 	os.Exit(exitCode)
+}
+
+// outPath derives the per-benchmark output file: with one benchmark the path
+// is used as given; with several, the benchmark name is inserted before the
+// extension ("out.jsonl" -> "out.mcf.jsonl") so concurrent runs do not
+// clobber one file.
+func outPath(path, bench string, multi bool) string {
+	if !multi {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "." + bench + ext
+}
+
+// exportTelemetry writes the requested telemetry artifacts for one run.
+func exportTelemetry(tel *telemetry.Tracer, bench string, multi bool,
+	traceOut, chromeOut, metricsOut string) error {
+	write := func(path string, fn func(w io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if traceOut != "" {
+		events := tel.AllEvents()
+		err := write(outPath(traceOut, bench, multi), func(w io.Writer) error {
+			return telemetry.WriteJSONL(w, events)
+		})
+		if err != nil {
+			return fmt.Errorf("writing %s trace: %w", bench, err)
+		}
+	}
+	if chromeOut != "" {
+		events := tel.AllEvents()
+		err := write(outPath(chromeOut, bench, multi), func(w io.Writer) error {
+			return telemetry.WriteChromeTrace(w, events)
+		})
+		if err != nil {
+			return fmt.Errorf("writing %s chrome trace: %w", bench, err)
+		}
+	}
+	if metricsOut != "" {
+		err := write(outPath(metricsOut, bench, multi), func(w io.Writer) error {
+			return tel.Metrics().WriteJSON(w)
+		})
+		if err != nil {
+			return fmt.Errorf("writing %s metrics: %w", bench, err)
+		}
+	}
+	return nil
 }
 
 func renderRun(res core.Results, verbose bool) string {

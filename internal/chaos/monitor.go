@@ -1,6 +1,10 @@
 package chaos
 
-import "fmt"
+import (
+	"fmt"
+
+	"tridentsp/internal/telemetry"
+)
 
 // Check is one invariant probe. Fn returns nil while the invariant holds
 // and a descriptive error when it is violated. Checks are registered by
@@ -36,6 +40,7 @@ type Monitor struct {
 	nextAt     int64
 	ticks      uint64
 	violations []Violation
+	tracer     *telemetry.Tracer
 }
 
 // NewMonitor creates a watchdog that probes every `every` cycles.
@@ -66,14 +71,21 @@ func (m *Monitor) Tick(now int64) {
 	m.RunChecks(now)
 }
 
+// SetTracer attaches a telemetry tracer; each probe round emits a
+// watchdog-probe event. A nil tracer (the default) is free.
+func (m *Monitor) SetTracer(tr *telemetry.Tracer) { m.tracer = tr }
+
 // RunChecks probes every registered invariant immediately.
 func (m *Monitor) RunChecks(now int64) {
 	m.ticks++
+	found := 0
 	for _, c := range m.checks {
 		if err := c.Fn(now); err != nil {
 			m.violations = append(m.violations, Violation{Check: c.Name, At: now, Err: err})
+			found++
 		}
 	}
+	m.tracer.Emit(telemetry.KindWatchdogProbe, now, 0, 0, int64(found), int64(len(m.violations)))
 }
 
 // Ticks counts completed probe rounds.

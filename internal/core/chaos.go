@@ -5,6 +5,7 @@ import (
 
 	"tridentsp/internal/chaos"
 	"tridentsp/internal/isa"
+	"tridentsp/internal/telemetry"
 	"tridentsp/internal/trident"
 )
 
@@ -17,6 +18,13 @@ import (
 // optimizer) absorb their faults as no-ops.
 func (s *System) applyChaosEdge(ed chaos.Edge) {
 	e := ed.Event
+	// Stamped with the edge's scheduled cycle (not the drain cycle) so the
+	// event stream is identical across execution paths by construction.
+	enter := int64(0)
+	if ed.Enter {
+		enter = 1
+	}
+	s.tel.Emit(telemetry.KindChaosEdge, e.At, 0, uint64(e.Kind), e.Arg, enter)
 	switch e.Kind {
 	case chaos.LatencyShift, chaos.LatencySpike:
 		if ed.Enter {
@@ -65,7 +73,7 @@ func (s *System) applyChaosEdge(ed chaos.Edge) {
 		}
 	case chaos.CodeCacheEvict:
 		if s.cfg.Trident {
-			s.evictLiveTraces(int(e.Arg))
+			s.evictLiveTraces(int(e.Arg), e.At)
 		}
 	case chaos.HelperPreempt:
 		if ed.Enter && s.helper != nil {
@@ -97,7 +105,7 @@ func (s *System) chaosLatFactor() int64 {
 // first (code-cache pressure evicts the newest allocations in this model).
 // Each evicted trace is fully backed out of execution and must re-form from
 // profiler heat if it is still hot.
-func (s *System) evictLiveTraces(n int) {
+func (s *System) evictLiveTraces(n int, now int64) {
 	var live []*trident.Placement
 	s.cache.VisitPlacements(func(pl *trident.Placement) {
 		if pl.Live {
@@ -105,7 +113,7 @@ func (s *System) evictLiveTraces(n int) {
 		}
 	})
 	for i := len(live) - 1; i >= 0 && n > 0; i-- {
-		s.unlinkTrace(live[i])
+		s.unlinkTrace(live[i], now)
 		n--
 	}
 }
@@ -135,6 +143,7 @@ func (s *System) attachWatchdog() {
 		s.shadow = s.newShadow()
 		m.Register("transparency", s.shadowCheck)
 	}
+	m.SetTracer(s.tel)
 	s.monitor = m
 }
 
@@ -159,6 +168,7 @@ func (s *System) newShadow() *System {
 	cfg.CPU = s.cfg.CPU
 	cfg.Mem = s.cfg.Mem
 	cfg.Chaos = nil
+	cfg.Telemetry = nil
 	cfg.LivelockWindow = 0
 	cfg.DisableFastPath = s.cfg.DisableFastPath
 	return NewSystem(cfg, s.pristine.ClonePristine())

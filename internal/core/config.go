@@ -16,6 +16,7 @@ import (
 	"tridentsp/internal/memsys"
 	"tridentsp/internal/prefetch"
 	"tridentsp/internal/streambuf"
+	"tridentsp/internal/telemetry"
 	"tridentsp/internal/trace"
 	"tridentsp/internal/trident"
 )
@@ -157,6 +158,13 @@ type Config struct {
 	// cycle limit. 0 disables detection.
 	LivelockWindow int64
 
+	// Telemetry, when non-nil, attaches a structured event tracer and
+	// metrics registry to the machine (internal/telemetry, DESIGN §11):
+	// every subsystem's decisions are recorded as typed ring-buffered
+	// events, reachable through System.Telemetry(). nil (the default)
+	// costs one nil check at each emission site.
+	Telemetry *telemetry.Options
+
 	// DisableFastPath forces the reference one-step-at-a-time simulation
 	// loop instead of the event-horizon/block-batched engine (DESIGN §9).
 	// The two paths are bit-identical by construction — this knob exists so
@@ -297,6 +305,9 @@ func (c Config) Validate() error {
 		if err := c.Chaos.Validate(); err != nil {
 			return fmt.Errorf("core: invalid chaos schedule: %w", err)
 		}
+	}
+	if c.Telemetry != nil && c.Telemetry.RingCap < 0 {
+		return fmt.Errorf("core: Telemetry.RingCap must be non-negative, got %d", c.Telemetry.RingCap)
 	}
 	return nil
 }

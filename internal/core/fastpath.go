@@ -6,6 +6,7 @@ import (
 	"tridentsp/internal/cpu"
 	"tridentsp/internal/isa"
 	"tridentsp/internal/memsys"
+	"tridentsp/internal/telemetry"
 	"tridentsp/internal/trident"
 )
 
@@ -89,10 +90,23 @@ func (s *System) fastForward(limit uint64) {
 		return
 	}
 	t := s.thread
+	// Engine telemetry (path-dependent by nature, so it lives in the engine
+	// ring): one FastEnter when the session first batches an instruction, one
+	// FastExit with the reason the session handed control back to step().
+	// Zero-batch sessions still count toward the exit-reason histogram — they
+	// measure how often the fast path is attempted but declines outright.
+	var (
+		entered     bool
+		entryCycle  int64
+		entryInstrs uint64
+	)
+	exit := telemetry.FPNeedSlow
 	hz := s.eventHorizon(t.Now())
+loop:
 	for {
 		if t.Halted() {
-			return
+			exit = telemetry.FPHalted
+			break loop
 		}
 		pc := t.PC()
 		var (
@@ -109,13 +123,16 @@ func (s *System) fastForward(limit uint64) {
 			// elsewhere) carry entry-tracking side effects and stay slow.
 			pl := s.curPl
 			if pl == nil || pc < pl.Start || pc >= pl.End {
-				return
+				exit = telemetry.FPTraceEntry
+				break loop
 			}
 			if pc == pl.Start && !s.inTraversal {
-				return
+				exit = telemetry.FPTraceEntry
+				break loop
 			}
 			if blk, ok = s.cache.BlockAt(pc); !ok {
-				return
+				exit = telemetry.FPNoBlock
+				break loop
 			}
 			// A block must not run past this placement's end into an
 			// adjacently placed trace (possible only if a trace ends in a
@@ -129,9 +146,11 @@ func (s *System) fastForward(limit uint64) {
 			s.sbPl, s.sbEntry = pl, pc
 			s.sbHeadPending = pc == pl.Start
 		} else if s.isPatched(pc) {
-			return
+			exit = telemetry.FPPatched
+			break loop
 		} else if blk, ok = s.live.BlockAt(pc); !ok {
-			return
+			exit = telemetry.FPNoBlock
+			break loop
 		} else if s.cfg.Trident {
 			hooks = &s.sbOrigHooks
 		}
@@ -147,6 +166,12 @@ func (s *System) fastForward(limit uint64) {
 			}
 		}
 
+		if s.tel != nil && !entered {
+			entered = true
+			entryCycle = t.Now()
+			entryInstrs = s.origInstrs
+			s.tel.Emit(telemetry.KindFastEnter, entryCycle, pc, 0, 0, 0)
+		}
 		ex := t.ExecSuperBlock(blk, budget, hz, hooks)
 		if ex.N == 0 {
 			// The first instruction already needs the slow path: nothing
@@ -154,7 +179,8 @@ func (s *System) fastForward(limit uint64) {
 			// record, whose instruction will now retire through step() and
 			// be recorded by trackTraversal instead.
 			s.sbHeadPending = false
-			return
+			exit = telemetry.FPFirstSlow
+			break loop
 		}
 		now := t.Now()
 
@@ -185,7 +211,7 @@ func (s *System) fastForward(limit uint64) {
 		if s.cfg.Trident {
 			if s.cfg.PhaseClearMature &&
 				s.origInstrs-s.phaseMarkInstrs >= s.cfg.PhaseWindow {
-				s.checkPhase()
+				s.checkPhase(now)
 			}
 			s.pump(now)
 			busy := s.helper.Busy(now)
@@ -199,9 +225,19 @@ func (s *System) fastForward(limit uint64) {
 			s.monitor.Tick(now)
 		}
 		if ex.NeedSlow || s.origInstrs >= limit {
-			return
+			if s.origInstrs >= limit {
+				exit = telemetry.FPLimit
+			}
+			break loop
 		}
 		hz = s.eventHorizon(now)
+	}
+	if s.tel != nil {
+		s.fpReasons[exit].Inc()
+		if entered {
+			s.tel.Emit(telemetry.KindFastExit, t.Now(), t.PC(), uint64(entryCycle),
+				int64(exit), int64(s.origInstrs-entryInstrs))
+		}
 	}
 }
 
@@ -293,7 +329,7 @@ func (s *System) sbTraceLoad(pc, addr, value uint64, res memsys.Result, now int6
 	// (miss=false, lat=0) — identical to what the slow path would feed it
 	// for the same access. The window boundary can still cross the
 	// delinquency threshold on earlier misses, so the event path stays.
-	if !s.table.Update(origPC, addr, false, 0) {
+	if !s.table.UpdateAt(origPC, addr, false, 0, now) {
 		return stop
 	}
 	if s.opt == nil {

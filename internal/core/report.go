@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"tridentsp/internal/exp/render"
 	"tridentsp/internal/isa"
 )
 
@@ -76,7 +77,8 @@ func (s *System) TraceReport() string {
 			if ti.OrigPC != 0 {
 				orig = fmt.Sprintf("  ; orig %#x", ti.OrigPC)
 			}
-			fmt.Fprintf(&sb, "  %s%#08x: %-32s%s\n", mark, pc, isa.Disassemble(pc, in), orig)
+			fmt.Fprintf(&sb, "  %s%#08x: %s\n", mark, pc,
+				render.Columns("", []int{-32}, isa.Disassemble(pc, in))+orig)
 		}
 		sb.WriteByte('\n')
 	}

@@ -144,9 +144,16 @@ func (r Results) String() string {
 	return sb.String()
 }
 
-// results snapshots the system's statistics.
+// results snapshots the system's statistics. It must not touch machine
+// state: Run can be re-entered with a larger budget (windowed sampling,
+// the golden resume suite), and a resumed run must behave exactly as if it
+// had never stopped. Draining the memory hierarchy here, for instance,
+// would retire expired in-flight fills early and change later prefetch
+// decisions — the golden-trace resume test caught exactly that.
 func (s *System) results() Results {
-	s.hier.Drain(s.thread.Now())
+	if s.tel != nil {
+		s.snapshotMetrics()
+	}
 	r := Results{
 		Name:          s.pristine.Name,
 		Config:        fmt.Sprintf("%s/%s", s.cfg.HW, s.cfg.SW),

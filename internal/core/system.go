@@ -12,6 +12,7 @@ import (
 	"tridentsp/internal/prefetch"
 	"tridentsp/internal/program"
 	"tridentsp/internal/streambuf"
+	"tridentsp/internal/telemetry"
 	"tridentsp/internal/trace"
 	"tridentsp/internal/trident"
 )
@@ -52,9 +53,15 @@ type System struct {
 	lastNow        int64
 	patched        []bool
 	patchedBase    uint64
-	apply          func() error
+	apply          func(now int64) error
 	applyAt        int64
 	interfering    bool
+
+	// Telemetry (nil without cfg.Telemetry; every Emit through a nil
+	// tracer is one branch). fpReasons counts fast-path exit reasons —
+	// the slow-path trigger histogram.
+	tel       *telemetry.Tracer
+	fpReasons [telemetry.NumFPReasons]*telemetry.Counter
 
 	// Superblock batch state (fastpath.go). sbPl/sbEntry describe the batch
 	// being executed so the SBHooks (bound once in sbTraceHooks/sbOrigHooks)
@@ -134,6 +141,9 @@ func NewSystem(cfg Config, prog *program.Program) *System {
 	// Trace formation re-walks the same hot words on every event; decode
 	// the pristine image once instead of per fetch.
 	s.pristine.Predecode()
+	if cfg.Telemetry != nil {
+		s.initTelemetry(*cfg.Telemetry)
+	}
 	if sc, ok := cfg.streambufConfig(); ok {
 		s.sb = streambuf.New(sc, s.hier)
 		s.hier.SetPrefetcher(s.sb)
@@ -154,6 +164,14 @@ func NewSystem(cfg Config, prog *program.Program) *System {
 		if cfg.SW != SWOff {
 			s.opt = prefetch.New(cfg.prefetchConfig(), s.table, s.cache,
 				s.watch, linkerFunc(s.linkTrace), cfg.Cost)
+		}
+		if s.tel != nil {
+			s.table.SetTracer(s.tel)
+			s.queue.SetTracer(s.tel)
+			s.helper.SetTracer(s.tel)
+			if s.opt != nil {
+				s.opt.SetTracer(s.tel)
+			}
 		}
 	}
 	if cfg.Chaos != nil {
@@ -350,7 +368,7 @@ func (s *System) step() {
 	// Phase detection: a shifted miss rate re-arms matured loads.
 	if s.cfg.Trident && s.cfg.PhaseClearMature &&
 		s.origInstrs-s.phaseMarkInstrs >= s.cfg.PhaseWindow {
-		s.checkPhase()
+		s.checkPhase(now)
 	}
 
 	// Helper thread: apply finished optimizations, start new ones.
@@ -374,8 +392,8 @@ func (s *System) step() {
 
 // checkPhase compares the last window's miss rate against the previous
 // window's; a large relative change clears the DLT's mature flags (§3.5.2's
-// future-work suggestion).
-func (s *System) checkPhase() {
+// future-work suggestion). now stamps the telemetry event.
+func (s *System) checkPhase(now int64) {
 	dInstrs := s.origInstrs - s.phaseMarkInstrs
 	dMisses := s.stats.missesTotal - s.phaseMarkMisses
 	s.phaseMarkInstrs = s.origInstrs
@@ -390,11 +408,12 @@ func (s *System) checkPhase() {
 		ref = 1e-6
 	}
 	if rate > ref*(1+s.cfg.PhaseDelta) || rate < ref*(1-s.cfg.PhaseDelta) {
-		s.table.ClearAllMature()
+		n := s.table.ClearAllMature()
 		if s.opt != nil {
 			s.opt.ClearMaturity()
 		}
 		s.stats.phaseClears++
+		s.tel.Emit(telemetry.KindPhaseClear, now, 0, 0, int64(n), 0)
 	}
 }
 
@@ -430,7 +449,7 @@ func (s *System) trackTraversal(pl *trident.Placement, pc uint64, now int64) {
 			}
 		}
 		if s.cfg.Backout {
-			s.noteEntry(pl)
+			s.noteEntry(pl, now)
 		}
 	case pc == pl.Start && s.inTraversal:
 		// Loop-back: one full traversal.
@@ -451,7 +470,7 @@ func (s *System) trackTraversal(pl *trident.Placement, pc uint64, now int64) {
 // exiting without completing a traversal — the captured path was not the
 // hot path after all, so the head is unpatched and the profiler re-armed
 // to capture a better bitmap.
-func (s *System) noteEntry(pl *trident.Placement) {
+func (s *System) noteEntry(pl *trident.Placement, now int64) {
 	a := s.activity[pl.TraceID]
 	if a == nil {
 		a = &traceActivity{}
@@ -473,7 +492,7 @@ func (s *System) noteEntry(pl *trident.Placement) {
 	if float64(a.traversals) >= s.cfg.BackoutRatio*float64(a.entries) {
 		return
 	}
-	s.backOut(pl)
+	s.backOut(pl, now)
 }
 
 // unlinkTrace detaches a placed trace from execution: the original head
@@ -481,9 +500,10 @@ func (s *System) noteEntry(pl *trident.Placement) {
 // and drained (loop-back branches retargeted through the original head, so
 // execution already inside it exits safely), the watch entry dropped, and
 // the profiler re-armed for this head. Shared by the back-out policy and
-// injected code-cache evictions.
-func (s *System) unlinkTrace(pl *trident.Placement) {
+// injected code-cache evictions; now stamps the telemetry event.
+func (s *System) unlinkTrace(pl *trident.Placement, now int64) {
 	head := pl.Trace.StartPC
+	s.tel.Emit(telemetry.KindTraceBackOut, now, head, 0, int64(pl.TraceID), 0)
 	if w, ok := s.pristine.WordAt(head); ok && s.isPatched(head) {
 		if err := s.live.Patch(head, w); err == nil {
 			s.setPatched(head, false)
@@ -509,8 +529,8 @@ func (s *System) unlinkTrace(pl *trident.Placement) {
 
 // backOut unlinks an under-performing trace (the captured path was not the
 // hot path after all).
-func (s *System) backOut(pl *trident.Placement) {
-	s.unlinkTrace(pl)
+func (s *System) backOut(pl *trident.Placement, now int64) {
+	s.unlinkTrace(pl, now)
 	s.stats.tracesBackedOut++
 }
 
@@ -546,7 +566,7 @@ func (s *System) monitorLoad(pl *trident.Placement, pc uint64, info cpu.StepInfo
 	if miss {
 		missLat = info.LoadRes.Latency
 	}
-	if !s.table.Update(origPC, info.LoadAddr, miss, missLat) {
+	if !s.table.UpdateAt(origPC, info.LoadAddr, miss, missLat, info.Now) {
 		return
 	}
 	// Delinquent-load event. Suppressed while the trace is already being
@@ -592,7 +612,7 @@ func (s *System) enqueueHot(hot trident.HotTrace, now int64) bool {
 // event to the helper thread.
 func (s *System) pump(now int64) {
 	if s.apply != nil && now >= s.applyAt {
-		if err := s.apply(); err != nil {
+		if err := s.apply(now); err != nil {
 			s.stats.applyErrors++
 			if DebugLog != nil {
 				DebugLog("apply error: " + err.Error())
@@ -634,7 +654,7 @@ func (s *System) processHotTrace(ev trident.Event, now int64) {
 	cost := s.cfg.Cost.FormBase + s.cfg.Cost.FormPerInst*int64(tr.Len())
 	done := s.helper.Begin(now, cost)
 	s.applyAt = done
-	s.apply = func() error {
+	s.apply = func(at int64) error {
 		pl, err := s.cache.Place(tr)
 		if err != nil {
 			return err
@@ -649,6 +669,8 @@ func (s *System) processHotTrace(ev trident.Event, now int64) {
 		}
 		s.prof.MarkFormed(tr.StartPC)
 		s.stats.tracesFormed++
+		s.tel.Emit(telemetry.KindTraceForm, at, tr.StartPC, pl.Start,
+			int64(tr.Len()), int64(pl.TraceID))
 		return s.linkTrace(tr.StartPC, pl.Start)
 	}
 }
@@ -702,8 +724,9 @@ func (s *System) processInvariant(ev trident.Event, now int64) {
 	cost := s.cfg.Cost.FormBase + s.cfg.Cost.FormPerInst*int64(clone.Len())
 	done := s.helper.Begin(now, cost)
 	oldID := we.TraceID
+	loadPC := ev.LoadPC
 	s.applyAt = done
-	s.apply = func() error {
+	s.apply = func(at int64) error {
 		npl, err := s.cache.Place(clone)
 		if err != nil {
 			return err
@@ -724,13 +747,15 @@ func (s *System) processInvariant(ev trident.Event, now int64) {
 			s.opt.RegisterTrace(head, clone, npl.TraceID)
 		}
 		s.stats.tracesSpecialized++
+		s.tel.Emit(telemetry.KindTraceSpecialize, at, head, loadPC,
+			int64(clone.Len()), int64(npl.TraceID))
 		return s.linkTrace(head, npl.Start)
 	}
 }
 
 // processDelinquent runs the prefetch optimizer for one event.
 func (s *System) processDelinquent(ev trident.Event, now int64) {
-	res := s.opt.ProcessEvent(ev.Hot.StartPC, ev.LoadPC)
+	res := s.opt.ProcessEventAt(ev.Hot.StartPC, ev.LoadPC, now)
 	if DebugLog != nil {
 		minExec := int64(-1)
 		if we, ok := s.watch.ByStart(ev.Hot.StartPC); ok {
@@ -748,7 +773,7 @@ func (s *System) processDelinquent(ev trident.Event, now int64) {
 	startPC := ev.Hot.StartPC
 	inner := res.Apply
 	s.applyAt = done
-	s.apply = func() error {
+	s.apply = func(int64) error {
 		if we, ok := s.watch.ByStart(startPC); ok {
 			we.OptFlag = false
 		}

@@ -77,6 +77,16 @@ type blockEnt struct {
 	n   int32
 }
 
+// BlockStats counts block-cache activity: descriptor reuse (Hits), lazy
+// re-derivations after invalidation (Rebuilds), and generation bumps
+// (Invalidations). Always on — three counter increments on paths that
+// already do real work — and snapshotted into the telemetry registry.
+type BlockStats struct {
+	Hits          uint64
+	Rebuilds      uint64
+	Invalidations uint64
+}
+
 // BlockCache lazily maps instruction addresses to Blocks over one decoded
 // image. Invalidation is O(1): any mutation of the image bumps gen, and
 // stale entries rebuild on first use.
@@ -86,6 +96,8 @@ type BlockCache struct {
 	weights []int
 	gen     uint64
 	ents    []blockEnt
+
+	stats BlockStats
 }
 
 // NewBlockCache creates an empty cache; SetSource attaches the image.
@@ -100,6 +112,7 @@ func NewBlockCache(base uint64) *BlockCache {
 func (c *BlockCache) SetSource(insts []isa.Inst, weights []int) {
 	c.insts, c.weights = insts, weights
 	c.gen++
+	c.stats.Invalidations++
 	if len(c.ents) < len(insts) {
 		c.ents = append(c.ents, make([]blockEnt, len(insts)-len(c.ents))...)
 	} else {
@@ -111,7 +124,13 @@ func (c *BlockCache) SetSource(insts []isa.Inst, weights []int) {
 }
 
 // Invalidate drops every cached descriptor (the image was patched in place).
-func (c *BlockCache) Invalidate() { c.gen++ }
+func (c *BlockCache) Invalidate() {
+	c.gen++
+	c.stats.Invalidations++
+}
+
+// Stats returns the activity counters.
+func (c *BlockCache) Stats() BlockStats { return c.stats }
 
 // At returns the superblock starting at pc. ok is false when pc is outside
 // the image, unaligned, or the instruction at pc is not a block member.
@@ -124,7 +143,10 @@ func (c *BlockCache) At(pc uint64) (Block, bool) {
 		return Block{}, false
 	}
 	e := &c.ents[i]
-	if e.gen != c.gen {
+	if e.gen == c.gen {
+		c.stats.Hits++
+	} else {
+		c.stats.Rebuilds++
 		n := 0
 	scan:
 		for j := int(i); j < len(c.insts); j++ {

@@ -118,6 +118,9 @@ func (s *ProgramSpace) BlockAt(pc uint64) (Block, bool) {
 	return s.blocks.At(pc)
 }
 
+// BlockStats returns the block cache's activity counters.
+func (s *ProgramSpace) BlockStats() BlockStats { return s.blocks.Stats() }
+
 // BranchKind describes the control behaviour of a committed instruction.
 type BranchKind uint8
 

@@ -9,7 +9,11 @@
 // prefetch mature flag.
 package dlt
 
-import "fmt"
+import (
+	"fmt"
+
+	"tridentsp/internal/telemetry"
+)
 
 // Config sizes the table and sets the delinquency thresholds (Table 2).
 type Config struct {
@@ -105,6 +109,7 @@ type Table struct {
 	cfg     Config
 	sets    [][]Entry // recency ordered, index 0 = MRU
 	numSets uint64
+	tracer  *telemetry.Tracer
 
 	// Stats.
 	Events    uint64
@@ -127,6 +132,10 @@ func New(cfg Config) *Table {
 
 // Config returns the table's configuration.
 func (t *Table) Config() Config { return t.cfg }
+
+// SetTracer attaches a telemetry tracer; delinquency raises and LRU
+// evictions emit events through it. A nil tracer (the default) is free.
+func (t *Table) SetTracer(tr *telemetry.Tracer) { t.tracer = tr }
 
 func (t *Table) setIndex(pc uint64) uint64 { return (pc >> 3) % t.numSets }
 
@@ -156,11 +165,17 @@ func (t *Table) Lookup(pc uint64) (*Entry, bool) {
 // Update records one committed in-trace load. miss and missLatency describe
 // the access's cache behaviour. It returns true when this access completes
 // a window that classifies the load as delinquent — the hardware
-// delinquent-load event.
+// delinquent-load event. Telemetry events carry cycle 0; the core uses
+// UpdateAt.
 func (t *Table) Update(pc, addr uint64, miss bool, missLatency int64) bool {
+	return t.UpdateAt(pc, addr, miss, missLatency, 0)
+}
+
+// UpdateAt is Update with the commit cycle, stamped onto emitted telemetry.
+func (t *Table) UpdateAt(pc, addr uint64, miss bool, missLatency, now int64) bool {
 	e := t.lookup(pc)
 	if e == nil {
-		e = t.allocate(pc)
+		e = t.allocate(pc, now)
 	}
 
 	// Stride predictor: updated on every commit (§3.3).
@@ -200,6 +215,8 @@ func (t *Table) Update(pc, addr uint64, miss bool, missLatency int64) bool {
 		// Counters freeze for the optimizer to read; it clears them.
 		e.frozen = true
 		t.Events++
+		t.tracer.Emit(telemetry.KindDLTDelinquent, now, pc, e.LastAddr,
+			int64(e.Miss), e.AvgMissLatency())
 		return true
 	}
 	e.Access, e.Miss, e.MissLatency = 0, 0, 0
@@ -207,13 +224,14 @@ func (t *Table) Update(pc, addr uint64, miss bool, missLatency int64) bool {
 }
 
 // allocate inserts a fresh entry for pc, evicting LRU if needed.
-func (t *Table) allocate(pc uint64) *Entry {
+func (t *Table) allocate(pc uint64, now int64) *Entry {
 	si := t.setIndex(pc)
 	set := t.sets[si]
 	if len(set) < t.cfg.Assoc {
 		set = append(set, Entry{})
 	} else {
 		t.Evictions++
+		t.tracer.Emit(telemetry.KindDLTEvict, now, set[len(set)-1].PC, pc, 0, 0)
 	}
 	copy(set[1:], set[0:len(set)-1])
 	set[0] = Entry{PC: pc, valid: true}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"tridentsp/internal/core"
+	"tridentsp/internal/exp/render"
 	"tridentsp/internal/workloads"
 )
 
@@ -94,6 +95,17 @@ type Row struct {
 	Cells []float64
 }
 
+// layout returns the column widths of the rendered table: a left-aligned
+// label gutter followed by one fixed cell width per column.
+func (t Table) layout() []int {
+	w := make([]int, 1, 1+len(t.Columns))
+	w[0] = -12
+	for range t.Columns {
+		w = append(w, 14)
+	}
+	return w
+}
+
 // Render formats the table as aligned text.
 func (t Table) Render() string {
 	var sb strings.Builder
@@ -101,16 +113,21 @@ func (t Table) Render() string {
 	if t.Paper != "" {
 		fmt.Fprintf(&sb, "paper: %s\n", t.Paper)
 	}
-	fmt.Fprintf(&sb, "%-12s", "")
+	widths := t.layout()
+	cells := make([]string, 1, len(widths))
+	cells[0] = ""
 	for _, c := range t.Columns {
-		fmt.Fprintf(&sb, "%14s", c)
+		cells = append(cells, c)
 	}
+	sb.WriteString(render.Columns("", widths, cells...))
 	sb.WriteByte('\n')
 	for _, r := range t.Rows {
-		fmt.Fprintf(&sb, "%-12s", r.Label)
+		cells = cells[:1]
+		cells[0] = r.Label
 		for _, v := range r.Cells {
-			fmt.Fprintf(&sb, "%14.3f", v)
+			cells = append(cells, fmt.Sprintf("%.3f", v))
 		}
+		sb.WriteString(render.Columns("", widths, cells...))
 		sb.WriteByte('\n')
 	}
 	if t.Note != "" {

@@ -1,0 +1,240 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tridentsp/internal/core"
+	"tridentsp/internal/telemetry"
+	"tridentsp/internal/workloads"
+)
+
+// The golden-trace conformance suite: the recorded semantic event stream of
+// every workload under the default self-repairing machine is checked in as
+// testdata/golden/<bench>.trace.jsonl and asserted byte-identical on every
+// run. Semantic events fire at identical cycles on the fast and slow
+// execution paths (the engine's own fast-enter/exit events live in a
+// separate ring and are excluded), so the same files also pin the -slowpath
+// differential and windowed resume — telemetry as a correctness oracle:
+// any future change that shifts when the optimizer acts, not just what it
+// totals, breaks these streams loudly.
+//
+// Regenerate after an intentional behaviour change with:
+//
+//	go test ./internal/exp -run TestGoldenTraces -update-golden
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden trace files instead of comparing")
+
+const goldenInstrs = 1_000_000
+
+// goldenStream runs one benchmark on a fresh default machine with telemetry
+// enabled and returns the semantic event stream as JSONL bytes. run, when
+// non-nil, replaces the single Run(goldenInstrs) call (the resume test
+// advances in windows).
+func goldenStream(bm workloads.Benchmark, slowpath bool, run func(*core.System)) ([]byte, error) {
+	cfg := core.DefaultConfig()
+	cfg.Telemetry = &telemetry.Options{}
+	cfg.DisableFastPath = slowpath
+	sys := core.NewSystem(cfg, bm.Build(workloads.ScaleSmall))
+	if run != nil {
+		run(sys)
+	} else {
+		sys.Run(goldenInstrs)
+	}
+	if n := sys.Telemetry().Dropped(); n != 0 {
+		return nil, fmt.Errorf("%s: semantic ring dropped %d events; raise RingCap", bm.Name, n)
+	}
+	// Seq is tracer-wide and engine events interleave differently per
+	// execution path; renumber so the stream is comparable across paths.
+	events := telemetry.Renumber(sys.Telemetry().Events())
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, events); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func goldenPath(bench string) string {
+	return filepath.Join("testdata", "golden", bench+".trace.jsonl")
+}
+
+// checkGolden compares got against the benchmark's golden file, with a
+// line-oriented first-divergence report (a byte offset alone is useless in
+// a multi-thousand-line stream).
+func checkGolden(t *testing.T, bench string, got []byte) {
+	t.Helper()
+	want, err := os.ReadFile(goldenPath(bench))
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update-golden to create): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotLines := bytes.Split(got, []byte("\n"))
+	wantLines := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if !bytes.Equal(gotLines[i], wantLines[i]) {
+			t.Fatalf("%s: stream diverges at line %d:\n got: %s\nwant: %s",
+				bench, i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("%s: stream length differs: got %d lines, want %d",
+		bench, len(gotLines), len(wantLines))
+}
+
+// TestGoldenTraces records (with -update-golden) or verifies the semantic
+// event stream of all 14 workloads.
+func TestGoldenTraces(t *testing.T) {
+	for _, bm := range workloads.All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			t.Parallel()
+			got, err := goldenStream(bm, false, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath(bm.Name), got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			checkGolden(t, bm.Name, got)
+		})
+	}
+}
+
+// TestGoldenTraceParallel replays the whole suite 8 benchmarks at a time:
+// concurrent systems must not perturb each other's streams (no shared
+// mutable state, no map-order or scheduling dependence).
+func TestGoldenTraceParallel(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden files are written by TestGoldenTraces")
+	}
+	bms := workloads.All()
+	type res struct {
+		bench  string
+		stream []byte
+		err    error
+	}
+	sem := make(chan struct{}, 8)
+	out := make(chan res, len(bms))
+	for _, bm := range bms {
+		bm := bm
+		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			b, err := goldenStream(bm, false, nil)
+			out <- res{bm.Name, b, err}
+		}()
+	}
+	for range bms {
+		r := <-out
+		if r.err != nil {
+			t.Errorf("%s: %v", r.bench, r.err)
+			continue
+		}
+		checkGolden(t, r.bench, r.stream)
+	}
+}
+
+// TestGoldenTraceSlowpath forces the reference one-step loop: the semantic
+// stream must match the fast path's golden files byte for byte — the
+// event-level form of the PR3/PR4 bit-identical execution contract.
+func TestGoldenTraceSlowpath(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden files are written by TestGoldenTraces")
+	}
+	if testing.Short() {
+		t.Skip("slow-path replay of the full suite is not short")
+	}
+	for _, bm := range workloads.All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			t.Parallel()
+			got, err := goldenStream(bm, true, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, bm.Name, got)
+		})
+	}
+}
+
+// TestGoldenTraceResume runs each workload in five resume windows — Run is
+// re-entered with growing absolute budgets — and requires the same stream
+// as the single-shot run. A representative trio keeps the quadruple-replay
+// cost bounded; the windows exercise every stop/resume seam the full set
+// would.
+func TestGoldenTraceResume(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden files are written by TestGoldenTraces")
+	}
+	for _, name := range []string{"swim", "mcf", "art"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bm, ok := workloads.ByName(name)
+			if !ok {
+				t.Fatalf("unknown benchmark %q", name)
+			}
+			got, err := goldenStream(bm, false, func(sys *core.System) {
+				const window = goldenInstrs / 5
+				for lim := uint64(window); lim <= goldenInstrs; lim += window {
+					sys.Run(lim)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, name, got)
+		})
+	}
+}
+
+// TestGoldenTracesNonEmpty guards the suite against quietly pinning empty
+// streams: the aggregate corpus must contain the load-bearing event kinds.
+func TestGoldenTracesNonEmpty(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden files are written by TestGoldenTraces")
+	}
+	seen := make(map[telemetry.Kind]int)
+	for _, bm := range workloads.All() {
+		data, err := os.ReadFile(goldenPath(bm.Name))
+		if err != nil {
+			t.Fatalf("reading golden file: %v", err)
+		}
+		events, err := telemetry.ParseJSONL(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: golden file unparsable: %v", bm.Name, err)
+		}
+		for _, e := range events {
+			seen[e.Kind]++
+		}
+	}
+	for _, k := range []telemetry.Kind{
+		telemetry.KindDLTDelinquent,
+		telemetry.KindTraceForm,
+		telemetry.KindPrefetchInsert,
+		telemetry.KindHelperRun,
+	} {
+		if seen[k] == 0 {
+			t.Errorf("no %v event anywhere in the golden corpus", k)
+		}
+	}
+	var total int
+	for _, n := range seen {
+		total += n
+	}
+	if total < 100 {
+		t.Errorf("golden corpus suspiciously small: %d events", total)
+	}
+}

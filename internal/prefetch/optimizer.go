@@ -6,6 +6,7 @@ import (
 
 	"tridentsp/internal/dlt"
 	"tridentsp/internal/isa"
+	"tridentsp/internal/telemetry"
 	"tridentsp/internal/trace"
 	"tridentsp/internal/trident"
 )
@@ -184,6 +185,9 @@ type Optimizer struct {
 
 	traces map[uint64]*traceState // by original startPC
 
+	tracer   *telemetry.Tracer
+	distHist *telemetry.Histogram
+
 	Stats Stats
 }
 
@@ -198,6 +202,15 @@ func New(cfg Config, table *dlt.Table, cache *trident.CodeCache,
 		linker: linker,
 		cost:   cost,
 		traces: make(map[uint64]*traceState),
+	}
+}
+
+// SetTracer attaches a telemetry tracer: insert/repair/mature decisions
+// emit events and placed distances feed a histogram. nil (default) is free.
+func (o *Optimizer) SetTracer(tr *telemetry.Tracer) {
+	o.tracer = tr
+	if reg := tr.Metrics(); reg != nil {
+		o.distHist = reg.Histogram("prefetch_distance", 1, 2, 4, 8, 16, 32, 64)
 	}
 }
 
@@ -285,8 +298,15 @@ func (o *Optimizer) TraceID(startPC uint64) (int, bool) {
 }
 
 // ProcessEvent handles one delinquent-load event for the trace that starts
-// at startPC. loadPC is the original PC of the triggering load.
+// at startPC. loadPC is the original PC of the triggering load. Telemetry
+// events carry cycle 0; the core uses ProcessEventAt.
 func (o *Optimizer) ProcessEvent(startPC, loadPC uint64) Result {
+	return o.ProcessEventAt(startPC, loadPC, 0)
+}
+
+// ProcessEventAt is ProcessEvent with the event-processing cycle, stamped
+// onto emitted telemetry.
+func (o *Optimizer) ProcessEventAt(startPC, loadPC uint64, now int64) Result {
 	ts, ok := o.traces[startPC]
 	if !ok {
 		return Result{Kind: ResultNone}
@@ -294,10 +314,11 @@ func (o *Optimizer) ProcessEvent(startPC, loadPC uint64) Result {
 	if g, ok := ts.byLoad[loadPC]; ok {
 		if g.mature {
 			o.table.SetMature(loadPC)
+			o.tracer.Emit(telemetry.KindPrefetchMature, now, loadPC, startPC, g.matureDist(), 0)
 			return Result{Kind: ResultMatured, Cost: o.cost.RepairCost}
 		}
 		if g.patchStride != 0 && len(g.prefetches) > 0 {
-			return o.repair(ts, g, loadPC)
+			return o.repair(ts, g, loadPC, now)
 		}
 		// Deref-only prefetching has no distance to repair: a second
 		// event means the chain is not hiding the latency; give up
@@ -308,16 +329,26 @@ func (o *Optimizer) ProcessEvent(startPC, loadPC uint64) Result {
 			o.table.SetMature(m.OrigPC)
 		}
 		o.Stats.Matured++
+		o.tracer.Emit(telemetry.KindPrefetchMature, now, loadPC, startPC, g.matureDist(), 0)
 		return Result{Kind: ResultMatured, Cost: o.cost.RepairCost}
 	}
-	return o.insert(ts, loadPC)
+	return o.insert(ts, loadPC, now)
+}
+
+// matureDist is the distance a mature event reports: the group's final
+// distance for stride-repairable groups, 0 for deref-only chases.
+func (g *groupState) matureDist() int64 {
+	if g.patchStride == 0 {
+		return 0
+	}
+	return g.distance
 }
 
 // insert (re)generates the trace with prefetch instructions for every
 // delinquent load currently identifiable in it (§3.4.1: "the optimizer
 // first checks if there are other loads that need to be prefetched in the
 // same hot trace").
-func (o *Optimizer) insert(ts *traceState, triggerPC uint64) Result {
+func (o *Optimizer) insert(ts *traceState, triggerPC uint64, now int64) Result {
 	o.refreshPotential(ts) // DLT stride knowledge may have grown
 	groups := classifyTrace(ts.base, o.table, o.cfg.Mode != ModeBasic)
 	if Debug != nil {
@@ -363,6 +394,7 @@ func (o *Optimizer) insert(ts *traceState, triggerPC uint64) Result {
 		if _, ok := ts.byLoad[triggerPC]; !ok {
 			o.table.SetMature(triggerPC)
 			o.Stats.Matured++
+			o.tracer.Emit(telemetry.KindPrefetchMature, now, triggerPC, ts.startPC, 0, 0)
 			o.clearTraceCounters(ts)
 			return Result{Kind: ResultMatured, Cost: o.cost.RepairCost}
 		}
@@ -430,6 +462,13 @@ func (o *Optimizer) insert(ts *traceState, triggerPC uint64) Result {
 	}
 
 	o.Stats.Insertions++
+	trigDist := int64(0)
+	if g, ok := ts.byLoad[triggerPC]; ok && g.patchStride != 0 {
+		trigDist = g.distance
+		o.distHist.Observe(trigDist)
+	}
+	o.tracer.Emit(telemetry.KindPrefetchInsert, now, triggerPC, ts.startPC,
+		trigDist, int64(newLoads))
 	return Result{Kind: ResultInserted, Cost: cost, Apply: apply}
 }
 
@@ -540,9 +579,10 @@ func (o *Optimizer) clearTraceCounters(ts *traceState) {
 }
 
 // repair adjusts an existing group's prefetch distance in place (§3.5.2).
-func (o *Optimizer) repair(ts *traceState, g *groupState, loadPC uint64) Result {
+func (o *Optimizer) repair(ts *traceState, g *groupState, loadPC uint64, now int64) Result {
 	if g.mature {
 		o.table.SetMature(loadPC)
+		o.tracer.Emit(telemetry.KindPrefetchMature, now, loadPC, ts.startPC, g.matureDist(), 0)
 		return Result{Kind: ResultMatured, Cost: o.cost.RepairCost}
 	}
 	if o.cfg.Mode != ModeSelfRepair || g.patchStride == 0 {
@@ -552,6 +592,7 @@ func (o *Optimizer) repair(ts *traceState, g *groupState, loadPC uint64) Result 
 			o.table.SetMature(m.OrigPC)
 		}
 		o.Stats.Matured++
+		o.tracer.Emit(telemetry.KindPrefetchMature, now, loadPC, ts.startPC, g.matureDist(), 0)
 		return Result{Kind: ResultMatured, Cost: o.cost.RepairCost}
 	}
 	// The repair budget is twice the maximal distance (§3.5.2); the
@@ -565,6 +606,7 @@ func (o *Optimizer) repair(ts *traceState, g *groupState, loadPC uint64) Result 
 			o.table.SetMature(m.OrigPC)
 		}
 		o.Stats.Matured++
+		o.tracer.Emit(telemetry.KindPrefetchMature, now, loadPC, ts.startPC, g.matureDist(), 0)
 		return Result{Kind: ResultMatured, Cost: o.cost.RepairCost}
 	}
 
@@ -594,6 +636,7 @@ func (o *Optimizer) repair(ts *traceState, g *groupState, loadPC uint64) Result 
 		o.clearGroupCounters(g)
 		return Result{Kind: ResultRepaired, Cost: o.cost.RepairCost}
 	}
+	oldDist := g.distance
 	g.distance = newDist
 
 	apply := func() error {
@@ -606,6 +649,8 @@ func (o *Optimizer) repair(ts *traceState, g *groupState, loadPC uint64) Result 
 		return nil
 	}
 	o.Stats.Repairs++
+	o.distHist.Observe(newDist)
+	o.tracer.Emit(telemetry.KindPrefetchRepair, now, loadPC, ts.startPC, newDist, oldDist)
 	return Result{Kind: ResultRepaired, Cost: o.cost.RepairCost, Apply: apply}
 }
 

@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Export formats. Both writers are hand-rolled and deterministic: field
+// order is fixed, addresses are 0x-hex, and no map iteration is involved,
+// so identical event streams produce identical bytes — the property the
+// golden-trace suite compares. The JSONL form is the machine-readable
+// log (one event per line, consumed by cmd/tracestats and ParseJSONL);
+// the Chrome form loads into chrome://tracing / Perfetto with the
+// convention that one simulated cycle renders as one microsecond.
+
+// AppendEventJSON appends one event as a single JSON object (no newline).
+func AppendEventJSON(dst []byte, e Event) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendUint(dst, e.Seq, 10)
+	dst = append(dst, `,"cycle":`...)
+	dst = strconv.AppendInt(dst, e.Cycle, 10)
+	dst = append(dst, `,"kind":"`...)
+	dst = append(dst, e.Kind.String()...)
+	dst = append(dst, `","pc":"0x`...)
+	dst = strconv.AppendUint(dst, e.PC, 16)
+	dst = append(dst, `","aux":"0x`...)
+	dst = strconv.AppendUint(dst, e.Aux, 16)
+	dst = append(dst, `","arg":`...)
+	dst = strconv.AppendInt(dst, e.Arg, 10)
+	dst = append(dst, `,"arg2":`...)
+	dst = strconv.AppendInt(dst, e.Arg2, 10)
+	return append(dst, '}')
+}
+
+// WriteJSONL writes the events one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, e := range events {
+		buf = AppendEventJSON(buf[:0], e)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// wireEvent is the JSON shape of one exported event.
+type wireEvent struct {
+	Seq   uint64 `json:"seq"`
+	Cycle int64  `json:"cycle"`
+	Kind  string `json:"kind"`
+	PC    string `json:"pc"`
+	Aux   string `json:"aux"`
+	Arg   int64  `json:"arg"`
+	Arg2  int64  `json:"arg2"`
+}
+
+// ParseEventJSON decodes one event object written by AppendEventJSON.
+func ParseEventJSON(line []byte) (Event, error) {
+	var w wireEvent
+	if err := json.Unmarshal(line, &w); err != nil {
+		return Event{}, err
+	}
+	k, ok := KindByName(w.Kind)
+	if !ok {
+		return Event{}, fmt.Errorf("telemetry: unknown event kind %q", w.Kind)
+	}
+	pc, err := strconv.ParseUint(w.PC, 0, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("telemetry: bad pc %q: %v", w.PC, err)
+	}
+	aux, err := strconv.ParseUint(w.Aux, 0, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("telemetry: bad aux %q: %v", w.Aux, err)
+	}
+	return Event{Seq: w.Seq, Cycle: w.Cycle, Kind: k, PC: pc, Aux: aux, Arg: w.Arg, Arg2: w.Arg2}, nil
+}
+
+// ParseJSONL decodes a stream written by WriteJSONL. Blank lines are
+// skipped; any malformed line is an error.
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		e, err := ParseEventJSON(b)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Chrome trace rows: instant semantic events on tid 1, helper-thread
+// spans on tid 2, fast-path batching spans on tid 3.
+const (
+	chromeTIDMachine  = 1
+	chromeTIDHelper   = 2
+	chromeTIDFastPath = 3
+)
+
+// WriteChromeTrace writes the events as a Chrome trace_event JSON file
+// ("JSON object format": {"traceEvents": [...]}). Durations: helper runs
+// and fast-path sessions become complete ("X") spans; everything else is
+// a thread-scoped instant ("i"). Timestamps map one cycle to one µs.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	var buf []byte
+	for i, e := range events {
+		buf = buf[:0]
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, "\n"...)
+		buf = appendChromeEvent(buf, e)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func appendChromeEvent(dst []byte, e Event) []byte {
+	name := e.Kind.String()
+	ph := "i"
+	tid := chromeTIDMachine
+	ts, dur := e.Cycle, int64(0)
+	switch e.Kind {
+	case KindHelperRun:
+		ph, tid = "X", chromeTIDHelper
+		dur = e.Arg
+	case KindFastExit:
+		ph, tid = "X", chromeTIDFastPath
+		ts = int64(e.Aux) // session entry cycle
+		dur = e.Cycle - ts
+		name = "fastpath:" + FPReason(e.Arg).String()
+	case KindFastEnter:
+		tid = chromeTIDFastPath
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	dst = append(dst, `{"name":`...)
+	dst = strconv.AppendQuote(dst, name)
+	dst = append(dst, `,"ph":"`...)
+	dst = append(dst, ph...)
+	dst = append(dst, `","ts":`...)
+	dst = strconv.AppendInt(dst, ts, 10)
+	if ph == "X" {
+		dst = append(dst, `,"dur":`...)
+		dst = strconv.AppendInt(dst, dur, 10)
+	} else {
+		dst = append(dst, `,"s":"t"`...)
+	}
+	dst = append(dst, `,"pid":1,"tid":`...)
+	dst = strconv.AppendInt(dst, int64(tid), 10)
+	dst = append(dst, `,"args":{"seq":`...)
+	dst = strconv.AppendUint(dst, e.Seq, 10)
+	dst = append(dst, `,"pc":"0x`...)
+	dst = strconv.AppendUint(dst, e.PC, 16)
+	dst = append(dst, `","aux":"0x`...)
+	dst = strconv.AppendUint(dst, e.Aux, 16)
+	dst = append(dst, `","arg":`...)
+	dst = strconv.AppendInt(dst, e.Arg, 10)
+	dst = append(dst, `,"arg2":`...)
+	dst = strconv.AppendInt(dst, e.Arg2, 10)
+	return append(dst, "}}"...)
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzEventRoundTrip drives arbitrary events through the JSONL encoder and
+// back, asserting the decode is lossless and that every encoded line is
+// valid JSON by encoding/json's reading of it.
+func FuzzEventRoundTrip(f *testing.F) {
+	f.Add(uint64(0), int64(0), uint8(0), uint64(0), uint64(0), int64(0), int64(0))
+	f.Add(uint64(1), int64(-1), uint8(KindPrefetchRepair), uint64(0x1040), uint64(0x1000), int64(7), int64(6))
+	f.Add(^uint64(0), int64(1<<62), uint8(KindFastExit), ^uint64(0), uint64(1)<<63, int64(-1<<62), int64(42))
+	f.Fuzz(func(t *testing.T, seq uint64, cycle int64, kind uint8, pc, aux uint64, arg, arg2 int64) {
+		e := Event{Seq: seq, Cycle: cycle, Kind: Kind(kind % uint8(NumKinds)), PC: pc, Aux: aux, Arg: arg, Arg2: arg2}
+		line := AppendEventJSON(nil, e)
+
+		// The hand-rolled encoding must be JSON that encoding/json agrees
+		// with, field for field.
+		var w wireEvent
+		if err := json.Unmarshal(line, &w); err != nil {
+			t.Fatalf("encoded line is not valid JSON: %v\n%s", err, line)
+		}
+		if w.Seq != e.Seq || w.Cycle != e.Cycle || w.Kind != e.Kind.String() ||
+			w.Arg != e.Arg || w.Arg2 != e.Arg2 {
+			t.Fatalf("encoding/json reads different values: %+v from %s", w, line)
+		}
+
+		got, err := ParseEventJSON(line)
+		if err != nil {
+			t.Fatalf("decode failed: %v\n%s", err, line)
+		}
+		if got != e {
+			t.Fatalf("round trip: %+v != %+v", got, e)
+		}
+
+		// And through the stream writer/parser.
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, []Event{e, e}); err != nil {
+			t.Fatal(err)
+		}
+		evs, err := ParseJSONL(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(evs) != 2 || evs[0] != e || evs[1] != e {
+			t.Fatalf("stream round trip: %+v", evs)
+		}
+	})
+}
+
+// FuzzChromeTrace asserts the Chrome exporter emits valid JSON for
+// arbitrary events, with the span/instant envelope fields intact.
+func FuzzChromeTrace(f *testing.F) {
+	f.Add(int64(0), uint8(0), uint64(0), uint64(0), int64(0), int64(0))
+	f.Add(int64(95), uint8(KindFastExit), uint64(0x1018), uint64(70), int64(2), int64(24))
+	f.Add(int64(-10), uint8(KindHelperRun), uint64(0), uint64(0), int64(-5), int64(0))
+	f.Fuzz(func(t *testing.T, cycle int64, kind uint8, pc, aux uint64, arg, arg2 int64) {
+		e := Event{Seq: 1, Cycle: cycle, Kind: Kind(kind % uint8(NumKinds)), PC: pc, Aux: aux, Arg: arg, Arg2: arg2}
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, []Event{e, e}); err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Name string         `json:"name"`
+				Ph   string         `json:"ph"`
+				TS   int64          `json:"ts"`
+				Dur  int64          `json:"dur"`
+				PID  int            `json:"pid"`
+				TID  int            `json:"tid"`
+				Args map[string]any `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("chrome trace not valid JSON: %v\n%s", err, buf.String())
+		}
+		if len(doc.TraceEvents) != 2 {
+			t.Fatalf("got %d events", len(doc.TraceEvents))
+		}
+		for _, te := range doc.TraceEvents {
+			if te.Ph != "i" && te.Ph != "X" {
+				t.Fatalf("bad phase %q", te.Ph)
+			}
+			if te.Ph == "X" && te.Dur < 0 {
+				t.Fatalf("negative duration %d", te.Dur)
+			}
+			if te.PID != 1 || te.TID < chromeTIDMachine || te.TID > chromeTIDFastPath {
+				t.Fatalf("bad pid/tid: %+v", te)
+			}
+			if te.Name == "" || te.Args == nil {
+				t.Fatalf("missing name/args: %+v", te)
+			}
+		}
+	})
+}

@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Registry is a flat namespace of counters, gauges, and histograms. Each
+// System owns one (via its tracer); instruments are registered once during
+// wiring and updated lock-free on the single simulation goroutine. Export
+// is deterministic: names are emitted sorted, numbers formatted with
+// strconv, so two identical runs write identical bytes.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	Name string
+	V    uint64
+}
+
+// Inc adds one. Safe on a nil counter (disabled registry path).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.V++
+	}
+}
+
+// Add adds n. Safe on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.V += n
+	}
+}
+
+// Gauge is a last-write-wins sampled value.
+type Gauge struct {
+	Name string
+	V    float64
+}
+
+// Set records the value. Safe on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.V = v
+	}
+}
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper bounds, ascending; observations above the last bound land in the
+// implicit overflow bucket Counts[len(Bounds)].
+type Histogram struct {
+	Name   string
+	Bounds []int64
+	Counts []uint64
+	Sum    int64
+	N      uint64
+}
+
+// Observe records one value. Safe on a nil histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.Bounds), func(i int) bool { return v <= h.Bounds[i] })
+	h.Counts[i]++
+	h.Sum += v
+	h.N++
+}
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkName(name)
+	c := &Counter{Name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkName(name)
+	g := &Gauge{Name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, registering it with the given
+// bucket bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.checkName(name)
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{
+		Name:   name,
+		Bounds: append([]int64(nil), bounds...),
+		Counts: make([]uint64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// checkName panics when the name is already taken by another instrument
+// type — a wiring bug, not a runtime condition.
+func (r *Registry) checkName(name string) {
+	_, c := r.counters[name]
+	_, g := r.gauges[name]
+	_, h := r.hists[name]
+	if c || g || h {
+		panic(fmt.Sprintf("telemetry: %q already registered as a different instrument", name))
+	}
+}
+
+// Counters returns all counters sorted by name.
+func (r *Registry) Counters() []*Counter {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Gauges returns all gauges sorted by name.
+func (r *Registry) Gauges() []*Gauge {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Histograms returns all histograms sorted by name.
+func (r *Registry) Histograms() []*Histogram {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteJSON renders the registry as one deterministic JSON document:
+// instrument names sorted, integers bare, floats via strconv 'g'.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var buf []byte
+	buf = append(buf, "{\n  \"counters\": {"...)
+	for i, c := range r.Counters() {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, "\n    "...)
+		buf = strconv.AppendQuote(buf, c.Name)
+		buf = append(buf, ": "...)
+		buf = strconv.AppendUint(buf, c.V, 10)
+	}
+	buf = append(buf, "\n  },\n  \"gauges\": {"...)
+	for i, g := range r.Gauges() {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, "\n    "...)
+		buf = strconv.AppendQuote(buf, g.Name)
+		buf = append(buf, ": "...)
+		buf = strconv.AppendFloat(buf, g.V, 'g', -1, 64)
+	}
+	buf = append(buf, "\n  },\n  \"histograms\": {"...)
+	for i, h := range r.Histograms() {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, "\n    "...)
+		buf = strconv.AppendQuote(buf, h.Name)
+		buf = append(buf, ": {\"bounds\": ["...)
+		for j, b := range h.Bounds {
+			if j > 0 {
+				buf = append(buf, ", "...)
+			}
+			buf = strconv.AppendInt(buf, b, 10)
+		}
+		buf = append(buf, "], \"counts\": ["...)
+		for j, c := range h.Counts {
+			if j > 0 {
+				buf = append(buf, ", "...)
+			}
+			buf = strconv.AppendUint(buf, c, 10)
+		}
+		buf = append(buf, "], \"sum\": "...)
+		buf = strconv.AppendInt(buf, h.Sum, 10)
+		buf = append(buf, ", \"count\": "...)
+		buf = strconv.AppendUint(buf, h.N, 10)
+		buf = append(buf, '}')
+	}
+	buf = append(buf, "\n  }\n}\n"...)
+	_, err := w.Write(buf)
+	return err
+}

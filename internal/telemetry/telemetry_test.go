@@ -1,0 +1,372 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(KindTraceForm, 100, 0x1000, 0x2000, 3, 4)
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Events() != nil || tr.EngineEvents() != nil || tr.AllEvents() != nil {
+		t.Fatal("nil tracer returned events")
+	}
+	if tr.Emitted() != 0 || tr.Dropped() != 0 || tr.EngineDropped() != 0 {
+		t.Fatal("nil tracer counted something")
+	}
+	if tr.Metrics() != nil {
+		t.Fatal("nil tracer has a registry")
+	}
+	// Nil registry and instruments must also be inert.
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("y").Set(1)
+	reg.Histogram("z", 1, 2).Observe(1)
+}
+
+func TestEmitClassesAndOrder(t *testing.T) {
+	tr := New(Options{RingCap: 8})
+	tr.Emit(KindDLTDelinquent, 10, 0x100, 0, 0, 0)
+	tr.Emit(KindFastEnter, 11, 0x104, 0, 0, 0)
+	tr.Emit(KindTraceForm, 12, 0x100, 0x9000, 5, 1)
+	tr.Emit(KindFastExit, 20, 0x120, 11, int64(FPNeedSlow), 9)
+
+	sem, eng := tr.Events(), tr.EngineEvents()
+	if len(sem) != 2 || len(eng) != 2 {
+		t.Fatalf("class split wrong: %d semantic, %d engine", len(sem), len(eng))
+	}
+	if sem[0].Kind != KindDLTDelinquent || sem[1].Kind != KindTraceForm {
+		t.Fatalf("semantic order wrong: %v", sem)
+	}
+	all := tr.AllEvents()
+	if len(all) != 4 {
+		t.Fatalf("AllEvents len = %d", len(all))
+	}
+	for i, e := range all {
+		if e.Seq != uint64(i) {
+			t.Fatalf("AllEvents[%d].Seq = %d, want %d", i, e.Seq, i)
+		}
+	}
+	if tr.Emitted() != 4 {
+		t.Fatalf("Emitted = %d", tr.Emitted())
+	}
+	c := tr.Metrics().Counter("events_" + KindTraceForm.String())
+	if c.V != 1 {
+		t.Fatalf("per-kind counter = %d", c.V)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := New(Options{RingCap: 4})
+	for i := 0; i < 10; i++ {
+		tr.Emit(KindDLTDelinquent, int64(i), uint64(i), 0, 0, 0)
+	}
+	sem := tr.Events()
+	if len(sem) != 4 {
+		t.Fatalf("retained %d events, want 4", len(sem))
+	}
+	for i, e := range sem {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Fatalf("retained[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	if tr.EngineDropped() != 0 {
+		t.Fatalf("EngineDropped = %d, want 0", tr.EngineDropped())
+	}
+}
+
+func TestRingCapRoundsUpToPowerOfTwo(t *testing.T) {
+	tr := New(Options{RingCap: 5})
+	for i := 0; i < 8; i++ {
+		tr.Emit(KindDLTDelinquent, 0, 0, 0, 0, 0)
+	}
+	if got := len(tr.Events()); got != 8 {
+		t.Fatalf("cap 5 should round to 8, retained %d", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped = %d", tr.Dropped())
+	}
+}
+
+func TestEngineFloodCannotEvictSemantic(t *testing.T) {
+	tr := New(Options{RingCap: 4})
+	tr.Emit(KindPrefetchInsert, 1, 0x100, 0x80, 4, 1)
+	for i := 0; i < 100; i++ {
+		tr.Emit(KindFastEnter, int64(i), 0, 0, 0, 0)
+		tr.Emit(KindFastExit, int64(i)+1, 0, uint64(i), 0, 1)
+	}
+	sem := tr.Events()
+	if len(sem) != 1 || sem[0].Kind != KindPrefetchInsert {
+		t.Fatalf("semantic event evicted by engine flood: %v", sem)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("semantic Dropped = %d", tr.Dropped())
+	}
+	if tr.EngineDropped() == 0 {
+		t.Fatal("engine ring should have wrapped")
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < NumKinds; k++ {
+		name := k.String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate kind name %q", name)
+		}
+		seen[name] = true
+		got, ok := KindByName(name)
+		if !ok || got != k {
+			t.Fatalf("KindByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := KindByName("nope"); ok {
+		t.Fatal("KindByName accepted an unknown name")
+	}
+	for r := FPReason(0); r < NumFPReasons; r++ {
+		if r.String() == "" || r.String() == "unknown" {
+			t.Fatalf("reason %d has no name", r)
+		}
+	}
+	if FPReason(99).String() != "unknown" || Kind(99).String() != "unknown" {
+		t.Fatal("out-of-range names")
+	}
+}
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("loads")
+	c.Inc()
+	c.Add(4)
+	if c.V != 5 {
+		t.Fatalf("counter = %d", c.V)
+	}
+	if r.Counter("loads") != c {
+		t.Fatal("re-registering returned a different counter")
+	}
+	g := r.Gauge("ipc")
+	g.Set(1.25)
+	if g.V != 1.25 {
+		t.Fatalf("gauge = %v", g.V)
+	}
+	h := r.Histogram("lat", 10, 100, 1000)
+	for _, v := range []int64{5, 10, 11, 500, 5000} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 1, 1, 1} // <=10: {5,10}; <=100: {11}; <=1000: {500}; over: {5000}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Sum != 5526 || h.N != 5 {
+		t.Fatalf("sum/n = %d/%d", h.Sum, h.N)
+	}
+
+	names := func() []string {
+		var out []string
+		for _, c := range r.Counters() {
+			out = append(out, c.Name)
+		}
+		return out
+	}
+	r.Counter("a")
+	r.Counter("z")
+	got := names()
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("Counters not sorted: %v", got)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-type name collision did not panic")
+		}
+	}()
+	r.Gauge("loads")
+}
+
+func TestRegistryWriteJSONDeterministicAndValid(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("b_count").Add(2)
+		r.Counter("a_count").Add(7)
+		r.Gauge("ipc").Set(0.75)
+		r.Gauge("ratio").Set(1)
+		h := r.Histogram("dist", 1, 2, 4)
+		h.Observe(1)
+		h.Observe(3)
+		return r
+	}
+	var one, two bytes.Buffer
+	if err := build().WriteJSON(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&two); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatal("WriteJSON is not deterministic")
+	}
+	var doc struct {
+		Counters map[string]uint64  `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+		Hists    map[string]struct {
+			Bounds []int64  `json:"bounds"`
+			Counts []uint64 `json:"counts"`
+			Sum    int64    `json:"sum"`
+			Count  uint64   `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(one.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v\n%s", err, one.String())
+	}
+	if doc.Counters["a_count"] != 7 || doc.Gauges["ipc"] != 0.75 {
+		t.Fatalf("values lost in export: %+v", doc)
+	}
+	h := doc.Hists["dist"]
+	if h.Sum != 4 || h.Count != 2 || len(h.Counts) != 4 {
+		t.Fatalf("histogram export wrong: %+v", h)
+	}
+	// Sorted key order in the raw bytes.
+	s := one.String()
+	if strings.Index(s, `"a_count"`) > strings.Index(s, `"b_count"`) {
+		t.Fatal("counter keys not sorted")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := New(Options{})
+	tr.Emit(KindDLTDelinquent, 1234, 0x1040, 0xdeadbeef, 12, 480)
+	tr.Emit(KindPrefetchRepair, -5, 0x1040, 0x1000, 7, 6)
+	tr.Emit(KindFastExit, 9999, 0x2000, 8000, int64(FPTraceEntry), 1999)
+
+	events := tr.AllEvents()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip lost events: %d != %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestParseJSONLRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		`{"seq":0,"cycle":0,"kind":"nope","pc":"0x0","aux":"0x0","arg":0,"arg2":0}`,
+		`{"seq":0,"cycle":0,"kind":"trace-form","pc":"zzz","aux":"0x0","arg":0,"arg2":0}`,
+		`{"seq":0,"cycle":0,"kind":"trace-form","pc":"0x0","aux":"-1","arg":0,"arg2":0}`,
+		`not json`,
+	} {
+		if _, err := ParseJSONL(strings.NewReader(bad + "\n")); err == nil {
+			t.Fatalf("ParseJSONL accepted %q", bad)
+		}
+	}
+	// Blank lines are fine.
+	got, err := ParseJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("blank input: %v %v", got, err)
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	tr := New(Options{})
+	tr.Emit(KindTraceForm, 50, 0x1000, 0x9000, 6, 1)
+	tr.Emit(KindHelperRun, 60, 0, 0, 2150, 0)
+	tr.Emit(KindFastEnter, 70, 0x1000, 0, 0, 0)
+	tr.Emit(KindFastExit, 95, 0x1018, 70, int64(FPNeedSlow), 24)
+	tr.Emit(KindFastExit, 10, 0x1018, 70, int64(FPHalted), 0) // dur clamp case
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.AllEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   int64  `json:"ts"`
+			Dur  *int64 `json:"dur"`
+			PID  int    `json:"pid"`
+			TID  int    `json:"tid"`
+			Args map[string]any
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d trace events", len(doc.TraceEvents))
+	}
+	helper := doc.TraceEvents[1]
+	if helper.Ph != "X" || helper.Dur == nil || *helper.Dur != 2150 || helper.TID != chromeTIDHelper {
+		t.Fatalf("helper span wrong: %+v", helper)
+	}
+	fast := doc.TraceEvents[3]
+	if fast.Ph != "X" || *fast.Dur != 25 || fast.TS != 70 || fast.Name != "fastpath:need-slow" {
+		t.Fatalf("fastpath span wrong: %+v", fast)
+	}
+	clamped := doc.TraceEvents[4]
+	if *clamped.Dur != 0 {
+		t.Fatalf("negative duration not clamped: %+v", clamped)
+	}
+	inst := doc.TraceEvents[0]
+	if inst.Ph != "i" || inst.TID != chromeTIDMachine {
+		t.Fatalf("instant wrong: %+v", inst)
+	}
+}
+
+// TestEmitZeroAlloc pins the cost contract: neither the disabled (nil)
+// nor the enabled tracer allocates per Emit.
+func TestEmitZeroAlloc(t *testing.T) {
+	var nilTr *Tracer
+	if n := testing.AllocsPerRun(1000, func() {
+		nilTr.Emit(KindDLTDelinquent, 1, 2, 3, 4, 5)
+	}); n != 0 {
+		t.Fatalf("nil tracer Emit allocates %v/op", n)
+	}
+	tr := New(Options{RingCap: 64})
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Emit(KindDLTDelinquent, 1, 2, 3, 4, 5)
+		tr.Emit(KindFastExit, 6, 7, 8, 9, 10)
+	}); n != 0 {
+		t.Fatalf("enabled tracer Emit allocates %v/op", n)
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(KindDLTDelinquent, int64(i), uint64(i), 0, 0, 0)
+	}
+}
+
+func BenchmarkEmitEnabled(b *testing.B) {
+	tr := New(Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(KindDLTDelinquent, int64(i), uint64(i), 0, 0, 0)
+	}
+}

@@ -103,6 +103,9 @@ func (c *CodeCache) BlockAt(pc uint64) (cpu.Block, bool) {
 	return c.blocks.At(pc)
 }
 
+// BlockStats returns the block cache's activity counters.
+func (c *CodeCache) BlockStats() cpu.BlockStats { return c.blocks.Stats() }
+
 // Fetch returns the decoded instruction at pc; ok is false outside the
 // placed region.
 func (c *CodeCache) Fetch(pc uint64) (isa.Inst, bool) {

@@ -1,5 +1,7 @@
 package trident
 
+import "tridentsp/internal/telemetry"
+
 // EventKind distinguishes the hardware optimization events.
 type EventKind uint8
 
@@ -47,6 +49,7 @@ type Event struct {
 type Queue struct {
 	events []Event
 	cap    int
+	tracer *telemetry.Tracer
 
 	// Stats.
 	Raised  uint64
@@ -61,11 +64,20 @@ func NewQueue(capacity int) *Queue {
 	return &Queue{cap: capacity}
 }
 
+// SetTracer attaches a telemetry tracer; dropped events are recorded
+// through it. A nil tracer (the default) is free.
+func (q *Queue) SetTracer(tr *telemetry.Tracer) { q.tracer = tr }
+
 // Push enqueues an event, reporting whether it was accepted.
 func (q *Queue) Push(e Event) bool {
 	q.Raised++
 	if len(q.events) >= q.cap {
 		q.Dropped++
+		pc := e.LoadPC
+		if pc == 0 {
+			pc = e.Hot.StartPC
+		}
+		q.tracer.Emit(telemetry.KindEventDropped, e.Raised, pc, 0, int64(e.Kind), 0)
 		return false
 	}
 	q.events = append(q.events, e)
@@ -121,6 +133,7 @@ func DefaultCostModel() CostModel {
 type Helper struct {
 	cost      CostModel
 	busyUntil int64
+	tracer    *telemetry.Tracer
 
 	// Stats.
 	Invocations  uint64
@@ -132,6 +145,10 @@ type Helper struct {
 func NewHelper(cost CostModel) *Helper {
 	return &Helper{cost: cost}
 }
+
+// SetTracer attaches a telemetry tracer; each invocation is recorded as a
+// helper-run span. A nil tracer (the default) is free.
+func (h *Helper) SetTracer(tr *telemetry.Tracer) { h.tracer = tr }
 
 // Busy reports whether the helper context is occupied at the given cycle.
 func (h *Helper) Busy(now int64) bool { return now < h.busyUntil }
@@ -148,6 +165,7 @@ func (h *Helper) Begin(now, workCycles int64) int64 {
 	h.busyUntil = now + total
 	h.ActiveCycles += total
 	h.Invocations++
+	h.tracer.Emit(telemetry.KindHelperRun, now, 0, 0, total, 0)
 	return h.busyUntil
 }
 

@@ -18,6 +18,19 @@ go vet ./...
 # fast failure, then the full suite.
 go test -race -run TestConcurrentSystemsShareNothing ./internal/core/
 go test -race ./...
+# Golden-trace conformance, twice in one process: -count=2 re-runs every
+# workload against the checked-in streams, so a run that mutates shared
+# state (and would only diverge on the second pass) still fails.
+go test -run Golden -count=2 ./internal/exp/
+# Coverage floor for the telemetry spine: the tracer is the repo's
+# conformance oracle, so its own package stays thoroughly tested.
+go test -coverprofile=/tmp/telemetry.cover ./internal/telemetry/
+go tool cover -func=/tmp/telemetry.cover | awk '
+	/^total:/ {
+		pct = $3 + 0
+		printf "internal/telemetry coverage: %.1f%% (floor 70%%)\n", pct
+		if (pct < 70) exit 1
+	}'
 # One-iteration bench smoke: keeps the benchmark path compiling and running.
 go test -run '^$' -bench BenchmarkFigure5 -benchtime 1x .
 # benchdiff gate over the two newest checked-in snapshots (version sort
