@@ -10,6 +10,9 @@
 //	tridentsim -bench mcf -scale small -v  # verbose: per-outcome breakdown
 //	tridentsim -bench mcf -chaos eviction-storm -chaos-seed 7
 //	tridentsim -bench swim,mcf,art -j 3    # fan benchmarks across workers
+//	tridentsim -bench mcf -checkpoint-every 500000 -checkpoint-dir ckpt
+//	tridentsim -bench mcf -restore ckpt/mcf.ckpt   # resume after a crash
+//	tridentsim -bench mcf -sentinel                # online divergence check
 //
 // With several -bench names the runs execute concurrently (bounded by -j;
 // 0 = all CPUs) and the reports print in the order the names were given.
@@ -18,6 +21,14 @@
 // (see internal/chaos for the presets), the invariant watchdog and the
 // architectural-transparency shadow run are attached, and the process exits
 // non-zero if any run aborts or violates an invariant.
+//
+// With -checkpoint-every, the (single) run executes in windows and writes a
+// crash-safe checkpoint file after each one; -restore resumes from such a
+// file and the finished run is bit-identical to one that was never
+// interrupted, even if the writing process was SIGKILLed mid-checkpoint.
+// The file records the invocation's identity (benchmark, scale, machine and
+// chaos configuration — not the instruction budget, which may grow across
+// resumes) and refuses to load into a mismatched invocation.
 package main
 
 import (
@@ -30,6 +41,7 @@ import (
 	"strings"
 
 	"tridentsp/internal/chaos"
+	"tridentsp/internal/checkpoint"
 	"tridentsp/internal/core"
 	"tridentsp/internal/memsys"
 	"tridentsp/internal/telemetry"
@@ -53,6 +65,13 @@ func main() {
 		seed    = flag.Uint64("chaos-seed", 1, "fault-injection schedule seed")
 		jobs    = flag.Int("j", 0, "max concurrent benchmark runs (0 = all CPUs)")
 		slow    = flag.Bool("slowpath", false, "force the reference one-step simulation loop (disable the block-batched engine)")
+
+		ckptEvery  = flag.Uint64("checkpoint-every", 0, "write a crash-safe checkpoint every N original instructions (single -bench only; 0 = off)")
+		ckptDir    = flag.String("checkpoint-dir", "checkpoints", "directory for checkpoint files")
+		restore    = flag.String("restore", "", "resume from this checkpoint file (single -bench only)")
+		sentinel   = flag.Bool("sentinel", false, "arm the online divergence sentinel at its default cadence")
+		sentEvery  = flag.Uint64("sentinel-every", 0, "open a sentinel window every N original instructions (implies -sentinel)")
+		sentWindow = flag.Uint64("sentinel-window", 0, "sentinel window length in original instructions (default: every/4)")
 
 		traceOut   = flag.String("trace-out", "", "write the telemetry event stream as JSONL to this file")
 		chromeOut  = flag.String("chrome-out", "", "write the event stream as Chrome trace_event JSON (load in chrome://tracing or Perfetto)")
@@ -128,18 +147,36 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Sentinel cadence: -sentinel-every sets it directly, bare -sentinel
+	// picks a default; the window defaults to a quarter of the cadence.
+	if *sentEvery == 0 && *sentinel {
+		*sentEvery = 200_000
+	}
+	if *sentEvery > 0 {
+		w := *sentWindow
+		if w == 0 {
+			w = *sentEvery / 4
+			if w == 0 {
+				w = 1
+			}
+		}
+		cfg.SentinelEvery, cfg.SentinelWindow = *sentEvery, w
+	}
+
+	// Chaos configuration is validated up front — a typoed preset should be
+	// a usage error, not a mid-run surprise. Horizon in cycles: twice the
+	// instruction budget covers the whole run for any IPC above 0.5.
+	chaosCfg := chaos.Config{Preset: chaos.Preset(*preset), Seed: *seed, Horizon: int64(*instrs) * 2}
+	if err := chaosCfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "invalid -chaos/-chaos-seed: %v\nusage: -chaos {%s} [-chaos-seed N]\n", err, presetList())
+		os.Exit(2)
+	}
 	// A Schedule is immutable (each System expands it into a private edge
 	// cursor), so one instance is safely shared by every concurrent run.
-	var sched *chaos.Schedule
-	if *preset != "" {
-		// Horizon in cycles: twice the instruction budget covers the whole
-		// run for any IPC above 0.5.
-		var err error
-		sched, err = chaos.NewSchedule(chaos.Preset(*preset), *seed, int64(*instrs)*2)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%v (presets: %s)\n", err, presetList())
-			os.Exit(1)
-		}
+	sched, err := chaosCfg.Schedule()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v (presets: %s)\n", err, presetList())
+		os.Exit(1)
 	}
 
 	if err := cfg.Validate(); err != nil {
@@ -148,6 +185,31 @@ func main() {
 	}
 
 	telemetryOn := *traceOut != "" || *chromeOut != "" || *metricsOut != ""
+
+	// Checkpointed (or resumed) execution: one benchmark, one machine, run
+	// in windows with a durable checkpoint after each.
+	if *ckptEvery > 0 || *restore != "" {
+		if len(bms) != 1 {
+			fmt.Fprintf(os.Stderr, "-checkpoint-every/-restore support exactly one -bench (got %d)\n"+
+				"usage: tridentsim -bench <name> -checkpoint-every N [-checkpoint-dir D] [-restore F]\n", len(bms))
+			os.Exit(2)
+		}
+		os.Exit(runCheckpointed(bms[0], cfg, sched, sc, ckptOptions{
+			every:      *ckptEvery,
+			dir:        *ckptDir,
+			restore:    *restore,
+			instrs:     *instrs,
+			scale:      *scale,
+			preset:     *preset,
+			seed:       *seed,
+			verbose:    *verbose,
+			telemetry:  telemetryOn,
+			ringCap:    *traceRing,
+			traceOut:   *traceOut,
+			chromeOut:  *chromeOut,
+			metricsOut: *metricsOut,
+		}))
+	}
 
 	// Fan the benchmarks across workers; reports print in argument order.
 	nj := *jobs
@@ -203,6 +265,124 @@ func main() {
 		}
 	}
 	os.Exit(exitCode)
+}
+
+// ckptOptions carries the checkpoint driver's knobs.
+type ckptOptions struct {
+	every      uint64 // checkpoint window in original instructions (0 = restore-only)
+	dir        string
+	restore    string
+	instrs     uint64
+	scale      string
+	preset     string
+	seed       uint64
+	verbose    bool
+	telemetry  bool
+	ringCap    int
+	traceOut   string
+	chromeOut  string
+	metricsOut string
+}
+
+// identity is the invocation fingerprint stored in every checkpoint file.
+// Everything that shapes the simulation is included; the instruction budget
+// is deliberately excluded so a resume may extend the run.
+func (o ckptOptions) identity(bm workloads.Benchmark, cfg core.Config) string {
+	return fmt.Sprintf("tridentsim bench=%s scale=%s hw=%s sw=%s trident=%v link=%v "+
+		"backout=%v valspec=%v phase=%v slowpath=%v sentinel=%d/%d "+
+		"chaos=%s chaos-seed=%d chaos-horizon=%d telemetry=%v",
+		bm.Name, o.scale, cfg.HW, cfg.SW, cfg.Trident, cfg.LinkTraces,
+		cfg.Backout, cfg.ValueSpecialize, cfg.PhaseClearMature, cfg.DisableFastPath,
+		cfg.SentinelEvery, cfg.SentinelWindow,
+		o.preset, o.seed, int64(o.instrs)*2, o.telemetry)
+}
+
+// runCheckpointed executes one benchmark in windows of every instructions,
+// writing an atomic checkpoint file after each window; with restore set it
+// first loads the machine from that file. Returns the process exit code.
+func runCheckpointed(bm workloads.Benchmark, cfg core.Config, sched *chaos.Schedule,
+	sc workloads.Scale, o ckptOptions) int {
+	if sched != nil {
+		cfg.Chaos = sched
+		cfg.ChaosShadow = true
+	}
+	if o.telemetry {
+		cfg.Telemetry = &telemetry.Options{RingCap: o.ringCap}
+	}
+	sys := core.NewSystem(cfg, bm.Build(sc))
+	meta := o.identity(bm, cfg)
+
+	if o.restore != "" {
+		m, payload, err := checkpoint.ReadFile(o.restore)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "restore %s: %v\n", o.restore, err)
+			return 1
+		}
+		if m != meta {
+			fmt.Fprintf(os.Stderr, "restore %s: checkpoint belongs to a different invocation\n  file: %s\n  this: %s\n",
+				o.restore, m, meta)
+			return 2
+		}
+		if err := sys.RestoreState(payload); err != nil {
+			fmt.Fprintf(os.Stderr, "restore %s: %v\n", o.restore, err)
+			return 1
+		}
+	}
+
+	path := ""
+	if o.every > 0 {
+		if err := os.MkdirAll(o.dir, 0o777); err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint dir: %v\n", err)
+			return 1
+		}
+		path = filepath.Join(o.dir, bm.Name+".ckpt")
+	}
+
+	var res core.Results
+	for {
+		next := o.instrs
+		if o.every > 0 {
+			if n := sys.OrigInstrs() + o.every; n < next {
+				next = n
+			}
+		}
+		res = sys.Run(next)
+		if res.Aborted != "" || sys.Thread().Halted() || sys.OrigInstrs() >= o.instrs {
+			break
+		}
+		if path == "" {
+			continue
+		}
+		// SaveState needs a quiescent machine (no optimization mid-apply);
+		// a handful of reference-loop steps always gets there, and they are
+		// bit-identical to the steps an uninterrupted run would take.
+		if !sys.Quiesce(10_000_000) {
+			fmt.Fprintf(os.Stderr, "warning: machine did not quiesce at %d instructions; checkpoint skipped\n", sys.OrigInstrs())
+			continue
+		}
+		blob, err := sys.SaveState()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: checkpoint at %d instructions: %v\n", sys.OrigInstrs(), err)
+			continue
+		}
+		if err := checkpoint.WriteFile(path, meta, blob); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: writing %s: %v\n", path, err)
+		}
+	}
+
+	fmt.Print(renderRun(res, o.verbose))
+	code := 0
+	if o.telemetry {
+		if err := exportTelemetry(sys.Telemetry(), bm.Name, false,
+			o.traceOut, o.chromeOut, o.metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			code = 1
+		}
+	}
+	if res.Aborted != "" || res.InvariantViolations > 0 {
+		code = 2
+	}
+	return code
 }
 
 // outPath derives the per-benchmark output file: with one benchmark the path

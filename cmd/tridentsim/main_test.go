@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The kill-resume contract: SIGKILL a checkpointing run at an arbitrary
+// moment, restore from the last checkpoint file, and the finished run's
+// report is byte-identical to one that was never interrupted. These tests
+// exercise the real binary boundary — process death, file system, flag
+// parsing — on top of the in-package determinism suites in internal/core
+// and internal/checkpoint.
+
+// TestHelperProcess re-enters main() when the test binary is executed as a
+// tridentsim subprocess (the standard helper-process pattern).
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("TRIDENTSIM_HELPER") != "1" {
+		t.Skip("helper process entry point")
+	}
+	// Everything after "--" is the tridentsim command line.
+	args := os.Args
+	for i, a := range args {
+		if a == "--" {
+			args = args[i:]
+			break
+		}
+	}
+	os.Args = append([]string{"tridentsim"}, args[1:]...)
+	main()
+}
+
+// tridentsim runs the helper subprocess with the given arguments.
+func tridentsim(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append([]string{"-test.run=TestHelperProcess", "--"}, args...)...)
+	cmd.Env = append(os.Environ(), "TRIDENTSIM_HELPER=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestChaosFlagValidation(t *testing.T) {
+	_, stderr, code := tridentsim(t, "-bench", "mcf", "-scale", "test", "-chaos", "no-such-preset")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "usage:") || !strings.Contains(stderr, "monkey") {
+		t.Fatalf("stderr lacks the one-line usage hint with presets:\n%s", stderr)
+	}
+}
+
+func TestCheckpointRequiresSingleBench(t *testing.T) {
+	_, stderr, code := tridentsim(t, "-bench", "mcf,swim", "-scale", "test",
+		"-checkpoint-every", "1000", "-checkpoint-dir", t.TempDir())
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "usage:") {
+		t.Fatalf("stderr lacks usage hint:\n%s", stderr)
+	}
+}
+
+func TestRestoreRejectsMismatchedInvocation(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-bench", "mcf", "-scale", "small", "-instrs", "200000",
+		"-checkpoint-every", "50000", "-checkpoint-dir", dir}
+	if _, stderr, code := tridentsim(t, args...); code != 0 {
+		t.Fatalf("checkpointing run failed (%d):\n%s", code, stderr)
+	}
+	ckpt := filepath.Join(dir, "mcf.ckpt")
+	_, stderr, code := tridentsim(t, "-bench", "mcf", "-scale", "small", "-instrs", "200000",
+		"-sw", "basic", "-restore", ckpt)
+	if code != 2 {
+		t.Fatalf("mismatched restore: exit code = %d, want 2; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "different invocation") {
+		t.Fatalf("stderr does not explain the identity mismatch:\n%s", stderr)
+	}
+}
+
+// killResumeCase runs one configuration through the full contract:
+// reference run, SIGKILLed checkpointing run, restored run, byte compare.
+func killResumeCase(t *testing.T, extra ...string) {
+	base := append([]string{"-bench", "mcf", "-scale", "small", "-instrs", "4000000"}, extra...)
+
+	refOut, refErr, refCode := tridentsim(t, base...)
+	if refOut == "" {
+		t.Fatalf("reference run produced no output (code %d):\n%s", refCode, refErr)
+	}
+
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "mcf.ckpt")
+	args := append([]string{"-test.run=TestHelperProcess", "--"},
+		append(append([]string{}, base...), "-checkpoint-every", "100000", "-checkpoint-dir", dir)...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "TRIDENTSIM_HELPER=1")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill as soon as a checkpoint file exists. WriteFile publishes it by
+	// atomic rename, so existence implies a complete, valid file; if the
+	// run beats us to the finish line the kill is moot and the resume
+	// below simply replays nothing.
+	for i := 0; i < 2000; i++ {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("no checkpoint file appeared")
+	}
+	cmd.Process.Signal(syscall.SIGKILL)
+	cmd.Wait()
+
+	resOut, resErr, resCode := tridentsim(t, append(append([]string{}, base...), "-restore", ckpt)...)
+	if resOut != refOut {
+		t.Errorf("resumed output differs from uninterrupted run\n-- uninterrupted --\n%s-- resumed --\n%s", refOut, resOut)
+	}
+	if resCode != refCode {
+		t.Errorf("exit codes differ: uninterrupted %d, resumed %d\nstderr:\n%s", refCode, resCode, resErr)
+	}
+}
+
+func TestKillResumeDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess matrix")
+	}
+	cases := map[string][]string{
+		"fastpath": {},
+		"slowpath": {"-slowpath"},
+		"sentinel": {"-sentinel-every", "300000", "-sentinel-window", "100000"},
+	}
+	for _, preset := range []string{
+		"latency-phase", "eviction-storm", "helper-preemption", "workload-shift", "monkey",
+	} {
+		cases["chaos-"+preset] = []string{"-chaos", preset, "-chaos-seed", "42"}
+	}
+	for name, extra := range cases {
+		name, extra := name, extra
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			killResumeCase(t, extra...)
+		})
+	}
+}

@@ -1,0 +1,32 @@
+package chaos
+
+// Config bundles the user-facing chaos knobs so front ends can validate a
+// requested schedule before building any machinery. Zero Preset means "no
+// chaos" and always validates.
+type Config struct {
+	Preset  Preset
+	Seed    uint64
+	Horizon int64
+}
+
+// Enabled reports whether the config names a preset at all.
+func (c Config) Enabled() bool { return c.Preset != "" }
+
+// Validate checks the preset name and horizon without retaining the
+// expanded schedule. It returns nil for a disabled config.
+func (c Config) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	_, err := NewSchedule(c.Preset, c.Seed, c.Horizon)
+	return err
+}
+
+// Schedule expands the config into a runnable schedule, or (nil, nil) for a
+// disabled config.
+func (c Config) Schedule() (*Schedule, error) {
+	if !c.Enabled() {
+		return nil, nil
+	}
+	return NewSchedule(c.Preset, c.Seed, c.Horizon)
+}

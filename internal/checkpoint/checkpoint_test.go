@@ -1,0 +1,296 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCodecRoundTrip drives every primitive through an encode/decode cycle,
+// including the edge values fixed-width encodings are most likely to mangle.
+func TestCodecRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.Mark("head")
+	e.U64(0)
+	e.U64(^uint64(0))
+	e.I64(math.MinInt64)
+	e.I64(math.MaxInt64)
+	e.U32(0xdeadbeef)
+	e.U8(0x7f)
+	e.Bool(true)
+	e.Bool(false)
+	e.Int(-42)
+	e.F64(math.Inf(-1))
+	e.F64(math.Copysign(0, -1))
+	e.F64(3.14159)
+	e.Blob([]byte{1, 2, 3})
+	e.Blob(nil)
+	e.Str("hello, checkpoint")
+	e.Str("")
+	e.Mark("tail")
+
+	d := NewDecoder(e.Bytes())
+	d.Expect("head")
+	if got := d.U64(); got != 0 {
+		t.Errorf("U64(0) = %d", got)
+	}
+	if got := d.U64(); got != ^uint64(0) {
+		t.Errorf("U64(max) = %d", got)
+	}
+	if got := d.I64(); got != math.MinInt64 {
+		t.Errorf("I64(min) = %d", got)
+	}
+	if got := d.I64(); got != math.MaxInt64 {
+		t.Errorf("I64(max) = %d", got)
+	}
+	if got := d.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := d.U8(); got != 0x7f {
+		t.Errorf("U8 = %#x", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Errorf("Bool round trip failed")
+	}
+	if got := d.Int(); got != -42 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := d.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64(-inf) = %g", got)
+	}
+	if got := d.F64(); math.Float64bits(got) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Errorf("F64(-0) bits = %#x", math.Float64bits(got))
+	}
+	if got := d.F64(); got != 3.14159 {
+		t.Errorf("F64 = %g", got)
+	}
+	if got := d.Blob(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Blob = %v", got)
+	}
+	if got := d.Blob(); len(got) != 0 {
+		t.Errorf("Blob(nil) = %v", got)
+	}
+	if got := d.Str(); got != "hello, checkpoint" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := d.Str(); got != "" {
+		t.Errorf("Str(empty) = %q", got)
+	}
+	d.Expect("tail")
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+// TestDecoderStickyError verifies a decode failure latches: later reads
+// return zero values and the original error survives to Finish.
+func TestDecoderStickyError(t *testing.T) {
+	e := NewEncoder()
+	e.Mark("a")
+	e.U64(7)
+	d := NewDecoder(e.Bytes())
+	d.Expect("b") // wrong section
+	if d.Err() == nil {
+		t.Fatal("wrong section mark not detected")
+	}
+	first := d.Err()
+	if got := d.U64(); got != 0 {
+		t.Errorf("read after error = %d, want 0", got)
+	}
+	if d.Err() != first {
+		t.Errorf("sticky error replaced: %v", d.Err())
+	}
+	if !errors.Is(d.Finish(), ErrCorrupt) {
+		t.Errorf("Finish = %v, want ErrCorrupt", d.Finish())
+	}
+}
+
+// TestDecoderTruncation decodes every strict prefix of a valid stream: each
+// must end in an error (possibly at Finish), and none may panic.
+func TestDecoderTruncation(t *testing.T) {
+	e := NewEncoder()
+	e.Mark("sec")
+	e.U64(123456789)
+	e.Blob([]byte("payload bytes"))
+	e.Str("name")
+	e.Bool(true)
+	full := e.Bytes()
+	for n := 0; n < len(full); n++ {
+		d := NewDecoder(full[:n])
+		d.Expect("sec")
+		d.U64()
+		d.Blob()
+		d.Str()
+		d.Bool()
+		if d.Finish() == nil {
+			t.Errorf("prefix of %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+}
+
+// TestDecoderHostileLength verifies a length prefix larger than the stream
+// is rejected before any allocation is attempted.
+func TestDecoderHostileLength(t *testing.T) {
+	var raw []byte
+	raw = binary.LittleEndian.AppendUint32(raw, ^uint32(0)) // 4 GiB blob "length"
+	d := NewDecoder(raw)
+	if b := d.Blob(); b != nil {
+		t.Errorf("hostile blob returned %d bytes", len(b))
+	}
+	if !errors.Is(d.Finish(), ErrCorrupt) {
+		t.Errorf("hostile length: %v, want ErrCorrupt", d.Finish())
+	}
+}
+
+func writeTestFile(t *testing.T, dir string) (path, meta string, payload []byte) {
+	t.Helper()
+	path = filepath.Join(dir, "state.ckpt")
+	meta = "bench=mcf hw=8x8"
+	payload = []byte("serialized machine state, long enough to flip bits in")
+	if err := WriteFile(path, meta, payload); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path, meta, payload
+}
+
+// TestFileRoundTrip writes and reads one checkpoint file.
+func TestFileRoundTrip(t *testing.T) {
+	path, meta, payload := writeTestFile(t, t.TempDir())
+	gotMeta, gotPayload, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if gotMeta != meta {
+		t.Errorf("meta = %q, want %q", gotMeta, meta)
+	}
+	if string(gotPayload) != string(payload) {
+		t.Errorf("payload = %q, want %q", gotPayload, payload)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind after successful write")
+	}
+}
+
+// TestFileTortureTruncation truncates the file at every possible length;
+// every truncation must be rejected with a classified error.
+func TestFileTortureTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path, _, _ := writeTestFile(t, dir)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.ckpt")
+	for n := 0; n < len(full); n++ {
+		if err := os.WriteFile(trunc, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := ReadFile(trunc)
+		if err == nil {
+			t.Fatalf("truncation to %d/%d bytes loaded silently", n, len(full))
+		}
+		if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("truncation to %d bytes: unclassified error %v", n, err)
+		}
+	}
+}
+
+// TestFileTortureBitFlips flips one bit in every byte of the file; every
+// flip must be rejected, and flips in the version field must be reported as
+// a version mismatch rather than corruption.
+func TestFileTortureBitFlips(t *testing.T) {
+	dir := t.TempDir()
+	path, _, _ := writeTestFile(t, dir)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := filepath.Join(dir, "flipped.ckpt")
+	for i := range full {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x40
+		if err := os.WriteFile(flipped, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := ReadFile(flipped)
+		if err == nil {
+			t.Fatalf("bit flip at byte %d loaded silently", i)
+		}
+		switch {
+		case i < len(Magic):
+			if !errors.Is(err, ErrBadMagic) {
+				t.Fatalf("magic flip at byte %d: %v, want ErrBadMagic", i, err)
+			}
+		case i < len(Magic)+4:
+			if !errors.Is(err, ErrVersion) {
+				t.Fatalf("version flip at byte %d: %v, want ErrVersion", i, err)
+			}
+		default:
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip at byte %d: %v, want ErrCorrupt", i, err)
+			}
+		}
+	}
+}
+
+// TestFileWrongVersion rewrites the version field (fixing the checksum so
+// only the version differs) and expects ErrVersion specifically.
+func TestFileWrongVersion(t *testing.T) {
+	dir := t.TempDir()
+	path, _, _ := writeTestFile(t, dir)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(full[8:], Version+7)
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ReadFile(path)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("wrong version: %v, want ErrVersion", err)
+	}
+}
+
+// TestFileKillMidWrite simulates a crash between the temp-file write and the
+// rename: the stray .tmp (here: half-written) must not disturb reads of the
+// previous checkpoint, and a subsequent WriteFile must replace both cleanly.
+func TestFileKillMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	path, meta, payload := writeTestFile(t, dir)
+
+	// A later writer died mid-write, leaving garbage under the temp name.
+	if err := os.WriteFile(path+".tmp", []byte("half a checkpoi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gotMeta, gotPayload, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile with stray temp file: %v", err)
+	}
+	if gotMeta != meta || string(gotPayload) != string(payload) {
+		t.Errorf("stray temp file disturbed the committed checkpoint")
+	}
+
+	// Reading the stray temp file itself reports garbage, not a panic.
+	if _, _, err := ReadFile(path + ".tmp"); err == nil {
+		t.Errorf("half-written temp file loaded silently")
+	}
+
+	// The next writer replaces both the stray temp file and the checkpoint.
+	if err := WriteFile(path, "v2", []byte("second state")); err != nil {
+		t.Fatalf("WriteFile over stray temp: %v", err)
+	}
+	gotMeta, gotPayload, err = ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile after recovery write: %v", err)
+	}
+	if gotMeta != "v2" || string(gotPayload) != "second state" {
+		t.Errorf("recovery write not visible: meta %q payload %q", gotMeta, gotPayload)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file still present after recovery write")
+	}
+}

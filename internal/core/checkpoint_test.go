@@ -1,0 +1,293 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tridentsp/internal/chaos"
+	"tridentsp/internal/isa"
+	"tridentsp/internal/program"
+	"tridentsp/internal/telemetry"
+	"tridentsp/internal/workloads"
+)
+
+// Checkpoint/restore (state.go) claims a restored machine is bit-identical
+// to one that never stopped. These tests prove it the same way the fast
+// path proved its equivalence: run the reference uninterrupted, run the
+// same machine through checkpoint → fresh System → restore cycles at every
+// window boundary, and require Results (comparable, == is the exact check),
+// the final PC, the register file, and the semantic telemetry stream to
+// match exactly.
+
+// checkpointedRun executes bm in windows, serializing and restoring into a
+// freshly constructed System at every boundary. Returns the final results
+// and the final system.
+func checkpointedRun(t *testing.T, cfg Config, bm workloads.Benchmark,
+	limit, window uint64) (Results, *System) {
+	t.Helper()
+	sys := NewSystem(cfg, bm.Build(workloads.ScaleSmall))
+	var res Results
+	for {
+		next := sys.OrigInstrs() + window
+		if next > limit {
+			next = limit
+		}
+		res = sys.Run(next)
+		if res.Aborted != "" || sys.Thread().Halted() || sys.OrigInstrs() >= limit {
+			return res, sys
+		}
+		if !sys.Quiesce(1_000_000) {
+			t.Fatalf("machine did not quiesce at %d instructions", sys.OrigInstrs())
+		}
+		blob, err := sys.SaveState()
+		if err != nil {
+			t.Fatalf("SaveState at %d instructions: %v", sys.OrigInstrs(), err)
+		}
+		fresh := NewSystem(cfg, bm.Build(workloads.ScaleSmall))
+		if err := fresh.RestoreState(blob); err != nil {
+			t.Fatalf("RestoreState at %d instructions: %v", sys.OrigInstrs(), err)
+		}
+		// Canonical form: re-serializing the restored machine must
+		// reproduce the exact bytes (maps travel sorted, rings by content).
+		blob2, err := fresh.SaveState()
+		if err != nil {
+			t.Fatalf("re-SaveState: %v", err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("restore is not canonical: blobs differ at %d instructions (%d vs %d bytes)",
+				sys.OrigInstrs(), len(blob), len(blob2))
+		}
+		sys = fresh
+	}
+}
+
+// compareSystems requires two finished machines to agree on everything the
+// determinism contract covers (engine telemetry excluded by design: batch
+// boundaries move across a restore).
+func compareSystems(t *testing.T, label string, resA, resB Results, a, b *System) {
+	t.Helper()
+	if resA != resB {
+		t.Errorf("%s: Results diverged\nuninterrupted: %+v\ncheckpointed:  %+v", label, resA, resB)
+	}
+	if pa, pb := a.Thread().PC(), b.Thread().PC(); pa != pb {
+		t.Errorf("%s: final PC diverged: %#x vs %#x", label, pa, pb)
+	}
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if va, vb := a.Thread().Reg(r), b.Thread().Reg(r); va != vb {
+			t.Errorf("%s: r%d diverged: %#x vs %#x", label, r, va, vb)
+		}
+	}
+	if a.hier.Stats != b.hier.Stats {
+		t.Errorf("%s: memsys.Stats diverged\n%+v\nvs\n%+v", label, a.hier.Stats, b.hier.Stats)
+	}
+	evA := telemetry.Renumber(a.Telemetry().Events())
+	evB := telemetry.Renumber(b.Telemetry().Events())
+	if len(evA) != len(evB) {
+		t.Errorf("%s: semantic event counts diverged: %d vs %d", label, len(evA), len(evB))
+	} else if !reflect.DeepEqual(evA, evB) {
+		for i := range evA {
+			if evA[i] != evB[i] {
+				t.Errorf("%s: semantic event %d diverged:\n%+v\nvs\n%+v", label, i, evA[i], evB[i])
+				break
+			}
+		}
+	}
+}
+
+func TestCheckpointResumeDeterminism(t *testing.T) {
+	telem := func(c Config) Config { c.Telemetry = &telemetry.Options{}; return c }
+	matrix := []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", telem(DefaultConfig())},
+		{"slowpath", telem(func() Config { c := DefaultConfig(); c.DisableFastPath = true; return c }())},
+		{"baseline", telem(BaselineConfig(HW8x8))},
+		{"valspec-backout-phase", telem(func() Config {
+			c := DefaultConfig()
+			c.ValueSpecialize = true
+			c.Backout = true
+			c.BackoutMinEntries = 64
+			c.BackoutRatio = 0.9
+			c.PhaseClearMature = true
+			c.PhaseWindow = 20_000
+			c.PhaseDelta = 0.1
+			return c
+		}())},
+	}
+	bm, _ := workloads.ByName("mcf")
+	for _, m := range matrix {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			ref := NewSystem(m.cfg, bm.Build(workloads.ScaleSmall))
+			resRef := ref.Run(150_000)
+			resCkpt, sys := checkpointedRun(t, m.cfg, bm, 150_000, 40_000)
+			compareSystems(t, m.name, resRef, resCkpt, ref, sys)
+		})
+	}
+}
+
+func TestCheckpointResumeDeterminismChaosPresets(t *testing.T) {
+	bm, _ := workloads.ByName("art")
+	for _, preset := range chaos.Presets() {
+		preset := preset
+		t.Run(string(preset), func(t *testing.T) {
+			sched, err := chaos.NewSchedule(preset, 42, 4_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Chaos = sched
+			cfg.Telemetry = &telemetry.Options{}
+			if preset == chaos.PresetLatencyPhase {
+				cfg.ChaosShadow = true // shadow machines must checkpoint recursively
+			}
+			ref := NewSystem(cfg, bm.Build(workloads.ScaleSmall))
+			resRef := ref.Run(150_000)
+			resCkpt, sys := checkpointedRun(t, cfg, bm, 150_000, 35_000)
+			compareSystems(t, string(preset), resRef, resCkpt, ref, sys)
+		})
+	}
+}
+
+// abortingProgram does real streaming work, then falls into a weight-zero
+// self-loop (the bitmap marks it as a patch site, excluding it from
+// original-instruction accounting) — the livelock scenario a bad trace
+// patch leaves behind.
+func abortingProgram() (*program.Program, uint64) {
+	b := program.NewBuilder("abort-spin", 0x1000, 0x1000000)
+	arr := b.Alloc(1 << 20)
+	b.Ldi(1, arr)
+	b.Ldi(4, 60_000)
+	b.Label("top")
+	b.Ld(2, 1, 0)
+	b.OpI(isa.ADDI, 1, 1, 64)
+	b.Op(isa.ADD, 3, 3, 2)
+	b.OpI(isa.ANDI, 1, 1, (1<<20)-1)
+	b.OpI(isa.ADDI, 1, 1, 0x1000)
+	b.OpI(isa.SUBI, 4, 4, 1)
+	b.CondBr(isa.BNE, 4, "top")
+	spin := b.PC()
+	b.Label("spin")
+	b.Br("spin")
+	b.Halt()
+	return b.MustBuild(), spin
+}
+
+// TestCheckpointResumeAfterAbort: a run that hits the livelock abort can be
+// restored from its last checkpoint and re-aborts bit-identically to an
+// uninterrupted run — the crash-recovery path the checkpoint driver relies
+// on after a SIGKILL mid-window.
+func TestCheckpointResumeAfterAbort(t *testing.T) {
+	prog, spin := abortingProgram()
+	cfg := DefaultConfig()
+	cfg.LivelockWindow = 10_000
+	const limit = 2_000_000
+
+	run := func() (*System, Results) {
+		sys := NewSystem(cfg, prog.ClonePristine())
+		sys.setPatched(spin, true)
+		return sys, sys.Run(limit)
+	}
+
+	ref, resRef := run()
+	if resRef.Aborted == "" {
+		t.Fatal("reference run did not abort")
+	}
+	if !strings.Contains(resRef.Aborted, "livelock") {
+		t.Fatalf("unexpected abort reason: %s", resRef.Aborted)
+	}
+
+	// Windowed run: checkpoint every 80k instructions until the abort,
+	// keeping the last good blob.
+	sys := NewSystem(cfg, prog.ClonePristine())
+	sys.setPatched(spin, true)
+	var lastBlob []byte
+	var resAborted Results
+	for {
+		resAborted = sys.Run(sys.OrigInstrs() + 80_000)
+		if resAborted.Aborted != "" || sys.Thread().Halted() {
+			break
+		}
+		if !sys.Quiesce(1_000_000) {
+			t.Fatal("did not quiesce")
+		}
+		blob, err := sys.SaveState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastBlob = blob
+	}
+	if resAborted.Aborted == "" {
+		t.Fatal("windowed run did not abort")
+	}
+	if lastBlob == nil {
+		t.Fatal("no checkpoint was taken before the abort")
+	}
+
+	// Restore the last checkpoint into a fresh machine (no setPatched: the
+	// bitmap travels in the blob) and re-run the remaining window.
+	restored := NewSystem(cfg, prog.ClonePristine())
+	if err := restored.RestoreState(lastBlob); err != nil {
+		t.Fatal(err)
+	}
+	resRestored := restored.Run(limit)
+	if resRestored != resRef {
+		t.Errorf("restored run diverged from uninterrupted\nuninterrupted: %+v\nrestored:      %+v",
+			resRef, resRestored)
+	}
+	if ref.Thread().PC() != restored.Thread().PC() {
+		t.Errorf("final PC diverged: %#x vs %#x", ref.Thread().PC(), restored.Thread().PC())
+	}
+}
+
+// TestRestoreRejectsTruncation: every truncation of a valid state blob must
+// be rejected with an error — never a panic, never a silent partial load.
+func TestRestoreRejectsTruncation(t *testing.T) {
+	bm, _ := workloads.ByName("swim")
+	cfg := DefaultConfig()
+	cfg.Telemetry = &telemetry.Options{}
+	sys := NewSystem(cfg, bm.Build(workloads.ScaleSmall))
+	sys.Run(60_000)
+	if !sys.Quiesce(1_000_000) {
+		t.Fatal("did not quiesce")
+	}
+	blob, err := sys.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample truncation points densely at the head (headers, marks) and
+	// sparsely through the body.
+	for k := 0; k < len(blob); k += 1 + k/16 {
+		fresh := NewSystem(cfg, bm.Build(workloads.ScaleSmall))
+		if err := fresh.RestoreState(blob[:k]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes restored without error", k, len(blob))
+		}
+	}
+	// Trailing garbage is also structural corruption.
+	fresh := NewSystem(cfg, bm.Build(workloads.ScaleSmall))
+	if err := fresh.RestoreState(append(append([]byte{}, blob...), 0xEE)); err == nil {
+		t.Fatal("trailing garbage restored without error")
+	}
+}
+
+// TestRestoreRejectsConfigMismatch: a blob saved from one configuration
+// must not load into a machine built from a different one.
+func TestRestoreRejectsConfigMismatch(t *testing.T) {
+	bm, _ := workloads.ByName("swim")
+	sys := NewSystem(DefaultConfig(), bm.Build(workloads.ScaleSmall))
+	sys.Run(30_000)
+	if !sys.Quiesce(1_000_000) {
+		t.Fatal("did not quiesce")
+	}
+	blob, err := sys.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := NewSystem(BaselineConfig(HWNone), bm.Build(workloads.ScaleSmall))
+	if err := other.RestoreState(blob); err == nil {
+		t.Fatal("Trident blob restored into a baseline machine")
+	}
+}

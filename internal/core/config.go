@@ -170,6 +170,20 @@ type Config struct {
 	// The two paths are bit-identical by construction — this knob exists so
 	// the differential tests (and -slowpath on the CLIs) can prove it.
 	DisableFastPath bool
+
+	// SentinelEvery arms the online divergence sentinel (sentinel.go,
+	// DESIGN §12): every so many original instructions a window of
+	// SentinelWindow instructions is replayed through the reference
+	// one-step loop and the architectural state cross-checked. On
+	// divergence the machine rewinds to the window start, quarantines its
+	// decoded blocks, and demotes itself to the reference loop for the
+	// rest of the run. 0 (the default) disables the sentinel; it is also
+	// inert when DisableFastPath already selects the reference loop.
+	SentinelEvery uint64
+	// SentinelWindow is the sentinel's replay window length in original
+	// instructions. Must be positive and at most SentinelEvery when the
+	// sentinel is armed.
+	SentinelWindow uint64
 }
 
 // DefaultConfig is the paper's evaluated machine: Table 1 core and memory,
@@ -308,6 +322,15 @@ func (c Config) Validate() error {
 	}
 	if c.Telemetry != nil && c.Telemetry.RingCap < 0 {
 		return fmt.Errorf("core: Telemetry.RingCap must be non-negative, got %d", c.Telemetry.RingCap)
+	}
+	if c.SentinelEvery > 0 {
+		if c.SentinelWindow == 0 {
+			return fmt.Errorf("core: SentinelWindow must be positive when the sentinel is armed")
+		}
+		if c.SentinelWindow > c.SentinelEvery {
+			return fmt.Errorf("core: SentinelWindow %d exceeds SentinelEvery %d",
+				c.SentinelWindow, c.SentinelEvery)
+		}
 	}
 	return nil
 }

@@ -193,6 +193,15 @@ loop:
 			}
 		}
 		s.origInstrs += ex.Weight
+		if s.faultAt != 0 && s.origInstrs >= s.faultAt {
+			// Injected fast-path corruption (InjectFastPathFault): perturb
+			// one register at a batch boundary, exactly where real decoded-
+			// block corruption would surface. One-shot; never serialized, so
+			// a sentinel healing replay is clean.
+			s.faultAt = 0
+			r := isaReg(s.faultReg)
+			t.SetReg(r, t.Reg(r)^s.faultMask)
+		}
 		if inTrace {
 			// A batch that launched at the trace head completed the prior
 			// traversal with its first instruction (trackTraversal's

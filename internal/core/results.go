@@ -69,6 +69,13 @@ type Results struct {
 	// detection) and names the reason.
 	Aborted string
 
+	// Divergence sentinel activity (zero unless Config.SentinelEvery is
+	// set). A non-zero SentinelTrips means the fast path was caught
+	// diverging, the run rewound to the window start, and the rest
+	// executed on the reference loop.
+	SentinelChecks uint64
+	SentinelTrips  uint64
+
 	// Fault injection (zero without Config.Chaos).
 	ChaosFaults         uint64 // fault edges applied
 	HelperPreemptions   uint64
@@ -138,6 +145,9 @@ func (r Results) String() string {
 			fmt.Fprintf(&sb, "  first violation: %s\n", r.FirstViolation)
 		}
 	}
+	if r.SentinelChecks > 0 {
+		fmt.Fprintf(&sb, "  sentinel: checks=%d trips=%d\n", r.SentinelChecks, r.SentinelTrips)
+	}
 	if r.Aborted != "" {
 		fmt.Fprintf(&sb, "  ABORTED: %s\n", r.Aborted)
 	}
@@ -197,6 +207,8 @@ func (s *System) results() Results {
 		r.HelperPreemptions = s.helper.Preemptions
 	}
 	r.Aborted = s.aborted
+	r.SentinelChecks = s.stats.sentinelChecks
+	r.SentinelTrips = s.stats.sentinelTrips
 	if s.chaosRun != nil {
 		r.ChaosFaults = s.chaosRun.Applied
 	}

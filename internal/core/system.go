@@ -86,6 +86,19 @@ type System struct {
 	// aborted is the Run-abort reason ("" while healthy).
 	aborted string
 
+	// Divergence sentinel (sentinel.go; armed by cfg.SentinelEvery).
+	// sentinelSnap holds the serialized state at the open window's start;
+	// nil means no window is open and the next one opens at sentinelNextAt
+	// original instructions. faultAt is the test hook for injecting a
+	// fast-path corruption; deliberately not serialized, so the sentinel's
+	// healing replay is clean.
+	sentinelNextAt uint64
+	sentinelSnap   []byte
+	sentinelSnapAt uint64
+	faultAt        uint64
+	faultReg       uint8
+	faultMask      uint64
+
 	// Phase detection state.
 	phaseMarkInstrs uint64
 	phaseMarkMisses uint64
@@ -110,6 +123,8 @@ type runStats struct {
 	loadsTotal        uint64
 	applyErrors       uint64
 	traceTraversal    uint64
+	sentinelChecks    uint64
+	sentinelTrips     uint64
 }
 
 // traceActivity tracks a loop trace's usefulness for the back-out policy.
@@ -180,6 +195,7 @@ func NewSystem(cfg Config, prog *program.Program) *System {
 			s.attachWatchdog()
 		}
 	}
+	s.sentinelNextAt = cfg.SentinelEvery
 	s.initSBHooks()
 	return s
 }
@@ -255,6 +271,7 @@ func (s *System) Run(limit uint64) Results {
 		// No livelock detection: skip the per-step progress bookkeeping
 		// entirely.
 		for s.origInstrs < limit && !s.thread.Halted() && s.aborted == "" {
+			s.sentinelTick()
 			s.fastForward(limit)
 			if s.origInstrs >= limit || s.thread.Halted() {
 				break
@@ -266,6 +283,7 @@ func (s *System) Run(limit uint64) Results {
 	lastInstrs := s.origInstrs
 	lastProgress := s.thread.Now()
 	for s.origInstrs < limit && !s.thread.Halted() && s.aborted == "" {
+		s.sentinelTick()
 		// Fast-path batches always retire original instructions or stop at
 		// an event boundary within a trace; either way they count as
 		// progress checkpoints just like the slow steps below.

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"math"
+
 	"tridentsp/internal/core"
 )
 
@@ -36,7 +38,7 @@ func Ablations(o Options) Table {
 		func(c *core.Config) { c.PhaseClearMature = true },
 		func(c *core.Config) { c.ValueSpecialize = true },
 	}
-	p := newPool(o.Jobs)
+	p := newPool(o)
 	suite := o.suite()
 	bases := make([]*task[core.Results], len(suite))
 	runs := make([][]*task[core.Results], len(suite))
@@ -52,10 +54,15 @@ func Ablations(o Options) Table {
 	for i, bm := range suite {
 		row := Row{Label: bm.Name}
 		for j := range variants {
+			if !allOK(runs[i][j], bases[i]) {
+				row.Cells = append(row.Cells, math.NaN())
+				continue
+			}
 			row.Cells = append(row.Cells, core.Speedup(runs[i][j].wait(), bases[i].wait()))
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	meanRow(&t)
+	t.Failures = p.manifest()
 	return t
 }

@@ -9,7 +9,9 @@ package exp
 
 import (
 	"fmt"
+	"math"
 	"strings"
+	"time"
 
 	"tridentsp/internal/core"
 	"tridentsp/internal/exp/render"
@@ -36,6 +38,13 @@ type Options struct {
 	// (core.Config.DisableFastPath) in every run. Tables are identical
 	// either way; the knob exists to prove that.
 	DisableFastPath bool
+	// Retries is how many extra attempts a failed run (panic or timeout)
+	// gets before its cells are holed ("—") and the failure lands in the
+	// table's manifest.
+	Retries int
+	// TaskTimeout bounds one attempt's wall-clock time; 0 disables the
+	// deadline. A timed-out attempt is abandoned and retried.
+	TaskTimeout time.Duration
 }
 
 // withDefaults fills unset options.
@@ -87,6 +96,10 @@ type Table struct {
 	Columns []string
 	Rows    []Row
 	Note    string
+	// Failures lists runs that failed every attempt; their cells render as
+	// holes ("—"). A non-empty manifest makes cmd/experiments exit nonzero
+	// under the strict fail policy.
+	Failures []Failure
 }
 
 // Row is one table line.
@@ -125,7 +138,11 @@ func (t Table) Render() string {
 		cells = cells[:1]
 		cells[0] = r.Label
 		for _, v := range r.Cells {
-			cells = append(cells, fmt.Sprintf("%.3f", v))
+			if math.IsNaN(v) {
+				cells = append(cells, "—") // failed run: an explicit hole
+			} else {
+				cells = append(cells, fmt.Sprintf("%.3f", v))
+			}
 		}
 		sb.WriteString(render.Columns("", widths, cells...))
 		sb.WriteByte('\n')
@@ -133,26 +150,48 @@ func (t Table) Render() string {
 	if t.Note != "" {
 		fmt.Fprintf(&sb, "note: %s\n", t.Note)
 	}
+	for _, f := range t.Failures {
+		fmt.Fprintf(&sb, "FAILED: %s: %s (%d attempts)\n", f.Label, f.Err, f.Attempts)
+	}
 	return sb.String()
 }
 
-// meanRow appends an arithmetic-mean row over the existing rows.
+// meanRow appends an arithmetic-mean row over the existing rows. Holes
+// (NaN cells from failed runs) are skipped per column, so the average
+// covers whatever completed; a column with no survivors stays a hole.
 func meanRow(t *Table) {
 	if len(t.Rows) == 0 {
 		return
 	}
 	n := len(t.Rows[0].Cells)
 	sums := make([]float64, n)
+	counts := make([]int, n)
 	for _, r := range t.Rows {
 		for i, v := range r.Cells {
-			sums[i] += v
+			if !math.IsNaN(v) {
+				sums[i] += v
+				counts[i]++
+			}
 		}
 	}
 	cells := make([]float64, n)
 	for i := range sums {
-		cells[i] = sums[i] / float64(len(t.Rows))
+		if counts[i] == 0 {
+			cells[i] = math.NaN()
+		} else {
+			cells[i] = sums[i] / float64(counts[i])
+		}
 	}
 	t.Rows = append(t.Rows, Row{Label: "average", Cells: cells})
+}
+
+// nanCells returns n holes — the row a failed run leaves behind.
+func nanCells(n int) []float64 {
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = math.NaN()
+	}
+	return c
 }
 
 // Experiment couples an id to its runner.

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"math"
 
 	"tridentsp/internal/core"
 	"tridentsp/internal/memsys"
@@ -23,7 +24,7 @@ func Figure2(o Options) Table {
 		Paper:   "4x4 averages ~1.35x, 8x8 ~1.40x over no prefetching",
 		Columns: []string{"IPC none", "IPC 4x4", "IPC 8x8", "spd 4x4", "spd 8x8"},
 	}
-	p := newPool(o.Jobs)
+	p := newPool(o)
 	suite := o.suite()
 	type futs struct{ none, hw44, hw88 *task[core.Results] }
 	runs := make([]futs, len(suite))
@@ -35,6 +36,10 @@ func Figure2(o Options) Table {
 		}
 	}
 	for i, bm := range suite {
+		if !allOK(runs[i].none, runs[i].hw44, runs[i].hw88) {
+			t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: nanCells(len(t.Columns))})
+			continue
+		}
 		none := runs[i].none.wait()
 		hw44 := runs[i].hw44.wait()
 		hw88 := runs[i].hw88.wait()
@@ -44,6 +49,7 @@ func Figure2(o Options) Table {
 		}})
 	}
 	meanRow(&t)
+	t.Failures = p.manifest()
 	return t
 }
 
@@ -58,7 +64,7 @@ func Overhead(o Options) Table {
 		Paper:   "total cost ~0.6%, under 1% with self-repairing",
 		Columns: []string{"IPC base", "IPC unlinked", "overhead %", "helper %"},
 	}
-	p := newPool(o.Jobs)
+	p := newPool(o)
 	suite := o.suite()
 	type futs struct{ base, unlinked *task[core.Results] }
 	runs := make([]futs, len(suite))
@@ -71,6 +77,10 @@ func Overhead(o Options) Table {
 		}
 	}
 	for i, bm := range suite {
+		if !allOK(runs[i].base, runs[i].unlinked) {
+			t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: nanCells(len(t.Columns))})
+			continue
+		}
 		base := runs[i].base.wait()
 		unlinked := runs[i].unlinked.wait()
 		ovh := 0.0
@@ -82,6 +92,7 @@ func Overhead(o Options) Table {
 		}})
 	}
 	meanRow(&t)
+	t.Failures = p.manifest()
 	return t
 }
 
@@ -95,13 +106,17 @@ func Figure3(o Options) Table {
 		Paper:   "average ~2.2% of cycles",
 		Columns: []string{"helper %", "invocations", "traces"},
 	}
-	p := newPool(o.Jobs)
+	p := newPool(o)
 	suite := o.suite()
 	runs := make([]*task[core.Results], len(suite))
 	for i, bm := range suite {
 		runs[i] = p.submitRun(bm, core.DefaultConfig(), o)
 	}
 	for i, bm := range suite {
+		if !allOK(runs[i]) {
+			t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: nanCells(len(t.Columns))})
+			continue
+		}
 		res := runs[i].wait()
 		t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: []float64{
 			100 * res.HelperActiveFraction(),
@@ -110,6 +125,7 @@ func Figure3(o Options) Table {
 		}})
 	}
 	meanRow(&t)
+	t.Failures = p.manifest()
 	return t
 }
 
@@ -124,13 +140,17 @@ func Figure4(o Options) Table {
 		Paper:   "~85% of misses inside hot traces; ~55% prefetchable",
 		Columns: []string{"in-trace %", "covered %"},
 	}
-	p := newPool(o.Jobs)
+	p := newPool(o)
 	suite := o.suite()
 	runs := make([]*task[core.Results], len(suite))
 	for i, bm := range suite {
 		runs[i] = p.submitRun(bm, core.DefaultConfig(), o)
 	}
 	for i, bm := range suite {
+		if !allOK(runs[i]) {
+			t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: nanCells(len(t.Columns))})
+			continue
+		}
 		res := runs[i].wait()
 		t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: []float64{
 			100 * res.TraceMissCoverage(),
@@ -138,6 +158,7 @@ func Figure4(o Options) Table {
 		}})
 	}
 	meanRow(&t)
+	t.Failures = p.manifest()
 	return t
 }
 
@@ -153,7 +174,7 @@ func Figure5(o Options) Table {
 		Paper:   "basic ~1.11x, whole-object between, self-repairing ~1.23x",
 		Columns: []string{"basic", "whole-obj", "self-repair"},
 	}
-	p := newPool(o.Jobs)
+	p := newPool(o)
 	suite := o.suite()
 	modes := []core.SWMode{core.SWBasic, core.SWWholeObject, core.SWSelfRepair}
 	type futs struct {
@@ -170,14 +191,23 @@ func Figure5(o Options) Table {
 		}
 	}
 	for i, bm := range suite {
+		if !allOK(runs[i].base) {
+			t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: nanCells(len(modes))})
+			continue
+		}
 		base := runs[i].base.wait()
 		row := Row{Label: bm.Name}
 		for j := range modes {
+			if !allOK(runs[i].sw[j]) {
+				row.Cells = append(row.Cells, math.NaN())
+				continue
+			}
 			row.Cells = append(row.Cells, core.Speedup(runs[i].sw[j].wait(), base))
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	meanRow(&t)
+	t.Failures = p.manifest()
 	return t
 }
 
@@ -194,13 +224,17 @@ func Figure6(o Options) Table {
 			"hit", "hit-pf", "part-pf", "part-dem", "miss", "miss-pf",
 		},
 	}
-	p := newPool(o.Jobs)
+	p := newPool(o)
 	suite := o.suite()
 	runs := make([]*task[core.Results], len(suite))
 	for i, bm := range suite {
 		runs[i] = p.submitRun(bm, core.DefaultConfig(), o)
 	}
 	for i, bm := range suite {
+		if !allOK(runs[i]) {
+			t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: nanCells(len(t.Columns))})
+			continue
+		}
 		res := runs[i].wait()
 		total := float64(res.Mem.Loads)
 		if total == 0 {
@@ -213,6 +247,7 @@ func Figure6(o Options) Table {
 		t.Rows = append(t.Rows, row)
 	}
 	meanRow(&t)
+	t.Failures = p.manifest()
 	return t
 }
 
@@ -228,7 +263,7 @@ func Figure7(o Options) Table {
 		Paper:   "best at window 256, threshold 3% (8 misses)",
 		Columns: []string{"1%", "3%", "6%", "12%"},
 	}
-	p := newPool(o.Jobs)
+	p := newPool(o)
 	suite := o.suite()
 	windows := []uint32{128, 256, 512}
 	pcts := []uint32{1, 3, 6, 12}
@@ -256,14 +291,23 @@ func Figure7(o Options) Table {
 	for w, window := range windows {
 		row := Row{Label: fmt.Sprintf("window %d", window)}
 		for pi := range pcts {
-			sum := 0.0
+			sum, n := 0.0, 0
 			for i := range suite {
+				if !allOK(runs[w][pi][i], bases[i]) {
+					continue
+				}
 				sum += core.Speedup(runs[w][pi][i].wait(), bases[i].wait())
+				n++
 			}
-			row.Cells = append(row.Cells, sum/float64(len(suite)))
+			if n == 0 {
+				row.Cells = append(row.Cells, math.NaN())
+			} else {
+				row.Cells = append(row.Cells, sum/float64(n))
+			}
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	t.Failures = p.manifest()
 	return t
 }
 
@@ -277,7 +321,7 @@ func Figure8(o Options) Table {
 		Paper:   "slight growth with size; 1024 entries enough",
 		Columns: []string{"128", "256", "512", "1024", "2048"},
 	}
-	p := newPool(o.Jobs)
+	p := newPool(o)
 	suite := o.suite()
 	sizes := []int{128, 256, 512, 1024, 2048}
 	bases := make([]*task[core.Results], len(suite))
@@ -294,11 +338,16 @@ func Figure8(o Options) Table {
 	for i, bm := range suite {
 		row := Row{Label: bm.Name}
 		for j := range sizes {
+			if !allOK(runs[i][j], bases[i]) {
+				row.Cells = append(row.Cells, math.NaN())
+				continue
+			}
 			row.Cells = append(row.Cells, core.Speedup(runs[i][j].wait(), bases[i].wait()))
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	meanRow(&t)
+	t.Failures = p.manifest()
 	return t
 }
 
@@ -312,7 +361,7 @@ func ExtraCache(o Options) Table {
 		Paper:   "~0.8% over the baseline",
 		Columns: []string{"IPC 64KB", "IPC +20KB", "gain %"},
 	}
-	p := newPool(o.Jobs)
+	p := newPool(o)
 	suite := o.suite()
 	type futs struct{ base, big *task[core.Results] }
 	runs := make([]futs, len(suite))
@@ -326,6 +375,10 @@ func ExtraCache(o Options) Table {
 		}
 	}
 	for i, bm := range suite {
+		if !allOK(runs[i].base, runs[i].big) {
+			t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: nanCells(len(t.Columns))})
+			continue
+		}
 		base := runs[i].base.wait()
 		big := runs[i].big.wait()
 		gain := (core.Speedup(big, base) - 1) * 100
@@ -334,6 +387,7 @@ func ExtraCache(o Options) Table {
 		}})
 	}
 	meanRow(&t)
+	t.Failures = p.manifest()
 	return t
 }
 
@@ -348,7 +402,7 @@ func Figure9(o Options) Table {
 		Paper:   "software-only averages ~11% above hardware-only",
 		Columns: []string{"hw-only", "sw-only"},
 	}
-	p := newPool(o.Jobs)
+	p := newPool(o)
 	suite := o.suite()
 	type futs struct{ none, hw, sw *task[core.Results] }
 	runs := make([]futs, len(suite))
@@ -362,6 +416,10 @@ func Figure9(o Options) Table {
 		}
 	}
 	for i, bm := range suite {
+		if !allOK(runs[i].none, runs[i].hw, runs[i].sw) {
+			t.Rows = append(t.Rows, Row{Label: bm.Name, Cells: nanCells(len(t.Columns))})
+			continue
+		}
 		none := runs[i].none.wait()
 		hw := runs[i].hw.wait()
 		sw := runs[i].sw.wait()
@@ -370,5 +428,6 @@ func Figure9(o Options) Table {
 		}})
 	}
 	meanRow(&t)
+	t.Failures = p.manifest()
 	return t
 }

@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quietPool builds a single-job pool whose backoff sleeps are recorded
+// instead of slept, so retry tests run instantly and can assert on the
+// delays the scheduler would have used.
+func quietPool(o Options) (*pool, *[]time.Duration) {
+	p := newPool(o)
+	var delays []time.Duration
+	p.pause = func(d time.Duration) { delays = append(delays, d) }
+	return p, &delays
+}
+
+func TestPoolRecoversPanicAndRetries(t *testing.T) {
+	p, delays := quietPool(Options{Jobs: 1, Retries: 2})
+	calls := 0
+	ft := submit(p, "flaky", func() int {
+		calls++
+		if calls < 3 {
+			panic(fmt.Sprintf("injected failure %d", calls))
+		}
+		return 42
+	})
+	if v := ft.wait(); v != 42 {
+		t.Fatalf("wait = %d, want 42", v)
+	}
+	if !ft.ok() {
+		t.Fatal("task reported failure after a successful retry")
+	}
+	if calls != 3 {
+		t.Fatalf("fn ran %d times, want 3", calls)
+	}
+	if len(*delays) != 2 {
+		t.Fatalf("backoff slept %d times, want 2", len(*delays))
+	}
+	if m := p.manifest(); len(m) != 0 {
+		t.Fatalf("manifest has %d entries for a recovered task: %+v", len(m), m)
+	}
+}
+
+func TestPoolExhaustedRetriesLandInManifest(t *testing.T) {
+	p, _ := quietPool(Options{Jobs: 2, Retries: 1})
+	// Two permanently failing tasks and one healthy one, waited in a fixed
+	// order: the manifest must list the failures in that wait order with
+	// the right attempt counts, and failed waits must yield zero values.
+	bad1 := submit(p, "bad-one", func() int { panic("broken invariant") })
+	good := submit(p, "good", func() int { return 7 })
+	bad2 := submit(p, "bad-two", func() int { panic("segfault-ish") })
+	if v := bad1.wait(); v != 0 {
+		t.Fatalf("failed task returned %d, want zero value", v)
+	}
+	if good.wait() != 7 || !good.ok() {
+		t.Fatal("healthy task disturbed by failing neighbours")
+	}
+	if bad2.ok() {
+		t.Fatal("permanently failing task reported ok")
+	}
+	m := p.manifest()
+	if len(m) != 2 {
+		t.Fatalf("manifest = %+v, want 2 entries", m)
+	}
+	if m[0].Label != "bad-one" || m[1].Label != "bad-two" {
+		t.Fatalf("manifest order = %s, %s; want wait order bad-one, bad-two", m[0].Label, m[1].Label)
+	}
+	for _, f := range m {
+		if f.Attempts != 2 {
+			t.Errorf("%s: attempts = %d, want 2 (1 + 1 retry)", f.Label, f.Attempts)
+		}
+		if !strings.Contains(f.Err, "panic:") {
+			t.Errorf("%s: error %q does not identify the panic", f.Label, f.Err)
+		}
+	}
+	// Waiting again must not duplicate manifest entries.
+	bad1.wait()
+	if len(p.manifest()) != 2 {
+		t.Fatal("re-waiting duplicated manifest entries")
+	}
+}
+
+func TestPoolTimeoutAbandonsAttempt(t *testing.T) {
+	p, _ := quietPool(Options{Jobs: 1, TaskTimeout: 5 * time.Millisecond})
+	release := make(chan struct{})
+	defer close(release)
+	ft := submit(p, "stuck", func() int { <-release; return 1 })
+	if ft.ok() {
+		t.Fatal("stuck task reported ok")
+	}
+	m := p.manifest()
+	if len(m) != 1 || !strings.Contains(m[0].Err, "timed out") {
+		t.Fatalf("manifest = %+v, want one timeout entry", m)
+	}
+}
+
+// TestBackoffDeterministicJitter pins the retry schedule: identical inputs
+// sleep identically (suite runs are reproducible), different labels spread
+// out, and the base grows exponentially with the attempt.
+func TestBackoffDeterministicJitter(t *testing.T) {
+	if backoff("a", 0) != backoff("a", 0) {
+		t.Fatal("backoff is not deterministic")
+	}
+	if backoff("a", 0) == backoff("b", 0) {
+		t.Fatal("jitter does not separate labels")
+	}
+	for _, label := range []string{"a", "b", "swim HW8x8/none"} {
+		for n := 0; n < 4; n++ {
+			d := backoff(label, n)
+			base := 50 * time.Millisecond << uint(n)
+			if d < base || d > base+base/2 {
+				t.Errorf("backoff(%q, %d) = %v outside [%v, %v]", label, n, d, base, base+base/2)
+			}
+		}
+	}
+}
+
+// TestRenderHolesAndManifest: failed runs surface as explicit holes, the
+// average skips them, and the manifest is printed with the table.
+func TestRenderHolesAndManifest(t *testing.T) {
+	tbl := Table{
+		ID:      "x",
+		Title:   "holes",
+		Columns: []string{"a", "b"},
+		Rows: []Row{
+			{Label: "ok", Cells: []float64{1, 3}},
+			{Label: "broken", Cells: nanCells(2)},
+			{Label: "half", Cells: []float64{3, math.NaN()}},
+		},
+		Failures: []Failure{{Label: "broken HW8x8/none", Attempts: 3, Err: "panic: boom"}},
+	}
+	meanRow(&tbl)
+	avg := tbl.Rows[len(tbl.Rows)-1]
+	if avg.Cells[0] != 2 || avg.Cells[1] != 3 {
+		t.Fatalf("mean over holes = %+v, want [2 3]", avg.Cells)
+	}
+	s := tbl.Render()
+	if !strings.Contains(s, "—") {
+		t.Errorf("render has no hole marker:\n%s", s)
+	}
+	if !strings.Contains(s, "FAILED: broken HW8x8/none: panic: boom (3 attempts)") {
+		t.Errorf("render missing failure manifest:\n%s", s)
+	}
+}
+
+// TestFigureDegradesOnFailure drives a whole figure through a pool failure:
+// with a task timeout no simulator run can meet, the table must still
+// render, with every cell holed and every run on the manifest — and the
+// process must not crash.
+func TestFigureDegradesOnFailure(t *testing.T) {
+	o := QuickOptions()
+	o.Benchmarks = []string{"swim"}
+	o.Jobs = 2
+	o.TaskTimeout = time.Nanosecond
+	tbl := Figure4(o)
+	if len(tbl.Failures) == 0 {
+		t.Fatal("no failures recorded with an unmeetable deadline")
+	}
+	for _, r := range tbl.Rows {
+		for i, v := range r.Cells {
+			if !math.IsNaN(v) {
+				t.Errorf("row %s cell %d = %v, want hole", r.Label, i, v)
+			}
+		}
+	}
+	if !strings.Contains(tbl.Render(), "timed out") {
+		t.Error("manifest does not name the timeout")
+	}
+}

@@ -39,7 +39,7 @@ func Resilience(o Options) Table {
 	if step == 0 {
 		step = 1
 	}
-	p := newPool(o.Jobs)
+	p := newPool(o)
 	suite := o.suite()
 	cfg := core.DefaultConfig()
 	cfg.Backout = true
@@ -53,16 +53,29 @@ func Resilience(o Options) Table {
 		baseFuts[i] = p.submitRun(bm, cfg, o)
 	}
 	bases := make([]core.Results, len(suite))
+	baseOK := make([]bool, len(suite))
 	for i := range suite {
+		baseOK[i] = baseFuts[i].ok()
 		bases[i] = baseFuts[i].wait()
 	}
-	// Phase 2: one task per (benchmark, preset) row.
-	rows := make([]*task[Row], 0, len(suite)*len(presets))
+	// Phase 2: one task per (benchmark, preset) row. A row whose base run
+	// failed is holed immediately (nil future) — its dip and recovery are
+	// meaningless without the fault-free reference.
+	type rowFut struct {
+		label string
+		fut   *task[Row]
+	}
+	rows := make([]rowFut, 0, len(suite)*len(presets))
 	for i, bm := range suite {
 		bm, base := bm, bases[i]
 		for _, pr := range presets {
 			pr := pr
-			rows = append(rows, submit(p, func() Row {
+			label := bm.Name + "/" + pr.short
+			if !baseOK[i] {
+				rows = append(rows, rowFut{label: label})
+				continue
+			}
+			rows = append(rows, rowFut{label: label, fut: submit(p, label, func() Row {
 				// Horizon in cycles: twice the instruction budget covers the
 				// whole run down to IPC 0.5; later events simply never fire.
 				sched, err := chaos.NewSchedule(pr.preset, 1, int64(o.Instrs)*2)
@@ -117,12 +130,17 @@ func Resilience(o Options) Table {
 						float64(final.ChaosFaults), float64(final.InvariantViolations),
 					},
 				}
-			}))
+			})})
 		}
 	}
 	for _, rf := range rows {
-		t.Rows = append(t.Rows, rf.wait())
+		if rf.fut == nil || !rf.fut.ok() {
+			t.Rows = append(t.Rows, Row{Label: rf.label, Cells: nanCells(len(t.Columns))})
+			continue
+		}
+		t.Rows = append(t.Rows, rf.fut.wait())
 	}
 	meanRow(&t)
+	t.Failures = p.manifest()
 	return t
 }

@@ -1,0 +1,28 @@
+package isa
+
+import "tridentsp/internal/checkpoint"
+
+// Checkpoint serialization for instructions. Field-wise rather than through
+// Encode/Decode: trace metadata may hold instructions whose immediates never
+// went through the encodable-range check, and a checkpoint must round-trip
+// them bit-exactly regardless.
+
+// Save serializes the instruction.
+func (in Inst) Save(e *checkpoint.Encoder) {
+	e.U8(uint8(in.Op))
+	e.U8(uint8(in.Rd))
+	e.U8(uint8(in.Ra))
+	e.U8(uint8(in.Rb))
+	e.I64(in.Imm)
+}
+
+// LoadInst deserializes one instruction written by Save.
+func LoadInst(d *checkpoint.Decoder) Inst {
+	return Inst{
+		Op:  Op(d.U8()),
+		Rd:  Reg(d.U8()),
+		Ra:  Reg(d.U8()),
+		Rb:  Reg(d.U8()),
+		Imm: d.I64(),
+	}
+}

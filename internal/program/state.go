@@ -1,0 +1,62 @@
+package program
+
+import (
+	"sort"
+
+	"tridentsp/internal/checkpoint"
+)
+
+// Checkpoint serialization (DESIGN §12). Memory is the only mutable object
+// in this package (Program images are pristine by contract). Pages are
+// written sorted by page index so identical memories serialize to identical
+// bytes regardless of map iteration order; the one-entry lookup cache
+// (lastIdx/lastPage) is reset, not restored — it is a pure accelerator.
+
+// SaveState serializes the memory contents.
+func (m *Memory) SaveState(e *checkpoint.Encoder) {
+	e.Mark("program.memory")
+	idxs := make([]uint64, 0, len(m.pages))
+	for idx := range m.pages {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	e.Len(len(idxs))
+	for _, idx := range idxs {
+		pg := m.pages[idx]
+		e.U64(idx)
+		for _, w := range pg.words {
+			e.U64(w)
+		}
+		for _, v := range pg.valid {
+			e.U64(v)
+		}
+	}
+	e.Int(m.mapped)
+}
+
+// LoadState restores state saved by SaveState, replacing all pages.
+func (m *Memory) LoadState(d *checkpoint.Decoder) error {
+	d.Expect("program.memory")
+	n := d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	m.pages = make(map[uint64]*memPage, n)
+	m.lastIdx, m.lastPage = 0, nil
+	for i := 0; i < n; i++ {
+		idx := d.U64()
+		pg := &memPage{}
+		for j := range pg.words {
+			pg.words[j] = d.U64()
+		}
+		for j := range pg.valid {
+			pg.valid[j] = d.U64()
+		}
+		if d.Err() != nil {
+			return d.Err()
+		}
+		m.pages[idx] = pg
+	}
+	m.mapped = d.Int()
+	return d.Err()
+}

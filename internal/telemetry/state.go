@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"tridentsp/internal/checkpoint"
+)
+
+// Checkpoint serialization (DESIGN §12). A restored tracer reproduces the
+// original byte-for-byte in every export: ring contents, drop counts, the
+// shared sequence counter, and every registry instrument. Instruments are
+// restored through the get-or-create accessors so pointers handed out
+// during wiring (the tracer's per-kind counters, the System's fast-path
+// reason counters, the optimizer's distance histogram) keep addressing the
+// live values.
+
+// SaveState serializes the tracer. No-op on a disabled (nil) tracer — the
+// caller records tracer presence itself.
+func (t *Tracer) SaveState(e *checkpoint.Encoder) {
+	e.Mark("telemetry")
+	e.U64(t.seq)
+	saveRing(e, &t.sem)
+	saveRing(e, &t.eng)
+	t.reg.saveState(e)
+}
+
+// LoadState restores state saved by SaveState into a tracer built with the
+// same Options (ring capacities must match).
+func (t *Tracer) LoadState(d *checkpoint.Decoder) error {
+	d.Expect("telemetry")
+	t.seq = d.U64()
+	if err := loadRing(d, &t.sem); err != nil {
+		return err
+	}
+	if err := loadRing(d, &t.eng); err != nil {
+		return err
+	}
+	return t.reg.loadState(d)
+}
+
+func saveRing(e *checkpoint.Encoder, r *ring) {
+	e.U64(r.n)
+	retained := r.events()
+	e.Len(len(retained))
+	for i := range retained {
+		ev := &retained[i]
+		e.U64(ev.Seq)
+		e.I64(ev.Cycle)
+		e.U8(uint8(ev.Kind))
+		e.U64(ev.PC)
+		e.U64(ev.Aux)
+		e.I64(ev.Arg)
+		e.I64(ev.Arg2)
+	}
+}
+
+func loadRing(d *checkpoint.Decoder, r *ring) error {
+	n := d.U64()
+	cnt := d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	want := n
+	if want > uint64(len(r.buf)) {
+		want = uint64(len(r.buf))
+	}
+	if uint64(cnt) != want {
+		return fmt.Errorf("%w: ring holds %d events for count %d (capacity %d)",
+			checkpoint.ErrCorrupt, cnt, n, len(r.buf))
+	}
+	r.n = n
+	for i := uint64(0); i < uint64(cnt); i++ {
+		r.buf[(n-uint64(cnt)+i)&r.mask] = Event{
+			Seq:   d.U64(),
+			Cycle: d.I64(),
+			Kind:  Kind(d.U8()),
+			PC:    d.U64(),
+			Aux:   d.U64(),
+			Arg:   d.I64(),
+			Arg2:  d.I64(),
+		}
+	}
+	return d.Err()
+}
+
+func (r *Registry) saveState(e *checkpoint.Encoder) {
+	counters := r.Counters()
+	e.Len(len(counters))
+	for _, c := range counters {
+		e.Str(c.Name)
+		e.U64(c.V)
+	}
+	gauges := r.Gauges()
+	e.Len(len(gauges))
+	for _, g := range gauges {
+		e.Str(g.Name)
+		e.F64(g.V)
+	}
+	hists := r.Histograms()
+	e.Len(len(hists))
+	for _, h := range hists {
+		e.Str(h.Name)
+		e.Len(len(h.Bounds))
+		for _, b := range h.Bounds {
+			e.I64(b)
+		}
+		for _, c := range h.Counts {
+			e.U64(c)
+		}
+		e.I64(h.Sum)
+		e.U64(h.N)
+	}
+}
+
+func (r *Registry) loadState(d *checkpoint.Decoder) error {
+	for k := d.Len(); k > 0; k-- {
+		name := d.Str()
+		v := d.U64()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if err := r.checkInstrument(name, r.counters[name] != nil); err != nil {
+			return err
+		}
+		r.Counter(name).V = v
+	}
+	for k := d.Len(); k > 0; k-- {
+		name := d.Str()
+		v := d.F64()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if err := r.checkInstrument(name, r.gauges[name] != nil); err != nil {
+			return err
+		}
+		r.Gauge(name).V = v
+	}
+	for k := d.Len(); k > 0; k-- {
+		name := d.Str()
+		nb := d.Len()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		bounds := make([]int64, nb)
+		ascending := true
+		for i := range bounds {
+			bounds[i] = d.I64()
+			if i > 0 && bounds[i] <= bounds[i-1] {
+				ascending = false
+			}
+		}
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if !ascending {
+			return fmt.Errorf("%w: histogram %q bounds not ascending", checkpoint.ErrCorrupt, name)
+		}
+		if err := r.checkInstrument(name, r.hists[name] != nil); err != nil {
+			return err
+		}
+		h := r.Histogram(name, bounds...)
+		if len(h.Bounds) != nb {
+			return fmt.Errorf("%w: histogram %q has %d bounds, checkpoint %d",
+				checkpoint.ErrCorrupt, name, len(h.Bounds), nb)
+		}
+		for i := range h.Bounds {
+			if h.Bounds[i] != bounds[i] {
+				return fmt.Errorf("%w: histogram %q bound %d mismatch", checkpoint.ErrCorrupt, name, i)
+			}
+		}
+		for i := range h.Counts {
+			h.Counts[i] = d.U64()
+		}
+		h.Sum = d.I64()
+		h.N = d.U64()
+	}
+	return d.Err()
+}
+
+// checkInstrument rejects a checkpointed name that the live registry holds
+// as a different instrument type — the registry would panic on the
+// get-or-create path, and a corrupt file must surface as an error instead.
+func (r *Registry) checkInstrument(name string, sameKind bool) error {
+	if sameKind {
+		return nil
+	}
+	_, c := r.counters[name]
+	_, g := r.gauges[name]
+	_, h := r.hists[name]
+	if c || g || h {
+		return fmt.Errorf("%w: instrument %q type mismatch", checkpoint.ErrCorrupt, name)
+	}
+	return nil
+}

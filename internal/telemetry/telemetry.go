@@ -79,6 +79,17 @@ const (
 	// Aux = the session's entry cycle, Arg = FPReason, Arg2 = instructions
 	// retired in the session.
 	KindFastExit
+	// KindSentinelCheck (engine): the divergence sentinel replayed a window
+	// through the reference loop and it matched. PC = pc at the check,
+	// Aux = the window's start instruction count, Arg = window length in
+	// original instructions.
+	KindSentinelCheck
+	// KindSentinelDivergence (engine): the replay disagreed with the fast
+	// path. PC = pc where the divergent run stood, Aux = the window's start
+	// instruction count, Arg = window length, Arg2 = total trips so far.
+	// The System rewinds to the window start, quarantines its decoded
+	// blocks, and demotes itself to the reference loop.
+	KindSentinelDivergence
 	// NumKinds bounds the kind space.
 	NumKinds
 )
@@ -90,6 +101,7 @@ var kindNames = [NumKinds]string{
 	"helper-run", "event-dropped", "phase-clear",
 	"chaos-edge", "watchdog-probe",
 	"fast-enter", "fast-exit",
+	"sentinel-check", "sentinel-divergence",
 }
 
 // String names the kind.
@@ -114,7 +126,7 @@ func KindByName(name string) (Kind, bool) {
 // than the simulated machine. Engine events depend on which simulation
 // path ran (fast vs -slowpath) and are excluded from semantic stream
 // comparisons.
-func (k Kind) Engine() bool { return k == KindFastEnter || k == KindFastExit }
+func (k Kind) Engine() bool { return k >= KindFastEnter && k < NumKinds }
 
 // FPReason says why a fast-path batching session ended (KindFastExit.Arg),
 // and doubles as the slow-path trigger taxonomy the registry counts.

@@ -31,6 +31,9 @@ go tool cover -func=/tmp/telemetry.cover | awk '
 		printf "internal/telemetry coverage: %.1f%% (floor 70%%)\n", pct
 		if (pct < 70) exit 1
 	}'
+# Checkpoint torture: truncation at every byte boundary, bit flips at every
+# position, and kill-mid-write must all fail loudly, never load garbage.
+go test -run 'TestFileTorture|TestFileKillMidWrite' -count=2 ./internal/checkpoint/
 # One-iteration bench smoke: keeps the benchmark path compiling and running.
 go test -run '^$' -bench BenchmarkFigure5 -benchtime 1x .
 # benchdiff gate over the two newest checked-in snapshots (version sort
@@ -40,3 +43,7 @@ go test -run '^$' -bench BenchmarkFigure5 -benchtime 1x .
 old=$(ls BENCH_*.json | sort -V | tail -2 | head -1)
 new=$(ls BENCH_*.json | sort -V | tail -1)
 go run ./cmd/benchdiff -threshold 0.05 "$old" "$new"
+# Durability must be free when off: the sentinel gate and checkpoint hooks
+# sit on the hot simulation loop, so PR6 holds the figure benches within 1%
+# of the pre-durability snapshot.
+go run ./cmd/benchdiff -threshold 0.01 BENCH_pr5.json BENCH_pr6.json
