@@ -5,6 +5,12 @@
 //
 //	benchdiff OLD.json NEW.json
 //	benchdiff -threshold 0.05 BENCH_after.json BENCH_pr3.json
+//	benchdiff -json OLD.json NEW.json | jq .geomean
+//
+// With -json the same comparison is emitted as a machine-readable document —
+// per-benchmark deltas plus the geomean and the gating verdict — for CI jobs
+// that want the numbers, not the table. The exit status is identical in both
+// modes.
 //
 // Snapshots follow the repo's naming convention: BENCH_baseline.json is the
 // seed, BENCH_after.json the state after the previous perf PR, and each perf
@@ -44,8 +50,10 @@ type entry struct {
 func main() {
 	threshold := flag.Float64("threshold", 0.10,
 		"fail when ns/op regresses by more than this fraction")
+	asJSON := flag.Bool("json", false,
+		"emit the comparison as machine-readable JSON instead of a table")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold 0.10] OLD.json NEW.json\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold 0.10] [-json] OLD.json NEW.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -65,9 +73,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	report, regressed := diff(oldSnap, newSnap, *threshold)
-	fmt.Print(report)
-	if regressed {
+	report := diff(oldSnap, newSnap, *threshold)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Print(report.table())
+	}
+	if report.Regressed {
 		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.0f%%\n", *threshold*100)
 		os.Exit(1)
 	}
@@ -88,56 +105,109 @@ func load(path string) (*snapshot, error) {
 	return &s, nil
 }
 
-// diff renders the delta table and reports whether any benchmark present in
-// both snapshots regressed beyond threshold. Benchmarks present on only one
-// side are listed but cannot gate. A geomean summary row aggregates the
-// ns/op ratio over the matched set (the honest cross-benchmark average for
-// ratios; an arithmetic mean would let one big benchmark mask the rest).
-func diff(oldSnap, newSnap *snapshot, threshold float64) (string, bool) {
+// report is the structured comparison: what -json emits and what the table
+// renders. GeomeanDelta is the geometric-mean ns/op ratio minus one over the
+// matched set (the honest cross-benchmark average for ratios; an arithmetic
+// mean would let one big benchmark mask the rest), so -0.25 reads as "25%
+// faster overall".
+type report struct {
+	Threshold    float64     `json:"threshold"`
+	GeomeanDelta float64     `json:"geomean_delta"`
+	Regressed    bool        `json:"regressed"`
+	Benchmarks   []diffEntry `json:"benchmarks"`
+}
+
+// diffEntry is one benchmark's comparison. Status is "matched", "new" (only
+// in NEW), or "gone" (only in OLD); the delta fields are meaningful only for
+// matched entries. Delta is the ns/op ratio minus one.
+type diffEntry struct {
+	Name        string  `json:"name"`
+	Status      string  `json:"status"`
+	OldNsPerOp  float64 `json:"old_ns_per_op,omitempty"`
+	NewNsPerOp  float64 `json:"new_ns_per_op,omitempty"`
+	Delta       float64 `json:"delta,omitempty"`
+	BytesDelta  float64 `json:"bytes_per_op_delta,omitempty"`
+	AllocsDelta float64 `json:"allocs_per_op_delta,omitempty"`
+	Regressed   bool    `json:"regressed,omitempty"`
+}
+
+// diff computes the comparison. Only benchmarks present in both snapshots
+// can gate; one-sided entries are reported with status new/gone.
+func diff(oldSnap, newSnap *snapshot, threshold float64) *report {
 	oldBy := make(map[string]entry, len(oldSnap.Benchmarks))
 	for _, e := range oldSnap.Benchmarks {
 		oldBy[e.Name] = e
 	}
-
-	widths := []int{-28, 15, 15, 8, 12, 8}
-	row := func(cells ...string) string {
-		return render.Columns(" ", widths, cells...)
-	}
-	out := row("benchmark", "old ns/op", "new ns/op", "delta", "B/op", "allocs") + "\n"
-	regressed := false
+	r := &report{Threshold: threshold}
 	logSum, logN := 0.0, 0
 	matched := make(map[string]bool, len(newSnap.Benchmarks))
 	for _, n := range newSnap.Benchmarks {
 		o, ok := oldBy[n.Name]
 		if !ok {
-			out += row(n.Name, "-", fmt.Sprintf("%.0f", n.NsPerOp), "new", "-", "-") + "\n"
+			r.Benchmarks = append(r.Benchmarks, diffEntry{
+				Name: n.Name, Status: "new", NewNsPerOp: n.NsPerOp})
 			continue
 		}
 		matched[n.Name] = true
-		delta := 0.0
+		d := diffEntry{
+			Name: n.Name, Status: "matched",
+			OldNsPerOp:  o.NsPerOp,
+			NewNsPerOp:  n.NsPerOp,
+			BytesDelta:  n.BytesPerOp - o.BytesPerOp,
+			AllocsDelta: n.AllocsPerOp - o.AllocsPerOp,
+		}
 		if o.NsPerOp > 0 {
-			delta = n.NsPerOp/o.NsPerOp - 1
+			d.Delta = n.NsPerOp/o.NsPerOp - 1
 			logSum += math.Log(n.NsPerOp / o.NsPerOp)
 			logN++
 		}
-		mark := ""
-		if delta > threshold {
-			mark = " !"
-			regressed = true
+		if d.Delta > threshold {
+			d.Regressed = true
+			r.Regressed = true
 		}
-		out += row(n.Name, fmt.Sprintf("%.0f", o.NsPerOp), fmt.Sprintf("%.0f", n.NsPerOp),
-			fmt.Sprintf("%+.1f%%", delta*100),
-			fmt.Sprintf("%+.0f", n.BytesPerOp-o.BytesPerOp),
-			fmt.Sprintf("%+.0f", n.AllocsPerOp-o.AllocsPerOp)) + mark + "\n"
+		r.Benchmarks = append(r.Benchmarks, d)
 	}
 	for _, o := range oldSnap.Benchmarks {
 		if !matched[o.Name] {
-			out += row(o.Name, fmt.Sprintf("%.0f", o.NsPerOp), "-", "gone", "-", "-") + "\n"
+			r.Benchmarks = append(r.Benchmarks, diffEntry{
+				Name: o.Name, Status: "gone", OldNsPerOp: o.NsPerOp})
 		}
 	}
 	if logN > 0 {
-		out += row("geomean", "", "",
-			fmt.Sprintf("%+.1f%%", (math.Exp(logSum/float64(logN))-1)*100)) + "\n"
+		r.GeomeanDelta = math.Exp(logSum/float64(logN)) - 1
 	}
-	return out, regressed
+	return r
+}
+
+// table renders the human-readable delta table.
+func (r *report) table() string {
+	widths := []int{-28, 15, 15, 8, 12, 8}
+	row := func(cells ...string) string {
+		return render.Columns(" ", widths, cells...)
+	}
+	out := row("benchmark", "old ns/op", "new ns/op", "delta", "B/op", "allocs") + "\n"
+	anyMatched := false
+	for _, d := range r.Benchmarks {
+		switch d.Status {
+		case "new":
+			out += row(d.Name, "-", fmt.Sprintf("%.0f", d.NewNsPerOp), "new", "-", "-") + "\n"
+		case "gone":
+			out += row(d.Name, fmt.Sprintf("%.0f", d.OldNsPerOp), "-", "gone", "-", "-") + "\n"
+		default:
+			anyMatched = true
+			mark := ""
+			if d.Regressed {
+				mark = " !"
+			}
+			out += row(d.Name, fmt.Sprintf("%.0f", d.OldNsPerOp), fmt.Sprintf("%.0f", d.NewNsPerOp),
+				fmt.Sprintf("%+.1f%%", d.Delta*100),
+				fmt.Sprintf("%+.0f", d.BytesDelta),
+				fmt.Sprintf("%+.0f", d.AllocsDelta)) + mark + "\n"
+		}
+	}
+	if anyMatched {
+		out += row("geomean", "", "",
+			fmt.Sprintf("%+.1f%%", r.GeomeanDelta*100)) + "\n"
+	}
+	return out
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -19,17 +21,18 @@ func TestDiffRegressionGate(t *testing.T) {
 		entry{Name: "BenchmarkA", NsPerOp: 60, AllocsPerOp: 8},
 		entry{Name: "BenchmarkB", NsPerOp: 240, AllocsPerOp: 20},
 	)
-	report, regressed := diff(oldS, newS, 0.10)
-	if !regressed {
+	r := diff(oldS, newS, 0.10)
+	if !r.Regressed {
 		t.Fatal("20% regression must trip a 10% threshold")
 	}
-	if !strings.Contains(report, "BenchmarkB") || !strings.Contains(report, "!") {
-		t.Fatalf("report does not flag the regressor:\n%s", report)
+	table := r.table()
+	if !strings.Contains(table, "BenchmarkB") || !strings.Contains(table, "!") {
+		t.Fatalf("report does not flag the regressor:\n%s", table)
 	}
-	if !strings.Contains(report, "-40.0%") || !strings.Contains(report, "+20.0%") {
-		t.Fatalf("report deltas wrong:\n%s", report)
+	if !strings.Contains(table, "-40.0%") || !strings.Contains(table, "+20.0%") {
+		t.Fatalf("report deltas wrong:\n%s", table)
 	}
-	if _, regressed := diff(oldS, newS, 0.25); regressed {
+	if r := diff(oldS, newS, 0.25); r.Regressed {
 		t.Fatal("20% regression must pass a 25% threshold")
 	}
 }
@@ -43,12 +46,13 @@ func TestDiffUnmatchedBenchmarks(t *testing.T) {
 		entry{Name: "BenchmarkKept", NsPerOp: 100},
 		entry{Name: "BenchmarkAdded", NsPerOp: 300},
 	)
-	report, regressed := diff(oldS, newS, 0.10)
-	if regressed {
-		t.Fatalf("no common benchmark regressed:\n%s", report)
+	r := diff(oldS, newS, 0.10)
+	if r.Regressed {
+		t.Fatalf("no common benchmark regressed:\n%s", r.table())
 	}
-	if !strings.Contains(report, "new") || !strings.Contains(report, "gone") {
-		t.Fatalf("added/removed benchmarks not marked:\n%s", report)
+	table := r.table()
+	if !strings.Contains(table, "new") || !strings.Contains(table, "gone") {
+		t.Fatalf("added/removed benchmarks not marked:\n%s", table)
 	}
 }
 
@@ -62,18 +66,71 @@ func TestDiffGeomeanAndBytes(t *testing.T) {
 		entry{Name: "BenchmarkA", NsPerOp: 60, BytesPerOp: 1500},
 		entry{Name: "BenchmarkB", NsPerOp: 240, BytesPerOp: 3000},
 	)
-	report, _ := diff(oldS, newS, 0.25)
-	if !strings.Contains(report, "geomean") || !strings.Contains(report, "-15.1%") {
-		t.Fatalf("geomean row missing or wrong:\n%s", report)
+	r := diff(oldS, newS, 0.25)
+	if want := math.Sqrt(0.72) - 1; math.Abs(r.GeomeanDelta-want) > 1e-12 {
+		t.Fatalf("GeomeanDelta = %v, want %v", r.GeomeanDelta, want)
 	}
-	if !strings.Contains(report, "+500") || !strings.Contains(report, "-1000") {
-		t.Fatalf("B/op deltas missing:\n%s", report)
+	table := r.table()
+	if !strings.Contains(table, "geomean") || !strings.Contains(table, "-15.1%") {
+		t.Fatalf("geomean row missing or wrong:\n%s", table)
+	}
+	if !strings.Contains(table, "+500") || !strings.Contains(table, "-1000") {
+		t.Fatalf("B/op deltas missing:\n%s", table)
 	}
 	// The geomean row must not appear when nothing matched.
-	report, _ = diff(snap(entry{Name: "BenchmarkX", NsPerOp: 1}),
+	r = diff(snap(entry{Name: "BenchmarkX", NsPerOp: 1}),
 		snap(entry{Name: "BenchmarkY", NsPerOp: 1}), 0.25)
-	if strings.Contains(report, "geomean") {
-		t.Fatalf("geomean over empty matched set:\n%s", report)
+	if strings.Contains(r.table(), "geomean") {
+		t.Fatalf("geomean over empty matched set:\n%s", r.table())
+	}
+}
+
+// TestDiffJSON pins the machine-readable contract: per-benchmark deltas, the
+// geomean, and the gating verdict survive a JSON round trip, so a CI job can
+// gate on .regressed and read .geomean_delta without parsing the table.
+func TestDiffJSON(t *testing.T) {
+	oldS := snap(
+		entry{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 10},
+		entry{Name: "BenchmarkB", NsPerOp: 2000},
+		entry{Name: "BenchmarkGone", NsPerOp: 5},
+	)
+	newS := snap(
+		entry{Name: "BenchmarkA", NsPerOp: 500, AllocsPerOp: 4}, // 2x faster
+		entry{Name: "BenchmarkB", NsPerOp: 2500},                // +25%: regression
+		entry{Name: "BenchmarkNew", NsPerOp: 7},
+	)
+	r := diff(oldS, newS, 0.01)
+	if !r.Regressed {
+		t.Fatal("a +25% benchmark must trip the 1% gate")
+	}
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Regressed != r.Regressed || back.GeomeanDelta != r.GeomeanDelta ||
+		back.Threshold != r.Threshold || len(back.Benchmarks) != len(r.Benchmarks) {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+	byName := map[string]diffEntry{}
+	for _, d := range back.Benchmarks {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchmarkA"]; d.Status != "matched" || d.Regressed ||
+		math.Abs(d.Delta+0.5) > 1e-12 || d.AllocsDelta != -6 {
+		t.Fatalf("BenchmarkA entry wrong: %+v", d)
+	}
+	if d := byName["BenchmarkB"]; !d.Regressed {
+		t.Fatalf("BenchmarkB not marked regressed: %+v", d)
+	}
+	if d := byName["BenchmarkNew"]; d.Status != "new" {
+		t.Fatalf("BenchmarkNew status = %q, want new", d.Status)
+	}
+	if d := byName["BenchmarkGone"]; d.Status != "gone" {
+		t.Fatalf("BenchmarkGone status = %q, want gone", d.Status)
 	}
 }
 
@@ -88,8 +145,7 @@ func TestDiffRealSnapshots(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, regressed := diff(oldS, newS, 0.10)
-	if regressed {
-		t.Fatalf("checked-in snapshots regress:\n%s", report)
+	if r := diff(oldS, newS, 0.10); r.Regressed {
+		t.Fatalf("checked-in snapshots regress:\n%s", r.table())
 	}
 }

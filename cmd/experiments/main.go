@@ -53,6 +53,8 @@ func realMain() int {
 		taskTO     = flag.Duration("task-timeout", 0, "per-attempt wall-clock deadline (0 = none)")
 		failPolicy = flag.String("fail-policy", "strict", "strict: exit 1 if any run failed every attempt; degrade: exit 0 with holed tables")
 		slowpath   = flag.Bool("slowpath", false, "force the reference one-step simulation loop (disable the block-batched engine)")
+		jit        = flag.Bool("jit", true, "compile hot superblocks to closure chains (the tier above the batch engine; moot under -slowpath)")
+		jitHeat    = flag.Int("jit-threshold", -1, "override the JIT promotion threshold (-1 = config default, 0 = compile on first use)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -85,6 +87,11 @@ func realMain() int {
 	}
 	opts.Jobs = *jobs
 	opts.DisableFastPath = *slowpath
+	opts.DisableJIT = !*jit
+	if *jitHeat >= 0 {
+		th := uint32(*jitHeat)
+		opts.JITThreshold = &th
+	}
 	opts.Retries = *retries
 	opts.TaskTimeout = *taskTO
 

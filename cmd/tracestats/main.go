@@ -9,14 +9,20 @@
 //   - the slow-path trigger histogram — why each fast-path session handed
 //     control back to the reference one-step loop.
 //
+// With -metrics, a registry snapshot written by tridentsim -metrics-out adds
+// a fourth view: per-tier residency (reference loop / batch engine / JIT
+// closure chains) and the JIT compile/invalidate counters.
+//
 // Usage:
 //
-//	tridentsim -bench mcf -trace-out mcf.jsonl
+//	tridentsim -bench mcf -trace-out mcf.jsonl -metrics-out mcf.metrics.json
 //	tracestats mcf.jsonl
-//	tracestats -repairs mcf.jsonl   # one section only
+//	tracestats -repairs mcf.jsonl                  # one section only
+//	tracestats -metrics mcf.metrics.json mcf.jsonl # adds the tier section
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,10 +39,11 @@ func main() {
 		repairs   = flag.Bool("repairs", false, "print only the per-load repair timelines")
 		residency = flag.Bool("residency", false, "print only the fast-path residency summary")
 		triggers  = flag.Bool("triggers", false, "print only the slow-path trigger histogram")
+		metrics   = flag.String("metrics", "", "metrics registry JSON (tridentsim -metrics-out); adds the tier-residency section")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: tracestats [-repairs|-residency|-triggers] TRACE.jsonl\n")
+			"usage: tracestats [-repairs|-residency|-triggers] [-metrics METRICS.json] TRACE.jsonl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -65,6 +72,70 @@ func main() {
 	if all || *triggers {
 		fmt.Print(triggerHistogram(events))
 	}
+	if *metrics != "" {
+		blob, err := os.ReadFile(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracestats: %v\n", err)
+			os.Exit(1)
+		}
+		s, err := tierResidency(blob)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracestats: %s: %v\n", *metrics, err)
+			os.Exit(1)
+		}
+		fmt.Print(s)
+	}
+}
+
+// tierResidency renders the three-tier engine counters from a metrics
+// registry snapshot: weighted original instructions and cycles retired per
+// execution tier, plus the JIT tier's compile/revalidate activity and the
+// block-cache churn that drives it.
+func tierResidency(metricsJSON []byte) (string, error) {
+	var doc struct {
+		Gauges map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(metricsJSON, &doc); err != nil {
+		return "", err
+	}
+	g := doc.Gauges
+	var sb strings.Builder
+	sb.WriteString("tier residency:\n")
+	tiers := []struct{ key, label string }{
+		{"slow", "reference loop"},
+		{"batch", "batch engine"},
+		{"jit", "jit chains"},
+	}
+	var totInstrs, totCycles float64
+	for _, t := range tiers {
+		totInstrs += g["tier_"+t.key+"_instrs"]
+		totCycles += g["tier_"+t.key+"_cycles"]
+	}
+	if totInstrs == 0 {
+		sb.WriteString("  (no tier counters in the metrics snapshot)\n")
+		return sb.String(), nil
+	}
+	widths := []int{-16, 14, 8, 14, 8}
+	sb.WriteString("  " + render.Columns(" ", widths,
+		"tier", "orig instrs", "", "cycles", "") + "\n")
+	for _, t := range tiers {
+		in, cy := g["tier_"+t.key+"_instrs"], g["tier_"+t.key+"_cycles"]
+		ipct, cpct := 0.0, 0.0
+		if totInstrs > 0 {
+			ipct = 100 * in / totInstrs
+		}
+		if totCycles > 0 {
+			cpct = 100 * cy / totCycles
+		}
+		sb.WriteString("  " + render.Columns(" ", widths, t.label,
+			fmt.Sprintf("%.0f", in), fmt.Sprintf("%.1f%%", ipct),
+			fmt.Sprintf("%.0f", cy), fmt.Sprintf("%.1f%%", cpct)) + "\n")
+	}
+	fmt.Fprintf(&sb, "  jit: compiles=%.0f revalidations=%.0f\n",
+		g["jit_compiles"], g["jit_revalidations"])
+	fmt.Fprintf(&sb, "  block cache: hits=%.0f rebuilds=%.0f invalidations=%.0f\n",
+		g["blockcache_hits"], g["blockcache_rebuilds"], g["blockcache_invalidations"])
+	return sb.String(), nil
 }
 
 // loadKey identifies one repaired load: the trace head it belongs to plus

@@ -64,3 +64,50 @@ func TestEmptyStreamSections(t *testing.T) {
 		}
 	}
 }
+
+func TestTierResidency(t *testing.T) {
+	blob := []byte(`{
+  "counters": {},
+  "gauges": {
+    "tier_slow_instrs": 3000,
+    "tier_slow_cycles": 2000,
+    "tier_batch_instrs": 90000,
+    "tier_batch_cycles": 30000,
+    "tier_jit_instrs": 307000,
+    "tier_jit_cycles": 100000,
+    "jit_compiles": 37,
+    "jit_revalidations": 24,
+    "blockcache_hits": 500,
+    "blockcache_rebuilds": 492,
+    "blockcache_invalidations": 8
+  },
+  "histograms": {}
+}`)
+	out, err := tierResidency(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"tier residency:", "reference loop", "batch engine", "jit chains",
+		"307000", "76.8%", // jit instrs share of 400000
+		"compiles=37", "revalidations=24", "invalidations=8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tier section lacks %q:\n%s", want, out)
+		}
+	}
+
+	// A snapshot without tier gauges (old stream, or telemetry off) renders
+	// the explicit empty marker instead of a zero table.
+	out, err = tierResidency([]byte(`{"gauges": {}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no tier counters") {
+		t.Errorf("empty snapshot not marked:\n%s", out)
+	}
+
+	if _, err := tierResidency([]byte("not json")); err == nil {
+		t.Error("garbage metrics accepted")
+	}
+}

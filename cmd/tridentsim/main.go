@@ -65,6 +65,8 @@ func main() {
 		seed    = flag.Uint64("chaos-seed", 1, "fault-injection schedule seed")
 		jobs    = flag.Int("j", 0, "max concurrent benchmark runs (0 = all CPUs)")
 		slow    = flag.Bool("slowpath", false, "force the reference one-step simulation loop (disable the block-batched engine)")
+		jit     = flag.Bool("jit", true, "compile hot superblocks to closure chains (the tier above the batch engine; moot under -slowpath)")
+		jitHeat = flag.Uint("jit-threshold", 8, "interpreted launches before a block is JIT-compiled (0 = compile on first use)")
 
 		ckptEvery  = flag.Uint64("checkpoint-every", 0, "write a crash-safe checkpoint every N original instructions (single -bench only; 0 = off)")
 		ckptDir    = flag.String("checkpoint-dir", "checkpoints", "directory for checkpoint files")
@@ -126,6 +128,8 @@ func main() {
 	cfg.Trident = *trident
 	cfg.LinkTraces = *link
 	cfg.DisableFastPath = *slow
+	cfg.JIT = *jit
+	cfg.JITThreshold = uint32(*jitHeat)
 	cfg.Backout = *backout
 	cfg.ValueSpecialize = *valspec
 	cfg.PhaseClearMature = *phase
@@ -289,11 +293,11 @@ type ckptOptions struct {
 // is deliberately excluded so a resume may extend the run.
 func (o ckptOptions) identity(bm workloads.Benchmark, cfg core.Config) string {
 	return fmt.Sprintf("tridentsim bench=%s scale=%s hw=%s sw=%s trident=%v link=%v "+
-		"backout=%v valspec=%v phase=%v slowpath=%v sentinel=%d/%d "+
+		"backout=%v valspec=%v phase=%v slowpath=%v jit=%v/%d sentinel=%d/%d "+
 		"chaos=%s chaos-seed=%d chaos-horizon=%d telemetry=%v",
 		bm.Name, o.scale, cfg.HW, cfg.SW, cfg.Trident, cfg.LinkTraces,
 		cfg.Backout, cfg.ValueSpecialize, cfg.PhaseClearMature, cfg.DisableFastPath,
-		cfg.SentinelEvery, cfg.SentinelWindow,
+		cfg.JIT, cfg.JITThreshold, cfg.SentinelEvery, cfg.SentinelWindow,
 		o.preset, o.seed, int64(o.instrs)*2, o.telemetry)
 }
 

@@ -111,6 +111,7 @@ loop:
 		pc := t.PC()
 		var (
 			blk     cpu.Block
+			cb      *cpu.CompiledBlock
 			ok      bool
 			inTrace bool
 			hooks   *cpu.SBHooks
@@ -130,7 +131,19 @@ loop:
 				exit = telemetry.FPTraceEntry
 				break loop
 			}
-			if blk, ok = s.cache.BlockAt(pc); !ok {
+			if s.cfg.JIT {
+				// Launch-hot path: a resident chain that stays inside the
+				// placement needs no block derivation at all.
+				if fast := s.cache.CompiledAt(pc); fast != nil &&
+					pc+uint64(fast.Len())*isa.WordSize <= pl.End {
+					cb, ok = fast, true
+				} else {
+					blk, cb, ok = s.cache.BlockAtJIT(pc, s.cfg.JITThreshold)
+				}
+			} else {
+				blk, ok = s.cache.BlockAt(pc)
+			}
+			if !ok {
 				exit = telemetry.FPNoBlock
 				break loop
 			}
@@ -140,6 +153,9 @@ loop:
 			if maxLen := int((pl.End - pc) / 8); len(blk.Insts) > maxLen {
 				blk.Insts = blk.Insts[:maxLen]
 				blk.Weights = blk.Weights[:maxLen]
+				// The compiled chain covers the untruncated block; the
+				// truncated remainder runs on the interpreter.
+				cb = nil
 			}
 			inTrace = true
 			hooks = &s.sbTraceHooks
@@ -148,11 +164,23 @@ loop:
 		} else if s.isPatched(pc) {
 			exit = telemetry.FPPatched
 			break loop
-		} else if blk, ok = s.live.BlockAt(pc); !ok {
-			exit = telemetry.FPNoBlock
-			break loop
-		} else if s.cfg.Trident {
-			hooks = &s.sbOrigHooks
+		} else {
+			if s.cfg.JIT {
+				if cb = s.live.CompiledAt(pc); cb != nil {
+					ok = true
+				} else {
+					blk, cb, ok = s.live.BlockAtJIT(pc, s.cfg.JITThreshold)
+				}
+			} else {
+				blk, ok = s.live.BlockAt(pc)
+			}
+			if !ok {
+				exit = telemetry.FPNoBlock
+				break loop
+			}
+			if s.cfg.Trident {
+				hooks = &s.sbOrigHooks
+			}
 		}
 
 		// Weight budget: stop exactly where the slow loop would — at the
@@ -172,7 +200,16 @@ loop:
 			entryInstrs = s.origInstrs
 			s.tel.Emit(telemetry.KindFastEnter, entryCycle, pc, 0, 0, 0)
 		}
-		ex := t.ExecSuperBlock(blk, budget, hz, hooks)
+		// Tier dispatch: a promoted block retires through its compiled
+		// closure chain, everything else through the interpreting batch
+		// executor. Both are bit-identical, so promotion timing is
+		// architecturally invisible.
+		var ex cpu.SBExec
+		if cb != nil {
+			ex = t.ExecCompiled(cb, budget, hz, hooks)
+		} else {
+			ex = t.ExecSuperBlock(blk, budget, hz, hooks)
+		}
 		if ex.N == 0 {
 			// The first instruction already needs the slow path: nothing
 			// committed, nothing to process — including a deferred head
@@ -217,6 +254,17 @@ loop:
 		// reads them (the phase check below is the first reader).
 		s.stats.loadsTotal += uint64(ex.Loads)
 		s.stats.missesTotal += uint64(ex.WouldMiss)
+		// Tier residency (engine-class): attribute the batch's weight and
+		// clock advance to whichever executor retired it. s.lastNow still
+		// holds the pre-batch cycle here.
+		tier := tierBatch
+		if cb != nil {
+			tier = tierJIT
+		}
+		s.tiers[tier].instrs += ex.Weight
+		if d := now - s.lastNow; d > 0 {
+			s.tiers[tier].cycles += uint64(d)
+		}
 		if s.cfg.Trident {
 			if s.cfg.PhaseClearMature &&
 				s.origInstrs-s.phaseMarkInstrs >= s.cfg.PhaseWindow {

@@ -6,18 +6,25 @@ import (
 
 	"tridentsp/internal/isa"
 	"tridentsp/internal/program"
+	"tridentsp/internal/trident"
 )
 
 // FuzzFastPathDifferential extends the repo's fuzz infrastructure (see
-// internal/asm.FuzzAssemble) to the batch engine: arbitrary bytes become a
-// structured hot loop mixing ALU ops, loads, non-faulting loads, stores,
-// prefetches, FDIVs, and data-dependent forward branches, and the program
-// runs on both paths. Any divergence in Results, final PC, the register
-// file, or the memory-system statistics fails. The loop is hot by
-// construction, so Trident forms traces over fuzz-chosen bodies and the
-// batcher executes them — covering member classifications (and slow-path
-// exclusions like FDIV) the hand-written differential matrix cannot
-// enumerate.
+// internal/asm.FuzzAssemble) to the batch engine and the JIT tier: arbitrary
+// bytes become a structured hot loop mixing ALU ops, loads, non-faulting
+// loads, stores, prefetches, FDIVs, and data-dependent forward branches, and
+// the program runs as a three-way oracle — slow path (reference), batch
+// engine (JIT off), and JIT tier (threshold 0, so every block runs compiled).
+// Any divergence in Results, final PC, the register file, or the
+// memory-system statistics fails. The loop is hot by construction, so
+// Trident forms traces over fuzz-chosen bodies and both engines execute them
+// — covering member classifications (and slow-path exclusions like FDIV) the
+// hand-written differential matrix cannot enumerate. Midway through, a
+// PatchImm is applied identically to all three systems at an immediate-
+// carrying instruction of a live trace: on the JIT system the compiled
+// closure chain is resident at that point (threshold 0), so the patch must
+// invalidate it — observed directly via CompiledAt — and the remainder of the
+// run proves the rewritten word, not the stale chain, is what executes.
 func FuzzFastPathDifferential(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x66, 0x99, 0xb3})                       // load/store/prefetch
@@ -34,29 +41,93 @@ func FuzzFastPathDifferential(f *testing.F) {
 		if len(data) > 192 {
 			data = data[:192]
 		}
-		fast := DefaultConfig()
+		batch := DefaultConfig()
+		batch.JIT = false
+		jit := DefaultConfig()
+		jit.JIT = true
+		jit.JITThreshold = 0
 		slow := DefaultConfig()
 		slow.DisableFastPath = true
-		sysF := NewSystem(fast, buildFuzzProgram(data))
+		sysB := NewSystem(batch, buildFuzzProgram(data))
+		sysJ := NewSystem(jit, buildFuzzProgram(data))
 		sysS := NewSystem(slow, buildFuzzProgram(data))
-		resF := sysF.Run(30_000)
-		resS := sysS.Run(30_000)
-		if resF != resS {
-			t.Fatalf("Results diverged\nfast: %+v\nslow: %+v", resF, resS)
+		systems := []*System{sysS, sysB, sysJ}
+
+		// First half: let Trident form traces and the JIT compile them.
+		for _, sys := range systems {
+			sys.Run(15_000)
 		}
-		if pcF, pcS := sysF.Thread().PC(), sysS.Thread().PC(); pcF != pcS {
-			t.Fatalf("final PC diverged: fast %#x, slow %#x", pcF, pcS)
-		}
-		for r := isa.Reg(0); r < isa.NumRegs; r++ {
-			if vF, vS := sysF.Thread().Reg(r), sysS.Thread().Reg(r); vF != vS {
-				t.Fatalf("r%d diverged: fast %#x, slow %#x", r, vF, vS)
+
+		// Mid-run PatchImm, applied identically everywhere. The three systems
+		// are bit-identical by construction, so a patch target picked off the
+		// JIT system's code cache exists with the same content in all three.
+		if pc, imm := fuzzPatchTarget(sysJ); pc != 0 {
+			resident := sysJ.cache.CompiledAt(pc) != nil
+			for _, sys := range systems {
+				if err := sys.cache.PatchImm(pc, imm); err != nil {
+					t.Fatalf("PatchImm(%#x, %d): %v", pc, imm, err)
+				}
+			}
+			if resident && sysJ.cache.CompiledAt(pc) != nil {
+				t.Fatalf("compiled chain at %#x survived PatchImm", pc)
 			}
 		}
-		if sysF.hier.Stats != sysS.hier.Stats {
-			t.Fatalf("memsys.Stats diverged\nfast: %+v\nslow: %+v",
-				sysF.hier.Stats, sysS.hier.Stats)
+
+		resS := sysS.Run(30_000)
+		resB := sysB.Run(30_000)
+		resJ := sysJ.Run(30_000)
+		for _, cmp := range []struct {
+			name string
+			sys  *System
+			res  Results
+		}{{"batch", sysB, resB}, {"jit", sysJ, resJ}} {
+			if cmp.res != resS {
+				t.Fatalf("Results diverged\n%s: %+v\nslow: %+v", cmp.name, cmp.res, resS)
+			}
+			if pcF, pcS := cmp.sys.Thread().PC(), sysS.Thread().PC(); pcF != pcS {
+				t.Fatalf("final PC diverged: %s %#x, slow %#x", cmp.name, pcF, pcS)
+			}
+			for r := isa.Reg(0); r < isa.NumRegs; r++ {
+				if vF, vS := cmp.sys.Thread().Reg(r), sysS.Thread().Reg(r); vF != vS {
+					t.Fatalf("r%d diverged: %s %#x, slow %#x", r, cmp.name, vF, vS)
+				}
+			}
+			if cmp.sys.hier.Stats != sysS.hier.Stats {
+				t.Fatalf("memsys.Stats diverged\n%s: %+v\nslow: %+v",
+					cmp.name, cmp.sys.hier.Stats, sysS.hier.Stats)
+			}
 		}
 	})
+}
+
+// fuzzPatchTarget picks a deterministic PatchImm target in sys's code cache:
+// the first immediate-carrying, non-control instruction of the lowest live
+// placement. Branch immediates are excluded (rewriting a displacement can
+// jump outside placed code), and the new immediate nudges the old one by one
+// word so address-forming offsets stay aligned and in range. Returns pc 0
+// when no live trace offers a target (the fuzz mapping is total; a body of
+// pure branches may place nothing patchable).
+func fuzzPatchTarget(sys *System) (pc uint64, imm int64) {
+	sys.cache.VisitPlacements(func(pl *trident.Placement) {
+		if pc != 0 || !pl.Live {
+			return
+		}
+		for i := range pl.Trace.Insts {
+			in := pl.Trace.Insts[i].Inst
+			switch in.Op {
+			case isa.LD, isa.LDNF, isa.ST, isa.PREFETCH, isa.ADDI, isa.SUBI,
+				isa.XORI, isa.ANDI, isa.ORI, isa.LDI:
+				p := pl.Start + uint64(i)*isa.WordSize
+				next := in.Imm + 8
+				if next > isa.ImmMax {
+					next = in.Imm - 8
+				}
+				pc, imm = p, next
+				return
+			}
+		}
+	})
+	return pc, imm
 }
 
 // buildFuzzProgram turns fuzz bytes into a runnable hot loop. The mapping is

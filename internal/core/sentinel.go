@@ -94,7 +94,7 @@ func (s *System) sentinelVerify() {
 	if err := s.RestoreState(snap); err != nil {
 		// Cannot rewind (the machine may be partially restored): all that
 		// is left is to stop trusting the fast path.
-		s.cfg.DisableFastPath = true
+		s.demoteFastPath()
 		s.aborted = "sentinel: divergence detected and rewind failed: " + err.Error()
 		return
 	}
@@ -104,7 +104,19 @@ func (s *System) sentinelVerify() {
 		s.sentinelSnapAt, window, int64(s.stats.sentinelTrips))
 	s.sentinelSnap = nil
 	s.sentinelNextAt = s.origInstrs + s.cfg.SentinelEvery
-	s.cfg.DisableFastPath = true // demote; also disarms this sentinel
+	s.demoteFastPath() // also disarms this sentinel
+}
+
+// demoteFastPath quarantines both accelerated tiers for the rest of the run:
+// the reference loop becomes the only executor, and every compiled closure
+// chain is dropped eagerly (the lazy generation guard would never run again
+// once the fast path is off, so without the drop the dead chains would stay
+// pinned).
+func (s *System) demoteFastPath() {
+	s.cfg.DisableFastPath = true
+	s.cfg.JIT = false
+	s.live.DropCompiled()
+	s.cache.DropCompiled()
 }
 
 // sentinelConfig derives the scratch replay machine's configuration: the

@@ -108,7 +108,31 @@ type System struct {
 	// Accounting.
 	origInstrs uint64
 	stats      runStats
+
+	// Per-tier residency (DESIGN §13): weighted instructions and cycles
+	// retired on the reference loop, the interpreting batch engine, and the
+	// JIT tier. Engine-class telemetry: exported through the metrics
+	// registry only, never part of Results and never serialized, so reports
+	// stay byte-identical across engine choices and restores.
+	tiers [numTiers]tierStat
 }
+
+// Execution tiers (tierStat indices).
+const (
+	tierSlow = iota // reference one-step loop
+	tierBatch       // superblock interpreter (ExecSuperBlock)
+	tierJIT         // compiled closure chains (ExecCompiled)
+	numTiers
+)
+
+// tierStat is one tier's residency counters.
+type tierStat struct {
+	instrs uint64 // weighted (original) instructions retired
+	cycles uint64 // cycles the clock advanced while this tier retired
+}
+
+// tierNames label the tiers in the metrics registry.
+var tierNames = [numTiers]string{"slow", "batch", "jit"}
 
 // runStats accumulates core-level statistics during Run.
 type runStats struct {
@@ -316,6 +340,7 @@ func (s *System) step() {
 	}
 	pc := info.PC
 	now := info.Now
+	instrsBefore := s.origInstrs
 
 	// Fault injection: apply every chaos edge that has come due.
 	if s.chaosRun != nil && now >= s.chaosRun.NextAt() {
@@ -399,6 +424,10 @@ func (s *System) step() {
 		}
 	}
 
+	s.tiers[tierSlow].instrs += s.origInstrs - instrsBefore
+	if d := now - s.lastNow; d > 0 {
+		s.tiers[tierSlow].cycles += uint64(d)
+	}
 	s.curPl = pl
 	s.lastNow = now
 

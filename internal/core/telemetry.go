@@ -59,6 +59,16 @@ func (s *System) snapshotMetrics() {
 	u("blockcache_rebuilds", lb.Rebuilds+cb.Rebuilds)
 	u("blockcache_invalidations", lb.Invalidations+cb.Invalidations)
 
+	// Three-tier engine residency (DESIGN §13). Engine-class: which tier
+	// retired an instruction is path-dependent by nature, so these live in
+	// the registry only and never migrate into Results.
+	u("jit_compiles", lb.Compiles+cb.Compiles)
+	u("jit_revalidations", lb.Revalidations+cb.Revalidations)
+	for i, ts := range s.tiers {
+		u("tier_"+tierNames[i]+"_instrs", ts.instrs)
+		u("tier_"+tierNames[i]+"_cycles", ts.cycles)
+	}
+
 	u("traces_formed", s.stats.tracesFormed)
 	u("traces_backed_out", s.stats.tracesBackedOut)
 	u("traces_specialized", s.stats.tracesSpecialized)

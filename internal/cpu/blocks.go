@@ -78,13 +78,27 @@ type blockEnt struct {
 }
 
 // BlockStats counts block-cache activity: descriptor reuse (Hits), lazy
-// re-derivations after invalidation (Rebuilds), and generation bumps
-// (Invalidations). Always on — three counter increments on paths that
-// already do real work — and snapshotted into the telemetry registry.
+// re-derivations after invalidation (Rebuilds), generation bumps
+// (Invalidations), and JIT-tier promotions (Compiles). Always on — counter
+// increments on paths that already do real work — and snapshotted into the
+// telemetry registry.
 type BlockStats struct {
 	Hits          uint64
 	Rebuilds      uint64
 	Invalidations uint64
+	Compiles      uint64
+	Revalidations uint64
+}
+
+// jitEnt memoizes the JIT tier's state for the block starting at one word
+// index: a heat counter while the block warms up, then the compiled closure
+// chain. gen tags the entry like blockEnt's, so every patch invalidates the
+// compiled tier with the same single counter bump — stale entries reset
+// (heat and all) on first use under the new generation.
+type jitEnt struct {
+	gen  uint64
+	heat uint32
+	cb   *CompiledBlock
 }
 
 // BlockCache lazily maps instruction addresses to Blocks over one decoded
@@ -96,6 +110,7 @@ type BlockCache struct {
 	weights []int
 	gen     uint64
 	ents    []blockEnt
+	jents   []jitEnt
 
 	stats BlockStats
 }
@@ -113,20 +128,40 @@ func (c *BlockCache) SetSource(insts []isa.Inst, weights []int) {
 	c.insts, c.weights = insts, weights
 	c.gen++
 	c.stats.Invalidations++
-	if len(c.ents) < len(insts) {
-		c.ents = append(c.ents, make([]blockEnt, len(insts)-len(c.ents))...)
-	} else {
-		// Shrink with the image: without the trim a shorter image would
-		// keep stale descriptors alive past its end forever (they are
-		// gen-guarded, but they pin memory and would survive regrowth).
-		c.ents = c.ents[:len(insts)]
-	}
+	// Replace the entry arrays rather than appending over (or re-slicing)
+	// the old ones: every memoized descriptor is stale under the new image,
+	// and recycling the arrays would keep gen-guarded stale entries alive
+	// across regrowth — the regrowth-pinning bug this fixed. Plain block
+	// lengths start empty; JIT entries are carried over by value (truncation
+	// drops the tail) because word indices are stable under append-style
+	// regrowth and every carried entry is gen-stale, so its first use under
+	// the new generation revalidates the chain against current content (see
+	// AtCompiled) — a placement that appends a trace must not throw away the
+	// whole compiled tier. Entries whose content did change reset on first
+	// use; DropCompiled covers the paths that must release chains eagerly.
+	c.ents = make([]blockEnt, len(insts))
+	old := c.jents
+	c.jents = make([]jitEnt, len(insts))
+	copy(c.jents, old)
 }
 
 // Invalidate drops every cached descriptor (the image was patched in place).
+// The JIT tier is covered by the same bump: compiled chains are keyed by
+// (word, gen) and reset lazily on first use under the new generation.
 func (c *BlockCache) Invalidate() {
 	c.gen++
 	c.stats.Invalidations++
+}
+
+// DropCompiled eagerly discards every compiled block and heat counter. The
+// generation counter already quarantines them lazily; this is for the paths
+// that will never touch the entries again and must not keep them reachable —
+// sentinel demotion (the fast path is disabled for the rest of the run) and
+// checkpoint restore into a live machine.
+func (c *BlockCache) DropCompiled() {
+	for i := range c.jents {
+		c.jents[i] = jitEnt{}
+	}
 }
 
 // Stats returns the activity counters.
@@ -171,4 +206,69 @@ func (c *BlockCache) At(pc uint64) (Block, bool) {
 		b.Weights = c.weights[i:end]
 	}
 	return b, true
+}
+
+// CompiledAt is the launch-hot lookup: it returns the block's compiled
+// chain iff one is resident under the current generation, touching nothing
+// else — no block derivation, no heat, no stats. The fast path calls this
+// first on every launch; a steady-state hot loop pays two bounds checks and
+// a generation compare per batch instead of rebuilding block descriptors.
+// Warm-up, revalidation, and compilation all stay in AtCompiled, which the
+// caller falls back to on a miss.
+func (c *BlockCache) CompiledAt(pc uint64) *CompiledBlock {
+	if pc < c.base || pc%isa.WordSize != 0 {
+		return nil
+	}
+	i := (pc - c.base) / isa.WordSize
+	if i >= uint64(len(c.jents)) {
+		return nil
+	}
+	e := &c.jents[i]
+	if e.gen != c.gen {
+		return nil
+	}
+	return e.cb
+}
+
+// AtCompiled is At plus the JIT tier: each lookup bumps the block's heat,
+// and the lookup that crosses threshold compiles it — once per generation —
+// into a closure chain. cb is nil while the block is warming up (run the
+// interpreter); a patch or placement bumps gen and the entry restarts cold.
+// threshold 0 compiles on first use.
+func (c *BlockCache) AtCompiled(pc uint64, threshold uint32) (Block, *CompiledBlock, bool) {
+	b, ok := c.At(pc)
+	if !ok {
+		return b, nil, false
+	}
+	e := &c.jents[(pc-c.base)/isa.WordSize]
+	if e.gen != c.gen {
+		if e.cb != nil && e.cb.Matches(b) {
+			// The patch that bumped gen didn't touch this block: revalidate
+			// the chain by content instead of re-warming and recompiling.
+			// Self-repair's PatchImm fires constantly; without this, every
+			// repair threw away the entire compiled tier.
+			e.gen = c.gen
+			c.stats.Revalidations++
+		} else {
+			*e = jitEnt{gen: c.gen}
+		}
+	}
+	const dead = ^uint32(0) // Compile refused: stay interpreted this gen
+	if e.cb == nil {
+		if e.heat < threshold || e.heat == dead {
+			if e.heat != dead {
+				e.heat++
+			}
+			return b, nil, true
+		}
+		e.cb = Compile(b, pc)
+		if e.cb == nil {
+			// Not compilable (cannot happen for a block At derived, but a
+			// refusal must not re-enter Compile every launch).
+			e.heat = dead
+			return b, nil, true
+		}
+		c.stats.Compiles++
+	}
+	return b, e.cb, true
 }

@@ -267,3 +267,86 @@ func TestExecBlockInterference(t *testing.T) {
 		t.Fatalf("interfering cycle count %d, reference %d", th.Now(), ref.Now())
 	}
 }
+
+// TestBlockCacheRegrowthReuse pins the SetSource regrowth contract. A trace
+// placement appends to the code-cache image and re-points the block cache at
+// the grown slice; word indices below the old length are unchanged, so a
+// compiled chain whose content survived must be revalidated and reused — not
+// recompiled, and (the old regrowth-pinning bug) not silently served stale
+// from a recycled entry array. Changed content must recompile, and truncation
+// must drop the tail outright.
+func TestBlockCacheRegrowthReuse(t *testing.T) {
+	mk := func(n int) []isa.Inst {
+		// A branch-terminated block so appending afterwards can't extend it.
+		insts := []isa.Inst{
+			{Op: isa.ADDI, Rd: 1, Ra: 1, Imm: 1},
+			{Op: isa.ADDI, Rd: 2, Ra: 2, Imm: 2},
+			{Op: isa.BEQ, Ra: 1, Rb: 2, Imm: -2},
+		}
+		for i := 0; i < n; i++ {
+			insts = append(insts, isa.Inst{Op: isa.ADDI, Rd: 3, Ra: 3, Imm: 1})
+		}
+		return insts
+	}
+
+	c := NewBlockCache(0)
+	c.SetSource(mk(0), nil)
+	_, cb1, ok := c.AtCompiled(0, 0) // threshold 0: compile on first use
+	if !ok || cb1 == nil {
+		t.Fatalf("initial compile: ok=%v cb=%v", ok, cb1)
+	}
+	base := c.Stats()
+
+	// Append-style regrowth: same prefix content, longer image.
+	c.SetSource(mk(5), nil)
+	if got := c.CompiledAt(0); got != nil {
+		t.Fatal("CompiledAt served a gen-stale chain without revalidation")
+	}
+	_, cb2, ok := c.AtCompiled(0, 0)
+	if !ok || cb2 != cb1 {
+		t.Fatalf("regrowth reuse: ok=%v cb2=%p want %p (revalidated chain)", ok, cb2, cb1)
+	}
+	s := c.Stats()
+	if s.Revalidations != base.Revalidations+1 {
+		t.Fatalf("Revalidations = %d, want %d", s.Revalidations, base.Revalidations+1)
+	}
+	if s.Compiles != base.Compiles {
+		t.Fatalf("Compiles = %d, want %d (reuse must not recompile)", s.Compiles, base.Compiles)
+	}
+	if got := c.CompiledAt(0); got != cb1 {
+		t.Fatalf("CompiledAt after revalidation = %p, want %p", got, cb1)
+	}
+
+	// A block past the old image length must be compilable: the entry arrays
+	// must cover the grown image (the regrowth-pinning bug left them at the
+	// old length).
+	tailPC := uint64(3) * isa.WordSize
+	if _, cbT, ok := c.AtCompiled(tailPC, 0); !ok || cbT == nil {
+		t.Fatalf("appended-region compile: ok=%v cb=%v", ok, cbT)
+	}
+
+	// Changed content at the same index must recompile, not reuse.
+	changed := mk(5)
+	changed[1].Imm = 99
+	c.SetSource(changed, nil)
+	_, cb3, ok := c.AtCompiled(0, 0)
+	if !ok || cb3 == nil {
+		t.Fatal("recompile after content change failed")
+	}
+	if cb3 == cb1 {
+		t.Fatal("changed-content block reused the stale chain")
+	}
+	s2 := c.Stats()
+	if s2.Revalidations != s.Revalidations {
+		t.Fatalf("changed content revalidated: %d, want %d", s2.Revalidations, s.Revalidations)
+	}
+
+	// Truncation drops the carried tail; lookups past the new end miss clean.
+	c.SetSource(mk(5)[:2], nil)
+	if got := c.CompiledAt(tailPC); got != nil {
+		t.Fatal("truncated tail still served a compiled chain")
+	}
+	if _, _, ok := c.AtCompiled(tailPC, 0); ok {
+		t.Fatal("AtCompiled past truncated end reported ok")
+	}
+}

@@ -13,6 +13,7 @@ package cpu
 
 import (
 	"fmt"
+	"math"
 
 	"tridentsp/internal/branchpred"
 	"tridentsp/internal/isa"
@@ -118,6 +119,19 @@ func (s *ProgramSpace) BlockAt(pc uint64) (Block, bool) {
 	return s.blocks.At(pc)
 }
 
+// BlockAtJIT is BlockAt through the JIT tier (see BlockCache.AtCompiled).
+func (s *ProgramSpace) BlockAtJIT(pc uint64, threshold uint32) (Block, *CompiledBlock, bool) {
+	return s.blocks.AtCompiled(pc, threshold)
+}
+
+// CompiledAt is the launch-hot chain lookup (see BlockCache.CompiledAt).
+func (s *ProgramSpace) CompiledAt(pc uint64) *CompiledBlock {
+	return s.blocks.CompiledAt(pc)
+}
+
+// DropCompiled eagerly discards the JIT tier (sentinel demotion, restore).
+func (s *ProgramSpace) DropCompiled() { s.blocks.DropCompiled() }
+
 // BlockStats returns the block cache's activity counters.
 func (s *ProgramSpace) BlockStats() BlockStats { return s.blocks.Stats() }
 
@@ -169,8 +183,14 @@ type Thread struct {
 	issueUnits    int64
 	unitsPerCycle int64
 	unitsPerInst  int64
-	stallCycles   int64
-	interfering   bool
+	// maxCapCycles = MaxInt64/unitsPerCycle, precomputed so the per-batch
+	// cap conversion (sbCaps) runs without a hardware divide; nowShift is
+	// log2(unitsPerCycle) when that is a power of two (negative otherwise),
+	// for the same reason in Now — which runs on every commit.
+	maxCapCycles int64
+	nowShift     int
+	stallCycles  int64
+	interfering  bool
 
 	// taintSrc records, per register, the PC of the load the value
 	// derives from (0 = clean); it drives the MLP classification above.
@@ -197,11 +217,23 @@ func New(cfg Config, code CodeSpace, entry uint64, mem *program.Memory,
 	// Fixed-point issue accounting with room for the interference ratio.
 	t.unitsPerCycle = int64(cfg.IssueWidth) * cfg.InterferenceDen
 	t.unitsPerInst = cfg.InterferenceDen
+	t.maxCapCycles = math.MaxInt64 / t.unitsPerCycle
+	t.nowShift = -1
+	for sh := 0; sh < 63; sh++ {
+		if int64(1)<<sh == t.unitsPerCycle {
+			t.nowShift = sh
+			break
+		}
+	}
 	return t
 }
 
-// Now returns the current cycle.
+// Now returns the current cycle. issueUnits only ever accumulates upward
+// from zero, so the shift is exact where it applies.
 func (t *Thread) Now() int64 {
+	if t.nowShift >= 0 {
+		return t.issueUnits>>uint(t.nowShift) + t.stallCycles
+	}
 	return t.issueUnits/t.unitsPerCycle + t.stallCycles
 }
 

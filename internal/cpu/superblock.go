@@ -74,7 +74,7 @@ func (t *Thread) sbCaps(horizon int64, needBr bool) (unitsCap, brCap int64) {
 	switch {
 	case rem <= 0:
 		unitsCap = 0
-	case rem <= math.MaxInt64/t.unitsPerCycle:
+	case rem <= t.maxCapCycles:
 		unitsCap = rem * t.unitsPerCycle
 	}
 	if needBr {
@@ -82,7 +82,7 @@ func (t *Thread) sbCaps(horizon int64, needBr bool) (unitsCap, brCap int64) {
 		switch {
 		case rem <= 0:
 			brCap = 0
-		case rem <= math.MaxInt64/t.unitsPerCycle:
+		case rem <= t.maxCapCycles:
 			brCap = rem * t.unitsPerCycle
 		}
 	}

@@ -70,14 +70,14 @@ func TestExecSuperBlockMatchesStep(t *testing.T) {
 	// A stride loop: store then reload a word per iteration, prefetch ahead,
 	// decrement, branch back. Every opcode kind a superblock admits.
 	seq := []isa.Inst{
-		{Op: isa.LDI, Rd: 1, Imm: 0x4000},            // 0x1000 base
-		{Op: isa.LDI, Rd: 2, Imm: 64},                // 0x1008 counter
-		{Op: isa.ST, Ra: 1, Rb: 2, Imm: 0},           // 0x1010 loop: mem[r1] = r2
-		{Op: isa.LD, Rd: 3, Ra: 1, Imm: 0},           // 0x1018 r3 = mem[r1]
-		{Op: isa.PREFETCH, Ra: 1, Imm: 256},          // 0x1020
-		{Op: isa.ADD, Rd: 4, Ra: 4, Rb: 3},           // 0x1028 accumulate
-		{Op: isa.ADDI, Rd: 1, Ra: 1, Imm: 8},         // 0x1030 advance
-		{Op: isa.SUBI, Rd: 2, Ra: 2, Imm: 1},         // 0x1038
+		{Op: isa.LDI, Rd: 1, Imm: 0x4000},                         // 0x1000 base
+		{Op: isa.LDI, Rd: 2, Imm: 64},                             // 0x1008 counter
+		{Op: isa.ST, Ra: 1, Rb: 2, Imm: 0},                        // 0x1010 loop: mem[r1] = r2
+		{Op: isa.LD, Rd: 3, Ra: 1, Imm: 0},                        // 0x1018 r3 = mem[r1]
+		{Op: isa.PREFETCH, Ra: 1, Imm: 256},                       // 0x1020
+		{Op: isa.ADD, Rd: 4, Ra: 4, Rb: 3},                        // 0x1028 accumulate
+		{Op: isa.ADDI, Rd: 1, Ra: 1, Imm: 8},                      // 0x1030 advance
+		{Op: isa.SUBI, Rd: 2, Ra: 2, Imm: 1},                      // 0x1038
 		{Op: isa.BNE, Ra: 2, Imm: isa.BranchDisp(0x1040, 0x1010)}, // 0x1040
 		{Op: isa.HALT}, // 0x1048
 	}
@@ -100,7 +100,7 @@ func TestExecSuperBlockMatchesStep(t *testing.T) {
 // re-batch produces the slow path's state.
 func TestSuperBlockMissStopsExactly(t *testing.T) {
 	seq := []isa.Inst{
-		{Op: isa.LDI, Rd: 1, Imm: 0x4000},  // 0x1000
+		{Op: isa.LDI, Rd: 1, Imm: 0x4000},    // 0x1000
 		{Op: isa.ADDI, Rd: 2, Ra: 2, Imm: 7}, // 0x1008
 		{Op: isa.LD, Rd: 3, Ra: 1, Imm: 0},   // 0x1010 cold: must stop here
 		{Op: isa.LD, Rd: 4, Ra: 1, Imm: 0},   // 0x1018 sweeps the expired fill
@@ -173,8 +173,8 @@ func TestSuperBlockMissStopsExactly(t *testing.T) {
 // final not-taken branch exits with the fall-through PC.
 func TestSuperBlockFoldsBackEdge(t *testing.T) {
 	seq := []isa.Inst{
-		{Op: isa.LDI, Rd: 1, Imm: 8},         // 0x1000
-		{Op: isa.SUBI, Rd: 1, Ra: 1, Imm: 1}, // 0x1008 loop
+		{Op: isa.LDI, Rd: 1, Imm: 8},                              // 0x1000
+		{Op: isa.SUBI, Rd: 1, Ra: 1, Imm: 1},                      // 0x1008 loop
 		{Op: isa.BNE, Ra: 1, Imm: isa.BranchDisp(0x1010, 0x1008)}, // 0x1010
 		{Op: isa.HALT}, // 0x1018
 	}
@@ -210,7 +210,7 @@ func TestSuperBlockFoldsBackEdge(t *testing.T) {
 // reached it, even mid-iteration.
 func TestSuperBlockHonorsWeightBudgetAcrossFolds(t *testing.T) {
 	seq := []isa.Inst{
-		{Op: isa.SUBI, Rd: 1, Ra: 1, Imm: 1}, // 0x1000 loop (r1 starts 0 → huge)
+		{Op: isa.SUBI, Rd: 1, Ra: 1, Imm: 1},                      // 0x1000 loop (r1 starts 0 → huge)
 		{Op: isa.BNE, Ra: 1, Imm: isa.BranchDisp(0x1008, 0x1000)}, // 0x1008
 		{Op: isa.HALT},
 	}

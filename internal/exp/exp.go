@@ -38,6 +38,13 @@ type Options struct {
 	// (core.Config.DisableFastPath) in every run. Tables are identical
 	// either way; the knob exists to prove that.
 	DisableFastPath bool
+	// DisableJIT turns off the compiled-closure tier in every run, leaving
+	// the interpreting batch engine (core.Config.JIT = false). Tables are
+	// identical either way, like DisableFastPath.
+	DisableJIT bool
+	// JITThreshold, when non-nil, overrides core.Config.JITThreshold in
+	// every run (0 = compile every block on first use).
+	JITThreshold *uint32
 	// Retries is how many extra attempts a failed run (panic or timeout)
 	// gets before its cells are holed ("—") and the failure lands in the
 	// table's manifest.
@@ -81,9 +88,21 @@ func (o Options) suite() []workloads.Benchmark {
 	return out
 }
 
+// applyEngine applies the engine-selection knobs (fast path, JIT tier) to a
+// run configuration.
+func (o Options) applyEngine(cfg *core.Config) {
+	cfg.DisableFastPath = o.DisableFastPath
+	if o.DisableJIT {
+		cfg.JIT = false
+	}
+	if o.JITThreshold != nil {
+		cfg.JITThreshold = *o.JITThreshold
+	}
+}
+
 // run executes one benchmark under one configuration.
 func run(bm workloads.Benchmark, cfg core.Config, o Options) core.Results {
-	cfg.DisableFastPath = o.DisableFastPath
+	o.applyEngine(&cfg)
 	p := bm.Build(o.Scale)
 	return core.NewSystem(cfg, p).Run(o.Instrs)
 }

@@ -42,8 +42,19 @@ type line struct {
 type cache struct {
 	sets    [][]line
 	numSets uint64
+	setMask uint64 // numSets-1 when numSets is a power of two, else 0
 	assoc   int
 	latency int64
+}
+
+// setOf maps a line address to its set index. Every practical configuration
+// has a power-of-two set count, turning the modulo — a hardware divide on
+// the hottest memsys path — into a mask; odd counts fall back to %.
+func (c *cache) setOf(lineAddr uint64) uint64 {
+	if c.setMask != 0 {
+		return lineAddr & c.setMask
+	}
+	return lineAddr % c.numSets
 }
 
 func newCache(cfg CacheConfig, lineSize int) *cache {
@@ -58,21 +69,22 @@ func newCache(cfg CacheConfig, lineSize int) *cache {
 		assoc:   cfg.Assoc,
 		latency: cfg.Latency,
 	}
-	// All sets share one backing array: constructing a hierarchy was one
-	// allocation per set (thousands per simulated run). The three-index
-	// slices cap each set at its own ways, so append never crosses into a
-	// neighbour.
-	backing := make([]line, numSets*cfg.Assoc)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Assoc : i*cfg.Assoc : (i+1)*cfg.Assoc]
+	if n := uint64(numSets); n&(n-1) == 0 {
+		c.setMask = n - 1
 	}
+	// Set storage is lazy: a set's way array is allocated on its first
+	// insert. An L3-sized cache has ~100k sets, and eagerly materializing
+	// them (even as one backing array) made hierarchy construction — one per
+	// simulated system, dozens per experiment figure — a multi-megabyte
+	// allocate-and-zero that the small-scale runs never touched more than a
+	// fraction of. A nil set reads as empty everywhere below.
 	return c
 }
 
 // lookup probes for lineAddr; on hit it refreshes recency and returns the
 // line.
 func (c *cache) lookup(lineAddr uint64) *line {
-	set := c.sets[lineAddr%c.numSets]
+	set := c.sets[c.setOf(lineAddr)]
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
 			if i != 0 {
@@ -88,7 +100,7 @@ func (c *cache) lookup(lineAddr uint64) *line {
 
 // contains probes without updating recency.
 func (c *cache) contains(lineAddr uint64) bool {
-	set := c.sets[lineAddr%c.numSets]
+	set := c.sets[c.setOf(lineAddr)]
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
 			return true
@@ -101,7 +113,7 @@ func (c *cache) contains(lineAddr uint64) bool {
 // line (valid=false if none was evicted). If the line is already present it
 // is refreshed in place and no eviction occurs.
 func (c *cache) insert(lineAddr uint64, prefetched bool) (evicted line) {
-	si := lineAddr % c.numSets
+	si := c.setOf(lineAddr)
 	set := c.sets[si]
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
@@ -118,6 +130,9 @@ func (c *cache) insert(lineAddr uint64, prefetched bool) (evicted line) {
 	}
 	nl := line{tag: lineAddr, valid: true, prefetched: prefetched}
 	if len(set) < c.assoc {
+		if set == nil {
+			set = make([]line, 0, c.assoc)
+		}
 		set = append(set, line{})
 		copy(set[1:], set[0:len(set)-1])
 		set[0] = nl
@@ -132,7 +147,7 @@ func (c *cache) insert(lineAddr uint64, prefetched bool) (evicted line) {
 
 // invalidate removes lineAddr if present, reporting whether it was found.
 func (c *cache) invalidate(lineAddr uint64) bool {
-	si := lineAddr % c.numSets
+	si := c.setOf(lineAddr)
 	set := c.sets[si]
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {

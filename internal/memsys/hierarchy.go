@@ -241,7 +241,7 @@ func (h *Hierarchy) Load(pc, addr uint64, now int64) Result {
 // call — which by construction never allocates a stream.
 func (h *Hierarchy) LoadFast(pc, addr uint64, now int64) (Result, bool) {
 	la := h.Line(addr)
-	if h.inflight.len() >= h.cfg.MaxInFlight || h.inflight.contains(la) {
+	if !h.fastGate(la) {
 		return Result{}, false
 	}
 	l := h.l1.lookup(la) // pure on miss: recency moves only on hit
@@ -264,14 +264,21 @@ func (h *Hierarchy) LoadFast(pc, addr uint64, now int64) (Result, bool) {
 	return res, true
 }
 
+// fastGate is the pure precondition shared by every fast probe: below MSHR
+// capacity (sweep provably inert) and no in-flight fill for the line (the
+// inflight probe classifies nothing). Kept tiny so the batch executors'
+// per-load gates inline it.
+func (h *Hierarchy) fastGate(la uint64) bool {
+	return h.inflight.len() < h.cfg.MaxInFlight && !h.inflight.contains(la)
+}
+
 // CanLoadFast reports whether LoadFast(pc, addr, now) would succeed,
 // without committing anything. The batch engine uses it to decide whether
 // launching a superblock at a trace head is guaranteed to retire at least
 // its first instruction.
 func (h *Hierarchy) CanLoadFast(addr uint64, now int64) bool {
 	la := h.Line(addr)
-	return h.inflight.len() < h.cfg.MaxInFlight &&
-		!h.inflight.contains(la) && h.l1.contains(la)
+	return h.fastGate(la) && h.l1.contains(la)
 }
 
 func (h *Hierarchy) loadLine(la uint64, now int64) Result {

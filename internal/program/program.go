@@ -8,7 +8,6 @@ package program
 
 import (
 	"fmt"
-	"maps"
 	"sort"
 
 	"tridentsp/internal/isa"
@@ -91,16 +90,17 @@ func (p *Program) WordAt(pc uint64) (uint64, bool) {
 	return p.Code[(pc-p.Base)/isa.WordSize], true
 }
 
-// Clone returns a deep copy of the program; the live image the simulator
-// patches is a clone of the pristine program. Cloning builds the source's
-// paged memory image (if Data is non-empty) and shares it with the clone:
-// clones exist to be run, and runs start by copying the image. The length
-// check in NewMemory guards against Data entries added after this point;
-// in-place overwrites of existing entries after cloning are not tracked.
+// Clone returns a run-ready copy of the program: Code is deep-copied (the
+// simulator patches the live image in place), while Data and the paged
+// memory image are shared with the source. Clones exist to be run, and a run
+// never writes Data — it builds its memory as a copy-on-write view of the
+// shared image — so cloning the map (once the single largest cost of
+// starting a run) bought nothing. Callers that seed extra Data entries must
+// do so on the source before cloning; the length check in NewMemory catches
+// entries added afterwards, silent in-place overwrites are not tracked.
 func (p *Program) Clone() *Program {
-	c := &Program{Base: p.Base, Entry: p.Entry, Name: p.Name}
+	c := &Program{Base: p.Base, Entry: p.Entry, Name: p.Name, Data: p.Data}
 	c.Code = append([]uint64(nil), p.Code...)
-	c.Data = maps.Clone(p.Data)
 	if c.Data == nil {
 		c.Data = map[uint64]uint64{}
 	}
@@ -134,19 +134,31 @@ func (p *Program) Listing() []string {
 // address (the workloads only use aligned accesses, but the memory must not
 // fault on synthesized prefetch addresses).
 //
-// Storage is paged: a map from page index to 4KB word arrays, with a
-// one-entry cache of the last page touched. Data accesses are the hottest
-// operation in the simulator — the workloads stream over arrays and chase
-// pointers word by word — and the page cache turns almost all of them into
-// two array indexings instead of a hash probe. A per-word valid bitmap
-// preserves the sparse-map semantics Valid relies on (written-with-zero is
-// distinguishable from never-written).
+// Storage is paged into 4KB word arrays behind a dense page table. Data
+// accesses are the hottest operation in the simulator — the workloads stream
+// over arrays and chase pointers word by word — and the dense table makes
+// every access one bounds check and one pointer load. The previous design
+// (a page map fronted by a small direct-mapped translation cache) thrashed
+// on pointer-chase workloads whose hot page count exceeded the cache, and
+// its map probes were a top-ten profile entry for whole-figure runs. A
+// per-word valid bitmap preserves sparse semantics for Valid
+// (written-with-zero is distinguishable from never-written).
 type Memory struct {
-	pages    map[uint64]*memPage
-	lastIdx  uint64
-	lastPage *memPage
-	mapped   int
+	// tab is the dense page table, indexed by page index (addr >> 12). The
+	// workloads allocate compact low address spaces (tens of MB), so it
+	// stays small; it grows lazily to the highest page stored.
+	tab []*memPage
+	// high holds the rare pages at or beyond denseLimit — a fuzzer or an
+	// adversarial kernel storing through an arbitrary 64-bit register must
+	// not grow the dense table unboundedly. nil until first needed.
+	high   map[uint64]*memPage
+	mapped int
 }
+
+// denseLimit bounds the dense page table: pages below it (1 GiB of address
+// space, at most 2 MiB of table) are direct-indexed; the rest overflow to
+// the high map.
+const denseLimit = 1 << 18
 
 const (
 	memPageShift = 9 // 512 words = 4KB per page
@@ -157,6 +169,12 @@ const (
 type memPage struct {
 	words [memPageWords]uint64
 	valid [memPageWords / 64]uint64
+	// owner is the Memory that may write this page. Clones share page
+	// pointers (copy-on-write); a Store through a Memory that does not own
+	// the page copies it first. The cached master image is never written
+	// after it is built, so sharing its pages across concurrently-cloned
+	// runs is race-free.
+	owner *Memory
 }
 
 // NewMemory creates a memory initialized from the program's data image. The
@@ -179,7 +197,7 @@ func (p *Program) Prebuild() {
 // form of Data.
 func (p *Program) ensureMemImage() *Memory {
 	if p.memImage == nil || p.memImageLen != len(p.Data) {
-		m := &Memory{pages: make(map[uint64]*memPage, len(p.Data)/memPageWords+8)}
+		m := &Memory{}
 		for a, v := range p.Data {
 			m.Store(a, v)
 		}
@@ -188,30 +206,89 @@ func (p *Program) ensureMemImage() *Memory {
 	return p.memImage
 }
 
-// clone returns an independent deep copy; page copies are straight
-// memmoves, so this is much cheaper than rebuilding from a sparse map.
+// clone returns a copy-on-write clone: the page table is copied but the
+// pages themselves are shared until the clone writes to one (Store copies a
+// page it doesn't own). Runs touch far fewer pages with stores than the
+// image maps, so this beats deep-copying every page up front — which used to
+// be a measurable slice of whole-experiment time.
 func (m *Memory) clone() *Memory {
-	c := &Memory{pages: make(map[uint64]*memPage, len(m.pages)), mapped: m.mapped}
-	for idx, pg := range m.pages {
-		np := new(memPage)
-		*np = *pg
-		c.pages[idx] = np
+	c := &Memory{tab: append([]*memPage(nil), m.tab...), mapped: m.mapped}
+	if m.high != nil {
+		c.high = make(map[uint64]*memPage, len(m.high))
+		for idx, pg := range m.high {
+			c.high[idx] = pg
+		}
 	}
 	return c
 }
 
 // page returns the page containing word index w, or nil when the page has
-// never been written, refreshing the one-entry cache on a hit.
+// never been written.
 func (m *Memory) page(w uint64) *memPage {
 	idx := w >> memPageShift
-	if pg := m.lastPage; pg != nil && idx == m.lastIdx {
-		return pg
+	if idx < uint64(len(m.tab)) {
+		return m.tab[idx]
 	}
-	pg := m.pages[idx]
-	if pg != nil {
-		m.lastIdx, m.lastPage = idx, pg
+	if m.high != nil {
+		return m.high[idx]
 	}
-	return pg
+	return nil
+}
+
+// setPage installs pg as the page at idx, growing the dense table or
+// spilling to the high map as the index demands.
+func (m *Memory) setPage(idx uint64, pg *memPage) {
+	if idx >= denseLimit {
+		if m.high == nil {
+			m.high = make(map[uint64]*memPage)
+		}
+		m.high[idx] = pg
+		return
+	}
+	if idx >= uint64(len(m.tab)) {
+		capHint := idx + 1
+		if c := 2 * uint64(cap(m.tab)); c > capHint {
+			capHint = c
+		}
+		if capHint > denseLimit {
+			capHint = denseLimit
+		}
+		nt := make([]*memPage, idx+1, capHint)
+		copy(nt, m.tab)
+		m.tab = nt
+	}
+	m.tab[idx] = pg
+}
+
+// forEachPage visits every mapped page in ascending page-index order (the
+// dense table is inherently ordered; high indices all sort after it).
+func (m *Memory) forEachPage(f func(idx uint64, pg *memPage)) {
+	for i, pg := range m.tab {
+		if pg != nil {
+			f(uint64(i), pg)
+		}
+	}
+	if len(m.high) > 0 {
+		idxs := make([]uint64, 0, len(m.high))
+		for idx := range m.high {
+			idxs = append(idxs, idx)
+		}
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		for _, idx := range idxs {
+			f(idx, m.high[idx])
+		}
+	}
+}
+
+// numPages counts the mapped pages.
+func (m *Memory) numPages() int {
+	n := len(m.high)
+	for _, pg := range m.tab {
+		if pg != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Load reads the 8-byte word containing addr. Unmapped addresses read zero.
@@ -224,15 +301,20 @@ func (m *Memory) Load(addr uint64) uint64 {
 	return pg.words[w&memPageMask]
 }
 
-// Store writes the 8-byte word containing addr.
+// Store writes the 8-byte word containing addr, copying a shared page on
+// first write (see clone).
 func (m *Memory) Store(addr, val uint64) {
 	w := addr >> 3
 	pg := m.page(w)
 	if pg == nil {
-		idx := w >> memPageShift
-		pg = &memPage{}
-		m.pages[idx] = pg
-		m.lastIdx, m.lastPage = idx, pg
+		pg = &memPage{owner: m}
+		m.setPage(w>>memPageShift, pg)
+	} else if pg.owner != m {
+		np := new(memPage)
+		*np = *pg
+		np.owner = m
+		m.setPage(w>>memPageShift, np)
+		pg = np
 	}
 	o := w & memPageMask
 	pg.words[o] = val
@@ -261,20 +343,14 @@ func (m *Memory) Footprint() int { return m.mapped }
 // Snapshot returns the memory contents in deterministic (sorted) order; used
 // by the transparency property tests to compare architectural state.
 func (m *Memory) Snapshot() []WordValue {
-	idxs := make([]uint64, 0, len(m.pages))
-	for idx := range m.pages {
-		idxs = append(idxs, idx)
-	}
-	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
 	var out []WordValue
-	for _, idx := range idxs {
-		pg := m.pages[idx]
+	m.forEachPage(func(idx uint64, pg *memPage) {
 		for o, v := range pg.words {
 			if v != 0 && pg.valid[o>>6]&(1<<(uint(o)&63)) != 0 {
 				out = append(out, WordValue{Addr: (idx<<memPageShift | uint64(o)) << 3, Val: v})
 			}
 		}
-	}
+	})
 	return out
 }
 

@@ -187,20 +187,28 @@ func TestMemorySnapshotSorted(t *testing.T) {
 	}
 }
 
-func TestCloneIsDeep(t *testing.T) {
+func TestCloneContract(t *testing.T) {
 	b := NewBuilder("c", 0x1000, 0x10000)
 	b.Nop()
 	b.Halt()
 	a := b.AllocWords(5)
 	p := b.MustBuild()
 	c := p.Clone()
+	// Code is deep: the simulator patches the live image in place.
 	c.Code[0] = isa.Encode(isa.Inst{Op: isa.HALT})
-	c.Data[a] = 6
 	if isa.Decode(p.Code[0]).Op != isa.NOP {
 		t.Error("Clone shares code")
 	}
-	if p.Data[a] != 5 {
-		t.Error("Clone shares data")
+	// Data is shared: runs read it only (memory is a copy-on-write view of
+	// the paged image), and cloning the map dominated run startup.
+	if &c.Data == &p.Data && c.Data[a] != 5 {
+		t.Error("clone lost data")
+	}
+	// The clone's run memory is still fully independent of the source's.
+	m1, m2 := NewMemory(p), NewMemory(c)
+	m1.Store(a, 7)
+	if m2.Load(a) != 5 {
+		t.Errorf("clone memories interfere: got %d, want 5", m2.Load(a))
 	}
 }
 

@@ -1,28 +1,21 @@
 package program
 
 import (
-	"sort"
-
 	"tridentsp/internal/checkpoint"
 )
 
 // Checkpoint serialization (DESIGN §12). Memory is the only mutable object
 // in this package (Program images are pristine by contract). Pages are
-// written sorted by page index so identical memories serialize to identical
-// bytes regardless of map iteration order; the one-entry lookup cache
-// (lastIdx/lastPage) is reset, not restored — it is a pure accelerator.
+// written in ascending page-index order so identical memories serialize to
+// identical bytes (the dense table is inherently ordered; overflow pages
+// are sorted). Page ownership is not serialized: restored pages are freshly
+// allocated and owned by the restoring memory outright.
 
 // SaveState serializes the memory contents.
 func (m *Memory) SaveState(e *checkpoint.Encoder) {
 	e.Mark("program.memory")
-	idxs := make([]uint64, 0, len(m.pages))
-	for idx := range m.pages {
-		idxs = append(idxs, idx)
-	}
-	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
-	e.Len(len(idxs))
-	for _, idx := range idxs {
-		pg := m.pages[idx]
+	e.Len(m.numPages())
+	m.forEachPage(func(idx uint64, pg *memPage) {
 		e.U64(idx)
 		for _, w := range pg.words {
 			e.U64(w)
@@ -30,7 +23,7 @@ func (m *Memory) SaveState(e *checkpoint.Encoder) {
 		for _, v := range pg.valid {
 			e.U64(v)
 		}
-	}
+	})
 	e.Int(m.mapped)
 }
 
@@ -41,11 +34,10 @@ func (m *Memory) LoadState(d *checkpoint.Decoder) error {
 	if d.Err() != nil {
 		return d.Err()
 	}
-	m.pages = make(map[uint64]*memPage, n)
-	m.lastIdx, m.lastPage = 0, nil
+	m.tab, m.high = nil, nil
 	for i := 0; i < n; i++ {
 		idx := d.U64()
-		pg := &memPage{}
+		pg := &memPage{owner: m}
 		for j := range pg.words {
 			pg.words[j] = d.U64()
 		}
@@ -55,7 +47,7 @@ func (m *Memory) LoadState(d *checkpoint.Decoder) error {
 		if d.Err() != nil {
 			return d.Err()
 		}
-		m.pages[idx] = pg
+		m.setPage(idx, pg)
 	}
 	m.mapped = d.Int()
 	return d.Err()

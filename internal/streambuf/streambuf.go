@@ -96,7 +96,11 @@ type StreamBuffers struct {
 	port    FillPort
 	table   []strideEntry
 	buffers []buffer
-	Stats   Stats
+	// lineShift is log2(LineSize) when the line size is a power of two
+	// (negative otherwise): lineOf runs per committed load, and the shift
+	// avoids a hardware divide there.
+	lineShift int
+	Stats     Stats
 }
 
 // New builds the engine around a fill port.
@@ -114,10 +118,20 @@ func New(cfg Config, port FillPort) *StreamBuffers {
 	for i := range s.buffers {
 		s.buffers[i].entries = make([]bufEntry, 0, cfg.BufferEntries)
 	}
+	s.lineShift = -1
+	for sh := 0; sh < 32; sh++ {
+		if 1<<sh == cfg.LineSize {
+			s.lineShift = sh
+			break
+		}
+	}
 	return s
 }
 
 func (s *StreamBuffers) lineOf(addr uint64) uint64 {
+	if s.lineShift >= 0 {
+		return addr >> uint(s.lineShift)
+	}
 	return addr / uint64(s.cfg.LineSize)
 }
 

@@ -103,6 +103,19 @@ func (c *CodeCache) BlockAt(pc uint64) (cpu.Block, bool) {
 	return c.blocks.At(pc)
 }
 
+// BlockAtJIT is BlockAt through the JIT tier (see cpu.BlockCache.AtCompiled).
+func (c *CodeCache) BlockAtJIT(pc uint64, threshold uint32) (cpu.Block, *cpu.CompiledBlock, bool) {
+	return c.blocks.AtCompiled(pc, threshold)
+}
+
+// CompiledAt is the launch-hot chain lookup (see cpu.BlockCache.CompiledAt).
+func (c *CodeCache) CompiledAt(pc uint64) *cpu.CompiledBlock {
+	return c.blocks.CompiledAt(pc)
+}
+
+// DropCompiled eagerly discards the JIT tier (sentinel demotion, restore).
+func (c *CodeCache) DropCompiled() { c.blocks.DropCompiled() }
+
 // BlockStats returns the block cache's activity counters.
 func (c *CodeCache) BlockStats() cpu.BlockStats { return c.blocks.Stats() }
 

@@ -87,7 +87,11 @@ type buildKey struct {
 
 // cached wraps a builder with the master-program cache. The master's lazy
 // caches are forced before it is published, so concurrent harness workers
-// cloning it only ever read.
+// cloning it only ever read. The clone handed out is a ClonePristine — code
+// deep-copied (the simulator patches it), the data map and paged memory
+// image shared (the simulator reads them only, building its run memory as a
+// copy-on-write view of the image). Cloning the data map per run used to be
+// one of the largest single costs in the experiment harness.
 func cached(name string, build func(Scale) *program.Program) func(Scale) *program.Program {
 	return func(s Scale) *program.Program {
 		k := buildKey{name, s}
@@ -99,7 +103,7 @@ func cached(name string, build func(Scale) *program.Program) func(Scale) *progra
 			buildCache[k] = p
 		}
 		buildMu.Unlock()
-		return p.Clone()
+		return p.ClonePristine()
 	}
 }
 

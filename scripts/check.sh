@@ -18,6 +18,17 @@ go vet ./...
 # fast failure, then the full suite.
 go test -race -run TestConcurrentSystemsShareNothing ./internal/core/
 go test -race ./...
+# JIT tier legs. The differential suite under -race with the JIT engaged:
+# the fuzz oracle runs slow vs batch vs JIT (threshold 0 — compiled chains
+# resident everywhere, including across a mid-run PatchImm), and the fast-path
+# and sentinel suites cover promotion, quarantine, and restore at the stock
+# threshold. Then a compile-everything smoke at the binary boundary: a
+# -jit-threshold=0 run must finish clean and report byte-identically to the
+# reference loop.
+go test -race -run 'TestFastPath|TestSentinel|FuzzFastPathDifferential' ./internal/core/
+go test -race -run 'TestEngineReportIdentity|TestKillResumeDeterminism' ./cmd/tridentsim/
+go run ./cmd/tridentsim -bench swim,mcf,art -scale small -instrs 400000 -jit-threshold 0 > /tmp/jit0.out
+go run ./cmd/tridentsim -bench swim,mcf,art -scale small -instrs 400000 -slowpath | diff /tmp/jit0.out -
 # Golden-trace conformance, twice in one process: -count=2 re-runs every
 # workload against the checked-in streams, so a run that mutates shared
 # state (and would only diverge on the second pass) still fails.
@@ -47,3 +58,7 @@ go run ./cmd/benchdiff -threshold 0.05 "$old" "$new"
 # sit on the hot simulation loop, so PR6 holds the figure benches within 1%
 # of the pre-durability snapshot.
 go run ./cmd/benchdiff -threshold 0.01 BENCH_pr5.json BENCH_pr6.json
+# The JIT tier's perf contract (PR7): no figure bench regresses past the 1%
+# gate versus the pre-JIT snapshot, and the machine-readable output carries
+# the same verdict the table mode gates on.
+go run ./cmd/benchdiff -threshold 0.01 -json BENCH_pr6.json BENCH_pr7.json | grep '"regressed": false'
