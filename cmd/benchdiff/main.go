@@ -4,8 +4,17 @@
 // Usage:
 //
 //	benchdiff OLD.json NEW.json
+//	benchdiff -old BENCH_after.json -new BENCH_pr3.json
+//	benchdiff                       # auto-pick the two newest BENCH_*.json
 //	benchdiff -threshold 0.05 BENCH_after.json BENCH_pr3.json
 //	benchdiff -json OLD.json NEW.json | jq .geomean
+//
+// With no files named, the two newest BENCH_*.json in the current directory
+// (version order, so pr10 sorts after pr9) are compared; sampled-mode
+// snapshots (BENCH_*_sampled.json) are excluded from auto-picking, since
+// their benchmarks measure a different execution mode and would never match
+// the exact-mode names anyway. -old/-new name the files explicitly without
+// relying on position.
 //
 // With -json the same comparison is emitted as a machine-readable document —
 // per-benchmark deltas plus the geomean and the gating verdict — for CI jobs
@@ -29,6 +38,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"tridentsp/internal/exp/render"
 )
@@ -52,22 +64,29 @@ func main() {
 		"fail when ns/op regresses by more than this fraction")
 	asJSON := flag.Bool("json", false,
 		"emit the comparison as machine-readable JSON instead of a table")
+	oldPath := flag.String("old", "", "baseline snapshot (with -new; overrides positional args)")
+	newPath := flag.String("new", "", "candidate snapshot (with -old; overrides positional args)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [-threshold 0.10] [-json] OLD.json NEW.json\n")
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff [-threshold 0.10] [-json] [OLD.json NEW.json | -old F -new F]\n"+
+				"with no files named, the two newest BENCH_*.json (excluding *_sampled) are compared\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 2 {
+
+	oldFile, newFile, err := resolvePair(*oldPath, *newPath, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	oldSnap, err := load(flag.Arg(0))
+	oldSnap, err := load(oldFile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	newSnap, err := load(flag.Arg(1))
+	newSnap, err := load(newFile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
@@ -88,6 +107,85 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.0f%%\n", *threshold*100)
 		os.Exit(1)
 	}
+}
+
+// resolvePair decides which two snapshots to compare: explicit -old/-new
+// flags, two positional arguments, or (with neither) the two newest
+// BENCH_*.json files in the current directory.
+func resolvePair(oldFlag, newFlag string, args []string) (oldFile, newFile string, err error) {
+	switch {
+	case oldFlag != "" && newFlag != "":
+		if len(args) > 0 {
+			return "", "", fmt.Errorf("both -old/-new and positional files given")
+		}
+		return oldFlag, newFlag, nil
+	case oldFlag != "" || newFlag != "":
+		return "", "", fmt.Errorf("-old and -new must be given together")
+	case len(args) == 2:
+		return args[0], args[1], nil
+	case len(args) == 0:
+		return autoPick()
+	default:
+		return "", "", fmt.Errorf("expected 0 or 2 snapshot files, got %d", len(args))
+	}
+}
+
+// autoPick selects the two newest BENCH_*.json snapshots by version order
+// (numeric runs compare numerically, so pr10 sorts after pr9). Sampled-mode
+// snapshots are skipped: their benchmark names measure a different execution
+// mode and must never gate an exact-mode comparison.
+func autoPick() (oldFile, newFile string, err error) {
+	all, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return "", "", err
+	}
+	var files []string
+	for _, f := range all {
+		if strings.Contains(f, "_sampled") {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) < 2 {
+		return "", "", fmt.Errorf("auto-pick needs at least two BENCH_*.json snapshots (excluding *_sampled), found %d", len(files))
+	}
+	sort.Slice(files, func(i, j int) bool { return versionLess(files[i], files[j]) })
+	oldFile, newFile = files[len(files)-2], files[len(files)-1]
+	fmt.Fprintf(os.Stderr, "benchdiff: auto-picked %s -> %s\n", oldFile, newFile)
+	return oldFile, newFile, nil
+}
+
+// versionLess orders strings like GNU sort -V: maximal digit runs compare as
+// numbers, everything else byte-wise.
+func versionLess(a, b string) bool {
+	for a != "" && b != "" {
+		if isDigit(a[0]) && isDigit(b[0]) {
+			an, arest := splitNum(a)
+			bn, brest := splitNum(b)
+			if an != bn {
+				return an < bn
+			}
+			a, b = arest, brest
+			continue
+		}
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		a, b = a[1:], b[1:]
+	}
+	return len(a) < len(b)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// splitNum peels the leading digit run off s as a number.
+func splitNum(s string) (n uint64, rest string) {
+	i := 0
+	for i < len(s) && isDigit(s[i]) {
+		n = n*10 + uint64(s[i]-'0')
+		i++
+	}
+	return n, s[i:]
 }
 
 func load(path string) (*snapshot, error) {

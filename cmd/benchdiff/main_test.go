@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"math"
+	"os"
 	"strings"
 	"testing"
 )
@@ -131,6 +132,84 @@ func TestDiffJSON(t *testing.T) {
 	}
 	if d := byName["BenchmarkGone"]; d.Status != "gone" {
 		t.Fatalf("BenchmarkGone status = %q, want gone", d.Status)
+	}
+}
+
+func TestResolvePair(t *testing.T) {
+	if o, n, err := resolvePair("a.json", "b.json", nil); err != nil || o != "a.json" || n != "b.json" {
+		t.Fatalf("flags: got %q %q %v", o, n, err)
+	}
+	if o, n, err := resolvePair("", "", []string{"x.json", "y.json"}); err != nil || o != "x.json" || n != "y.json" {
+		t.Fatalf("positional: got %q %q %v", o, n, err)
+	}
+	for name, c := range map[string]struct {
+		oldF, newF string
+		args       []string
+	}{
+		"only-old":         {"a.json", "", nil},
+		"only-new":         {"", "b.json", nil},
+		"flags-and-args":   {"a.json", "b.json", []string{"x.json", "y.json"}},
+		"one-positional":   {"", "", []string{"x.json"}},
+		"three-positional": {"", "", []string{"x", "y", "z"}},
+	} {
+		if _, _, err := resolvePair(c.oldF, c.newF, c.args); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+func TestAutoPick(t *testing.T) {
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+
+	for _, f := range []string{
+		"BENCH_pr2.json", "BENCH_pr10.json", "BENCH_pr9.json",
+		"BENCH_pr10_sampled.json", "BENCH_pr11_sampled.json",
+	} {
+		if err := os.WriteFile(f, []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o, n, err := autoPick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Version order (pr10 after pr9), sampled snapshots excluded even though
+	// pr11_sampled would be newest byte-wise.
+	if o != "BENCH_pr9.json" || n != "BENCH_pr10.json" {
+		t.Fatalf("auto-picked %q -> %q, want BENCH_pr9.json -> BENCH_pr10.json", o, n)
+	}
+
+	if err := os.Remove("BENCH_pr2.json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove("BENCH_pr9.json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := autoPick(); err == nil {
+		t.Fatal("auto-pick with one eligible snapshot must fail")
+	}
+}
+
+func TestVersionLess(t *testing.T) {
+	ordered := []string{
+		"BENCH_after.json", "BENCH_baseline.json",
+		"BENCH_pr2.json", "BENCH_pr9.json", "BENCH_pr10.json", "BENCH_pr10b.json",
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := versionLess(ordered[i], ordered[j])
+			if want := i < j; got != want {
+				t.Errorf("versionLess(%q, %q) = %v, want %v", ordered[i], ordered[j], got, want)
+			}
+		}
 	}
 }
 

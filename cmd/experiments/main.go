@@ -11,6 +11,8 @@
 //	experiments -j 8            # cap concurrent simulator runs (0 = NumCPU)
 //	experiments -retries 2 -task-timeout 10m -fail-policy degrade
 //	experiments -quick -cpuprofile cpu.pprof -memprofile mem.pprof
+//	experiments -fig sampleval          # sampled-vs-exact validation figure
+//	experiments -sample -fig fig5       # any figure under interval sampling
 //
 // Tables are byte-identical at any -j: runs execute concurrently but
 // results are assembled in a fixed order.
@@ -52,6 +54,7 @@ func realMain() int {
 		retries    = flag.Int("retries", 0, "extra attempts for a panicked or timed-out run")
 		taskTO     = flag.Duration("task-timeout", 0, "per-attempt wall-clock deadline (0 = none)")
 		failPolicy = flag.String("fail-policy", "strict", "strict: exit 1 if any run failed every attempt; degrade: exit 0 with holed tables")
+		sample     = flag.Bool("sample", false, "run every figure under the interval-sampling controller (DESIGN §14); cells come from extrapolated results")
 		slowpath   = flag.Bool("slowpath", false, "force the reference one-step simulation loop (disable the block-batched engine)")
 		jit        = flag.Bool("jit", true, "compile hot superblocks to closure chains (the tier above the batch engine; moot under -slowpath)")
 		jitHeat    = flag.Int("jit-threshold", -1, "override the JIT promotion threshold (-1 = config default, 0 = compile on first use)")
@@ -86,6 +89,7 @@ func realMain() int {
 		opts.Benchmarks = names
 	}
 	opts.Jobs = *jobs
+	opts.Sampled = *sample
 	opts.DisableFastPath = *slowpath
 	opts.DisableJIT = !*jit
 	if *jitHeat >= 0 {

@@ -7,7 +7,10 @@
 //   - fast-path residency — how many cycles and original instructions the
 //     block-batched engine retired, versus the whole run;
 //   - the slow-path trigger histogram — why each fast-path session handed
-//     control back to the reference one-step loop.
+//     control back to the reference one-step loop;
+//   - the sampling timeline — for traces from tridentsim -sample, every
+//     detailed window (with its phase label) and fast-forward gap, plus the
+//     detailed/fast-forward residency split.
 //
 // With -metrics, a registry snapshot written by tridentsim -metrics-out adds
 // a fourth view: per-tier residency (reference loop / batch engine / JIT
@@ -39,11 +42,12 @@ func main() {
 		repairs   = flag.Bool("repairs", false, "print only the per-load repair timelines")
 		residency = flag.Bool("residency", false, "print only the fast-path residency summary")
 		triggers  = flag.Bool("triggers", false, "print only the slow-path trigger histogram")
+		sampled   = flag.Bool("sampling", false, "print only the sampled-run interval timeline")
 		metrics   = flag.String("metrics", "", "metrics registry JSON (tridentsim -metrics-out); adds the tier-residency section")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: tracestats [-repairs|-residency|-triggers] [-metrics METRICS.json] TRACE.jsonl\n")
+			"usage: tracestats [-repairs|-residency|-triggers|-sampling] [-metrics METRICS.json] TRACE.jsonl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,7 +66,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tracestats: %v\n", err)
 		os.Exit(1)
 	}
-	all := !*repairs && !*residency && !*triggers
+	all := !*repairs && !*residency && !*triggers && !*sampled
 	if all || *repairs {
 		fmt.Print(repairTimelines(events))
 	}
@@ -71,6 +75,9 @@ func main() {
 	}
 	if all || *triggers {
 		fmt.Print(triggerHistogram(events))
+	}
+	if all || *sampled {
+		fmt.Print(samplingTimeline(events))
 	}
 	if *metrics != "" {
 		blob, err := os.ReadFile(*metrics)
@@ -264,9 +271,65 @@ func triggerHistogram(events []telemetry.Event) string {
 	return sb.String()
 }
 
+// samplingTimeline renders a sampled run's interval sequence from the
+// controller's telemetry (DESIGN §14): one line per detailed window —
+// labelled "phase" when its signals triggered extra detail — and per
+// fast-forward gap, then the detailed/fast-forward residency split. Sampling
+// events are engine-class and ring-buffered, so on overflow the timeline
+// covers the retained tail of the run.
+func samplingTimeline(events []telemetry.Event) string {
+	var sb strings.Builder
+	sb.WriteString("sampling timeline:\n")
+	var (
+		lines         []string
+		det, ff, warm int64
+		windows, gaps int
+		phases        int
+	)
+	widths := []int{-10, 14, 12, 12}
+	for _, e := range events {
+		switch e.Kind {
+		case telemetry.KindSampleDetail:
+			windows++
+			det += e.Arg
+			note := ""
+			if e.Arg2 == 1 {
+				note = "phase"
+				phases++
+			}
+			lines = append(lines, "  "+render.Columns(" ", widths, "detailed",
+				fmt.Sprintf("@%d", e.Aux), fmt.Sprintf("%d", e.Arg), note))
+		case telemetry.KindSampleFF:
+			gaps++
+			ff += e.Arg
+			warm += e.Arg2
+			lines = append(lines, "  "+render.Columns(" ", widths, "ffwd",
+				fmt.Sprintf("@%d", e.Aux), fmt.Sprintf("%d", e.Arg),
+				fmt.Sprintf("warm %d", e.Arg2)))
+		}
+	}
+	if windows+gaps == 0 {
+		sb.WriteString("  (no sampling events; exact run or engine ring overflow)\n")
+		return sb.String()
+	}
+	sb.WriteString("  " + render.Columns(" ", widths, "window", "progress", "instrs", "") + "\n")
+	for _, l := range lines {
+		sb.WriteString(l + "\n")
+	}
+	total := det + ff
+	dpct := 0.0
+	if total > 0 {
+		dpct = 100 * float64(det) / float64(total)
+	}
+	fmt.Fprintf(&sb, "  residency: detailed %d (%.1f%%), fast-forward %d (of which warm %d); %d windows (%d phase-triggered), %d gaps\n",
+		det, dpct, ff, warm, windows, phases, gaps)
+	return sb.String()
+}
+
 // summarize renders every section; split from main for tests.
 func summarize(w io.Writer, events []telemetry.Event) {
 	io.WriteString(w, repairTimelines(events))
 	io.WriteString(w, fastPathResidency(events))
 	io.WriteString(w, triggerHistogram(events))
+	io.WriteString(w, samplingTimeline(events))
 }

@@ -58,9 +58,30 @@ func TestEmptyStreamSections(t *testing.T) {
 	summarize(&sb, nil)
 	out := sb.String()
 	for _, want := range []string{"(no prefetch events)", "(no fast-path events",
-		"(no fast-path exits recorded)"} {
+		"(no fast-path exits recorded)", "(no sampling events"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("empty-stream output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSamplingTimeline(t *testing.T) {
+	events := []telemetry.Event{
+		// Two detailed windows (the second phase-triggered) around one gap.
+		{Seq: 0, Cycle: 50_000, Kind: telemetry.KindSampleDetail, PC: 0x100,
+			Aux: 100_000, Arg: 100_000, Arg2: 0},
+		{Seq: 1, Cycle: 60_000, Kind: telemetry.KindSampleFF, PC: 0x140,
+			Aux: 950_000, Arg: 850_000, Arg2: 50_000},
+		{Seq: 2, Cycle: 110_000, Kind: telemetry.KindSampleDetail, PC: 0x180,
+			Aux: 1_050_000, Arg: 100_000, Arg2: 1},
+	}
+	out := samplingTimeline(events)
+	for _, want := range []string{
+		"detailed", "@100000", "ffwd", "@950000", "warm 50000", "phase",
+		"residency: detailed 200000 (19.0%), fast-forward 850000 (of which warm 50000); 2 windows (1 phase-triggered), 1 gaps",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sampling timeline missing %q:\n%s", want, out)
 		}
 	}
 }

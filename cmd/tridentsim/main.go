@@ -13,6 +13,7 @@
 //	tridentsim -bench mcf -checkpoint-every 500000 -checkpoint-dir ckpt
 //	tridentsim -bench mcf -restore ckpt/mcf.ckpt   # resume after a crash
 //	tridentsim -bench mcf -sentinel                # online divergence check
+//	tridentsim -bench mcf -instrs 500000000 -sample -roi-cache roi
 //
 // With several -bench names the runs execute concurrently (bounded by -j;
 // 0 = all CPUs) and the reports print in the order the names were given.
@@ -29,6 +30,15 @@
 // The file records the invocation's identity (benchmark, scale, machine and
 // chaos configuration — not the instruction budget, which may grow across
 // resumes) and refuses to load into a mismatched invocation.
+//
+// With -sample, the run is interval-sampled (DESIGN §14): detailed windows
+// on the full engine alternate with functional fast-forward gaps, statistics
+// are extrapolated from the windows with error bars, and -roi-cache lets a
+// sweep reuse one run's fast-forward work as on-disk region-of-interest
+// checkpoints. Sampled runs compose with -checkpoint-every/-restore (the
+// checkpoint then carries the controller's schedule state too) but not with
+// -chaos (the shadow machine cannot advance across a functional gap) or
+// -sentinel (replay windows cannot span one).
 package main
 
 import (
@@ -44,6 +54,7 @@ import (
 	"tridentsp/internal/checkpoint"
 	"tridentsp/internal/core"
 	"tridentsp/internal/memsys"
+	"tridentsp/internal/sampling"
 	"tridentsp/internal/telemetry"
 	"tridentsp/internal/workloads"
 )
@@ -67,6 +78,13 @@ func main() {
 		slow    = flag.Bool("slowpath", false, "force the reference one-step simulation loop (disable the block-batched engine)")
 		jit     = flag.Bool("jit", true, "compile hot superblocks to closure chains (the tier above the batch engine; moot under -slowpath)")
 		jitHeat = flag.Uint("jit-threshold", 8, "interpreted launches before a block is JIT-compiled (0 = compile on first use)")
+
+		sample         = flag.Bool("sample", false, "interval-sampled run: detailed windows + functional fast-forward with live warmup (DESIGN §14)")
+		sampleInterval = flag.Uint64("sample-interval", 0, "sampling grid period in original instructions (0 = default)")
+		sampleDetailed = flag.Uint64("sample-detailed", 0, "detailed window length in original instructions (0 = default)")
+		sampleWarmup   = flag.Uint64("sample-warmup", 0, "warm fast-forward window before each detailed window (0 = default)")
+		sampleStartup  = flag.Uint64("sample-startup", 0, "fully detailed startup prefix so the optimizer converges before sampling (0 = default)")
+		roiCache       = flag.String("roi-cache", "", "directory of region-of-interest checkpoints; sampled gaps restore from (or populate) it")
 
 		ckptEvery  = flag.Uint64("checkpoint-every", 0, "write a crash-safe checkpoint every N original instructions (single -bench only; 0 = off)")
 		ckptDir    = flag.String("checkpoint-dir", "checkpoints", "directory for checkpoint files")
@@ -188,6 +206,39 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Sampled-mode flag hygiene: the shaping flags require -sample, and the
+	// two run modes whose semantics need every instruction simulated in
+	// detail (chaos shadow, divergence sentinel) are rejected up front.
+	if !*sample {
+		for _, f := range []string{"sample-interval", "sample-detailed", "sample-warmup", "sample-startup", "roi-cache"} {
+			if flagWasSet(f) {
+				fmt.Fprintf(os.Stderr, "-%s requires -sample\n", f)
+				os.Exit(2)
+			}
+		}
+	}
+	var smpCfg sampling.Config
+	if *sample {
+		if *preset != "" {
+			fmt.Fprintf(os.Stderr, "-sample is incompatible with -chaos: the architectural shadow machine cannot advance across a functional fast-forward gap\n")
+			os.Exit(2)
+		}
+		if *sentinel || *sentEvery > 0 {
+			fmt.Fprintf(os.Stderr, "-sample is incompatible with -sentinel: divergence replay windows cannot span a functional fast-forward gap\n")
+			os.Exit(2)
+		}
+		smpCfg = sampling.Config{
+			Interval: *sampleInterval,
+			Detailed: *sampleDetailed,
+			Warmup:   *sampleWarmup,
+			Startup:  *sampleStartup,
+		}.WithDefaults()
+		if err := smpCfg.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	telemetryOn := *traceOut != "" || *chromeOut != "" || *metricsOut != ""
 
 	// Checkpointed (or resumed) execution: one benchmark, one machine, run
@@ -212,6 +263,9 @@ func main() {
 			traceOut:   *traceOut,
 			chromeOut:  *chromeOut,
 			metricsOut: *metricsOut,
+			sample:     *sample,
+			smpCfg:     smpCfg,
+			roiDir:     *roiCache,
 		}))
 	}
 
@@ -243,17 +297,37 @@ func main() {
 				ccfg.Telemetry = &telemetry.Options{RingCap: *traceRing}
 			}
 			sys := core.NewSystem(ccfg, bm.Build(sc))
-			res := sys.Run(*instrs)
+			var report string
+			var failed bool
+			if *sample {
+				var roi *sampling.ROICache
+				if *roiCache != "" {
+					roi = sampling.NewROICache(*roiCache, bm.Name, *scale, smpCfg)
+				}
+				ctrl, cerr := sampling.NewController(sys, smpCfg, roi)
+				if cerr != nil {
+					outs[i] <- outcome{failed: true, err: cerr}
+					return
+				}
+				est := ctrl.Run(*instrs)
+				if cerr := ctrl.Err(); cerr != nil {
+					outs[i] <- outcome{failed: true, err: cerr}
+					return
+				}
+				report = renderSampled(est, *verbose)
+				reportROI(est)
+				failed = est.Raw.Aborted != "" || est.Raw.InvariantViolations > 0
+			} else {
+				res := sys.Run(*instrs)
+				report = renderRun(res, *verbose)
+				failed = res.Aborted != "" || res.InvariantViolations > 0
+			}
 			var err error
 			if telemetryOn {
 				err = exportTelemetry(sys.Telemetry(), bm.Name, multi,
 					*traceOut, *chromeOut, *metricsOut)
 			}
-			outs[i] <- outcome{
-				report: renderRun(res, *verbose),
-				failed: res.Aborted != "" || res.InvariantViolations > 0,
-				err:    err,
-			}
+			outs[i] <- outcome{report: report, failed: failed, err: err}
 		}()
 	}
 	exitCode := 0
@@ -286,19 +360,29 @@ type ckptOptions struct {
 	traceOut   string
 	chromeOut  string
 	metricsOut string
+	sample     bool
+	smpCfg     sampling.Config // effective (defaulted) schedule when sample is set
+	roiDir     string
 }
 
 // identity is the invocation fingerprint stored in every checkpoint file.
-// Everything that shapes the simulation is included; the instruction budget
-// is deliberately excluded so a resume may extend the run.
+// Everything that shapes the simulation is included — for sampled runs that
+// covers the whole schedule, since a resumed controller replays the grid the
+// checkpoint was cut on; the instruction budget is deliberately excluded so
+// a resume may extend the run.
 func (o ckptOptions) identity(bm workloads.Benchmark, cfg core.Config) string {
-	return fmt.Sprintf("tridentsim bench=%s scale=%s hw=%s sw=%s trident=%v link=%v "+
+	id := fmt.Sprintf("tridentsim bench=%s scale=%s hw=%s sw=%s trident=%v link=%v "+
 		"backout=%v valspec=%v phase=%v slowpath=%v jit=%v/%d sentinel=%d/%d "+
 		"chaos=%s chaos-seed=%d chaos-horizon=%d telemetry=%v",
 		bm.Name, o.scale, cfg.HW, cfg.SW, cfg.Trident, cfg.LinkTraces,
 		cfg.Backout, cfg.ValueSpecialize, cfg.PhaseClearMature, cfg.DisableFastPath,
 		cfg.JIT, cfg.JITThreshold, cfg.SentinelEvery, cfg.SentinelWindow,
 		o.preset, o.seed, int64(o.instrs)*2, o.telemetry)
+	if o.sample {
+		id += fmt.Sprintf(" sample=%d/%d/%d/%d/%g", o.smpCfg.Interval,
+			o.smpCfg.Detailed, o.smpCfg.Warmup, o.smpCfg.Startup, o.smpCfg.PhaseDelta)
+	}
+	return id
 }
 
 // runCheckpointed executes one benchmark in windows of every instructions,
@@ -315,6 +399,9 @@ func runCheckpointed(bm workloads.Benchmark, cfg core.Config, sched *chaos.Sched
 	}
 	sys := core.NewSystem(cfg, bm.Build(sc))
 	meta := o.identity(bm, cfg)
+	if o.sample {
+		return runSampledCkpt(bm, sys, meta, o)
+	}
 
 	if o.restore != "" {
 		m, payload, err := checkpoint.ReadFile(o.restore)
@@ -384,6 +471,99 @@ func runCheckpointed(bm workloads.Benchmark, cfg core.Config, sched *chaos.Sched
 		}
 	}
 	if res.Aborted != "" || res.InvariantViolations > 0 {
+		code = 2
+	}
+	return code
+}
+
+// runSampledCkpt is the checkpointed driver for sampled runs: the controller
+// advances interval by interval, and the checkpoint payload carries the
+// controller's schedule state in front of the machine state so a resumed run
+// replays the identical interval sequence. Checkpoints are cut between
+// intervals (the controller quiesces the machine at every window edge).
+func runSampledCkpt(bm workloads.Benchmark, sys *core.System, meta string, o ckptOptions) int {
+	var roi *sampling.ROICache
+	if o.roiDir != "" {
+		roi = sampling.NewROICache(o.roiDir, bm.Name, o.scale, o.smpCfg)
+	}
+	ctrl, err := sampling.NewController(sys, o.smpCfg, roi)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 1
+	}
+
+	if o.restore != "" {
+		m, payload, err := checkpoint.ReadFile(o.restore)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "restore %s: %v\n", o.restore, err)
+			return 1
+		}
+		if m != meta {
+			fmt.Fprintf(os.Stderr, "restore %s: checkpoint belongs to a different invocation\n  file: %s\n  this: %s\n",
+				o.restore, m, meta)
+			return 2
+		}
+		d := checkpoint.NewDecoder(payload)
+		d.Expect("tridentsim.sampled")
+		if err := ctrl.LoadState(d); err != nil {
+			fmt.Fprintf(os.Stderr, "restore %s: %v\n", o.restore, err)
+			return 1
+		}
+		blob := d.Blob()
+		if err := d.Finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "restore %s: %v\n", o.restore, err)
+			return 1
+		}
+		if err := sys.RestoreState(blob); err != nil {
+			fmt.Fprintf(os.Stderr, "restore %s: %v\n", o.restore, err)
+			return 1
+		}
+	}
+
+	path := ""
+	if o.every > 0 {
+		if err := os.MkdirAll(o.dir, 0o777); err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint dir: %v\n", err)
+			return 1
+		}
+		path = filepath.Join(o.dir, bm.Name+".ckpt")
+	}
+
+	nextCkpt := sys.Progress() + o.every
+	for ctrl.Step(o.instrs) {
+		if path == "" || sys.Progress() < nextCkpt {
+			continue
+		}
+		blob, err := sys.SaveState()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: checkpoint at %d instructions: %v\n", sys.Progress(), err)
+			continue
+		}
+		e := checkpoint.NewEncoder()
+		e.Mark("tridentsim.sampled")
+		ctrl.SaveState(e)
+		e.Blob(blob)
+		if err := checkpoint.WriteFile(path, meta, e.Bytes()); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: writing %s: %v\n", path, err)
+		}
+		nextCkpt = sys.Progress() + o.every
+	}
+	if err := ctrl.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 1
+	}
+	est := ctrl.Estimate()
+	fmt.Print(renderSampled(est, o.verbose))
+	reportROI(est)
+	code := 0
+	if o.telemetry {
+		if err := exportTelemetry(sys.Telemetry(), bm.Name, false,
+			o.traceOut, o.chromeOut, o.metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			code = 1
+		}
+	}
+	if est.Raw.Aborted != "" || est.Raw.InvariantViolations > 0 {
 		code = 2
 	}
 	return code
@@ -467,6 +647,34 @@ func renderRun(res core.Results, verbose bool) string {
 			res.TracesBackedOut, res.TracesSpecialized, res.PhaseClears)
 	}
 	return sb.String()
+}
+
+// renderSampled prints the extrapolated results of a sampled run followed by
+// a sampling summary: how the budget split between detailed and fast-forward
+// execution, the interval count, and the estimator's own 95% error bars.
+func renderSampled(est sampling.Estimate, verbose bool) string {
+	var sb strings.Builder
+	sb.WriteString(renderRun(est.Sampled, verbose))
+	det, ff := est.DetailedInstrs, est.FFwdInstrs
+	pct := 0.0
+	if det+ff > 0 {
+		pct = 100 * float64(det) / float64(det+ff)
+	}
+	fmt.Fprintf(&sb, "sampled: %d intervals (%d phase-triggered), %d detailed + %d fast-forward instrs (%.1f%% detailed)\n",
+		est.Intervals, est.PhaseExtras, det, ff, pct)
+	fmt.Fprintf(&sb, "  95%% error bars: ipc ±%.2f%%  coverage ±%.2f%%  accuracy ±%.2f%%\n",
+		100*est.Err["ipc"], 100*est.Err["coverage"], 100*est.Err["accuracy"])
+	return sb.String()
+}
+
+// reportROI prints region-of-interest cache statistics to stderr. They stay
+// out of the stdout report deliberately: a cold run (all misses), a warm one
+// (all hits), and a resumed one (fewer gaps left) produce byte-identical
+// simulation reports, and cache logistics must not break that diff.
+func reportROI(est sampling.Estimate) {
+	if est.ROIHits+est.ROIMisses > 0 {
+		fmt.Fprintf(os.Stderr, "roi cache: %d hits, %d misses\n", est.ROIHits, est.ROIMisses)
+	}
 }
 
 func presetList() string {

@@ -92,6 +92,78 @@ func TestRestoreRejectsMismatchedInvocation(t *testing.T) {
 	}
 }
 
+func TestSampleFlagValidation(t *testing.T) {
+	cases := map[string][]string{
+		"shaping-without-sample": {"-sample-interval", "500000"},
+		"roi-without-sample":     {"-roi-cache", "roi"},
+		"sample-with-chaos":      {"-sample", "-chaos", "monkey"},
+		"sample-with-sentinel":   {"-sample", "-sentinel"},
+	}
+	for name, extra := range cases {
+		name, extra := name, extra
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			_, stderr, code := tridentsim(t, append([]string{"-bench", "mcf", "-scale", "test"}, extra...)...)
+			if code != 2 {
+				t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, stderr)
+			}
+			if !strings.Contains(stderr, "-sample") {
+				t.Fatalf("stderr does not name the offending flag combination:\n%s", stderr)
+			}
+		})
+	}
+}
+
+// TestSampledRestoreIdentity: a sampled checkpointing run, a plain sampled
+// run, and a run resumed from the final checkpoint all print byte-identical
+// reports; a resume whose sampling schedule differs from the checkpoint's is
+// refused, since the controller would replay a different interval grid.
+func TestSampledRestoreIdentity(t *testing.T) {
+	base := []string{"-bench", "mcf", "-scale", "small", "-instrs", "1200000",
+		"-sample", "-sample-interval", "300000", "-sample-detailed", "60000",
+		"-sample-warmup", "30000", "-sample-startup", "300000"}
+
+	refOut, refErr, refCode := tridentsim(t, base...)
+	if refOut == "" || refCode != 0 {
+		t.Fatalf("plain sampled run failed (code %d):\n%s", refCode, refErr)
+	}
+
+	dir := t.TempDir()
+	ckptArgs := append(append([]string{}, base...), "-checkpoint-every", "200000", "-checkpoint-dir", dir)
+	out, stderr, code := tridentsim(t, ckptArgs...)
+	if code != 0 {
+		t.Fatalf("sampled checkpointing run failed (code %d):\n%s", code, stderr)
+	}
+	if out != refOut {
+		t.Errorf("checkpointing changed the sampled report\n-- plain --\n%s-- checkpointing --\n%s", refOut, out)
+	}
+
+	ckpt := filepath.Join(dir, "mcf.ckpt")
+	resOut, resErr, resCode := tridentsim(t, append(append([]string{}, base...), "-restore", ckpt)...)
+	if resCode != 0 {
+		t.Fatalf("sampled restore failed (code %d):\n%s", resCode, resErr)
+	}
+	if resOut != refOut {
+		t.Errorf("resumed sampled output differs\n-- plain --\n%s-- resumed --\n%s", refOut, resOut)
+	}
+
+	// Same machine, different sampling grid: the checkpoint must be refused.
+	mismatch := append(append([]string{}, base...), "-restore", ckpt)
+	for i, a := range mismatch {
+		if a == "300000" { // first occurrence is -sample-interval's value
+			mismatch[i] = "400000"
+			break
+		}
+	}
+	_, stderr, code = tridentsim(t, mismatch...)
+	if code != 2 {
+		t.Fatalf("mismatched -sample-interval restore: exit code = %d, want 2; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "different invocation") {
+		t.Fatalf("stderr does not explain the identity mismatch:\n%s", stderr)
+	}
+}
+
 // TestEngineReportIdentity: the three execution tiers are architecturally
 // invisible at the binary boundary — the rendered report of a JIT-everything
 // run, a batch-only run, and a reference-loop run must be byte-identical.
@@ -173,6 +245,7 @@ func TestKillResumeDeterminism(t *testing.T) {
 		"jit-eager":    {"-jit-threshold", "0"},
 		"nojit":        {"-jit=false"},
 		"jit-sentinel": {"-jit-threshold", "0", "-sentinel-every", "300000", "-sentinel-window", "100000"},
+		"sampled":      {"-sample", "-sample-interval", "500000", "-sample-startup", "500000"},
 	}
 	for _, preset := range []string{
 		"latency-phase", "eviction-storm", "helper-preemption", "workload-shift", "monkey",

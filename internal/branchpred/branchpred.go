@@ -123,6 +123,23 @@ func (p *Predictor) Update(pc uint64, outcome bool) bool {
 	return pred == outcome
 }
 
+// Warm trains the tables and history with an observed outcome without
+// touching the accuracy counters — the warmup path of sampled simulation
+// (DESIGN §14): functional fast-forward keeps the predictor's state current
+// so the next detailed interval starts from trained tables, while Lookups
+// and Correct remain a record of detailed execution only.
+func (p *Predictor) Warm(pc uint64, outcome bool) {
+	gi, bi, mi := p.gshareIndex(pc), p.bimodalIndex(pc), p.metaIndex(pc)
+	gPred := taken(p.gshare[gi])
+	bPred := taken(p.bimodal[bi])
+	if gPred != bPred {
+		p.meta[mi] = bump(p.meta[mi], gPred == outcome)
+	}
+	p.gshare[gi] = bump(p.gshare[gi], outcome)
+	p.bimodal[bi] = bump(p.bimodal[bi], outcome)
+	p.history = p.history<<1 | b2u(outcome)
+}
+
 func b2u(b bool) uint64 {
 	if b {
 		return 1

@@ -149,6 +149,7 @@ func (s *System) saveState(e *checkpoint.Encoder) {
 	e.F64(s.phaseRate)
 	e.Bool(s.phaseRateValid)
 	e.U64(s.origInstrs)
+	e.U64(s.ffwdInstrs)
 
 	st := &s.stats
 	e.U64(st.tracesFormed)
@@ -341,6 +342,7 @@ func (s *System) loadState(d *checkpoint.Decoder) error {
 	s.phaseRate = d.F64()
 	s.phaseRateValid = d.Bool()
 	s.origInstrs = d.U64()
+	s.ffwdInstrs = d.U64()
 
 	st := &s.stats
 	st.tracesFormed = d.U64()

@@ -105,8 +105,11 @@ type System struct {
 	phaseRate       float64
 	phaseRateValid  bool
 
-	// Accounting.
+	// Accounting. origInstrs counts original instructions retired by detailed
+	// execution; ffwdInstrs counts those advanced functionally by FastForward
+	// (sampled runs, DESIGN §14). Total program progress is their sum.
 	origInstrs uint64
+	ffwdInstrs uint64
 	stats      runStats
 
 	// Per-tier residency (DESIGN §13): weighted instructions and cycles

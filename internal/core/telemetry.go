@@ -36,6 +36,7 @@ func (s *System) snapshotMetrics() {
 
 	g("cycles", float64(s.thread.Now()))
 	u("orig_instrs", s.origInstrs)
+	u("ffwd_instrs", s.ffwdInstrs)
 	u("committed_instrs", s.thread.Committed())
 
 	m := &s.hier.Stats

@@ -1,0 +1,237 @@
+package cpu
+
+import (
+	"tridentsp/internal/branchpred"
+	"tridentsp/internal/checkpoint"
+	"tridentsp/internal/isa"
+	"tridentsp/internal/memsys"
+)
+
+// Functional fast-forward execution (DESIGN §14). Between detailed sampling
+// intervals the machine advances architecturally only: registers, PC, and
+// data memory evolve exactly as Step would evolve them, but no cycles are
+// charged, no issue slots accounted, and no figure statistics recorded. The
+// executor runs over the *pristine* predecoded image — architectural
+// transparency (the invariant the whole optimizer rests on) guarantees the
+// patched image computes the same results, and the pristine image is
+// config-independent, which is what makes region-of-interest checkpoints
+// reusable across every machine configuration.
+
+// FFProbes optionally warms microarchitectural state during functional
+// execution. A nil *FFProbes (or nil field) skips that structure entirely —
+// the pure mode used for the bulk of a fast-forward interval; the warm mode
+// runs over the interval's tail so caches, the branch predictor, stream
+// buffers, and the DLT enter the next detailed interval with plausible
+// contents instead of cold state.
+type FFProbes struct {
+	// Hier receives WarmLoad/WarmStore/WarmPrefetch probes: tag-array and
+	// recency updates only, never MSHR entries, bus occupancy, or fill
+	// events (the clock is frozen, so a pending fill could never retire).
+	Hier *memsys.Hierarchy
+	// BP trains the direction predictor's tables without touching its
+	// accuracy counters.
+	BP *branchpred.Predictor
+	// Load, when set, observes every LD with its warm-probe L1 outcome
+	// (the sampling controller feeds the DLT's warm path through it).
+	Load func(pc, addr uint64, l1Miss bool, now int64)
+	// Now is the warm pseudo-clock, advanced by one per instruction. The
+	// real clock is frozen during fast-forward, but warm state carries
+	// timestamps (stream-buffer LRU and reuse shields); the controller
+	// starts Now far enough below the frozen cycle that the warm window
+	// ends exactly at it, so no warm timestamp lies in the future.
+	Now int64
+}
+
+// ExecFunctional executes up to budget instructions architecturally over the
+// predecoded image insts based at base, returning how many retired. The
+// thread's registers, PC, data memory, and halted flag advance exactly as
+// the timing interpreter would advance them; cycle, issue, stall, and commit
+// accounting stay untouched. Register taint (a timing-only classification)
+// is reset — after a functional gap the load-derivedness of values is
+// unknown, and clean is the conservative restart.
+//
+// Execution stops at the budget, at HALT or an unknown opcode (halted, like
+// Step), or when PC leaves the image (a fetch fault; the pristine image has
+// no trace links, so original code never legitimately escapes it).
+func (t *Thread) ExecFunctional(insts []isa.Inst, base uint64, budget uint64, p *FFProbes) uint64 {
+	if t.halted || budget == 0 {
+		return 0
+	}
+	t.taintSrc = [isa.NumRegs]uint64{}
+	end := base + uint64(len(insts))*isa.WordSize
+	pc := t.pc
+	var done uint64
+	for done < budget {
+		if pc < base || pc >= end || pc%isa.WordSize != 0 {
+			t.halted = true
+			break
+		}
+		in := insts[(pc-base)/isa.WordSize]
+		next := pc + isa.WordSize
+
+		switch in.Op {
+		case isa.NOP:
+
+		case isa.ADD:
+			t.setReg(in.Rd, t.regs[in.Ra]+t.regs[in.Rb])
+		case isa.SUB:
+			t.setReg(in.Rd, t.regs[in.Ra]-t.regs[in.Rb])
+		case isa.MUL:
+			t.setReg(in.Rd, t.regs[in.Ra]*t.regs[in.Rb])
+		case isa.AND:
+			t.setReg(in.Rd, t.regs[in.Ra]&t.regs[in.Rb])
+		case isa.OR:
+			t.setReg(in.Rd, t.regs[in.Ra]|t.regs[in.Rb])
+		case isa.XOR:
+			t.setReg(in.Rd, t.regs[in.Ra]^t.regs[in.Rb])
+		case isa.SLL:
+			t.setReg(in.Rd, t.regs[in.Ra]<<(t.regs[in.Rb]&63))
+		case isa.SRL:
+			t.setReg(in.Rd, t.regs[in.Ra]>>(t.regs[in.Rb]&63))
+		case isa.CMPLT:
+			t.setReg(in.Rd, b2u(int64(t.regs[in.Ra]) < int64(t.regs[in.Rb])))
+		case isa.CMPEQ:
+			t.setReg(in.Rd, b2u(t.regs[in.Ra] == t.regs[in.Rb]))
+
+		case isa.ADDI:
+			t.setReg(in.Rd, t.regs[in.Ra]+uint64(in.Imm))
+		case isa.SUBI:
+			t.setReg(in.Rd, t.regs[in.Ra]-uint64(in.Imm))
+		case isa.MULI:
+			t.setReg(in.Rd, t.regs[in.Ra]*uint64(in.Imm))
+		case isa.ANDI:
+			t.setReg(in.Rd, t.regs[in.Ra]&uint64(in.Imm))
+		case isa.ORI:
+			t.setReg(in.Rd, t.regs[in.Ra]|uint64(in.Imm))
+		case isa.XORI:
+			t.setReg(in.Rd, t.regs[in.Ra]^uint64(in.Imm))
+		case isa.SLLI:
+			t.setReg(in.Rd, t.regs[in.Ra]<<(uint64(in.Imm)&63))
+		case isa.SRLI:
+			t.setReg(in.Rd, t.regs[in.Ra]>>(uint64(in.Imm)&63))
+		case isa.CMPLTI:
+			t.setReg(in.Rd, b2u(int64(t.regs[in.Ra]) < in.Imm))
+		case isa.CMPEQI:
+			t.setReg(in.Rd, b2u(t.regs[in.Ra] == uint64(in.Imm)))
+		case isa.LDA:
+			t.setReg(in.Rd, t.regs[in.Ra]+uint64(in.Imm))
+		case isa.MOVE:
+			t.setReg(in.Rd, t.regs[in.Ra])
+		case isa.LDI:
+			t.setReg(in.Rd, uint64(in.Imm))
+		case isa.LDIH:
+			t.setReg(in.Rd, t.regs[in.Ra]<<32|uint64(uint32(in.Imm)))
+
+		case isa.FADD:
+			t.setReg(in.Rd, t.regs[in.Ra]+t.regs[in.Rb])
+		case isa.FMUL:
+			t.setReg(in.Rd, t.regs[in.Ra]*t.regs[in.Rb])
+		case isa.FDIV:
+			t.setReg(in.Rd, fdiv(t.regs[in.Ra], t.regs[in.Rb]))
+
+		case isa.LD:
+			addr := t.regs[in.Ra] + uint64(in.Imm)
+			if p != nil && p.Hier != nil {
+				l1Miss := p.Hier.WarmLoad(pc, addr, p.Now)
+				if p.Load != nil {
+					p.Load(pc, addr, l1Miss, p.Now)
+				}
+			}
+			t.setReg(in.Rd, t.mem.Load(addr))
+
+		case isa.LDNF:
+			addr := t.regs[in.Ra] + uint64(in.Imm)
+			if p != nil && p.Hier != nil {
+				p.Hier.WarmPrefetch(addr)
+			}
+			var v uint64
+			if t.mem.Valid(addr) {
+				v = t.mem.Load(addr)
+			}
+			t.setReg(in.Rd, v)
+
+		case isa.ST:
+			addr := t.regs[in.Ra] + uint64(in.Imm)
+			t.mem.Store(addr, t.regs[in.Rb])
+			if p != nil && p.Hier != nil {
+				p.Hier.WarmStore(addr)
+			}
+
+		case isa.PREFETCH:
+			if p != nil && p.Hier != nil {
+				p.Hier.WarmPrefetch(t.regs[in.Ra] + uint64(in.Imm))
+			}
+
+		case isa.BR:
+			if in.Rd != isa.ZeroReg {
+				t.setReg(in.Rd, next)
+			}
+			next = isa.BranchTarget(pc, in)
+
+		case isa.JMP:
+			if in.Rd != isa.ZeroReg {
+				t.setReg(in.Rd, next)
+			}
+			next = t.regs[in.Ra] &^ 7
+
+		case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+			taken := evalBranch(in.Op, t.regs[in.Ra])
+			if taken {
+				next = isa.BranchTarget(pc, in)
+			}
+			if p != nil && p.BP != nil {
+				p.BP.Warm(pc, taken)
+			}
+
+		case isa.HALT:
+			t.halted = true
+			pc = next
+			t.pc = pc
+			return done
+
+		default:
+			t.halted = true
+			pc = next
+			t.pc = pc
+			return done
+		}
+
+		done++
+		pc = next
+		if p != nil {
+			p.Now++
+		}
+	}
+	t.pc = pc
+	return done
+}
+
+// SetPC redirects the thread. The sampling controller uses it to map a
+// code-cache PC back to the equivalent original-program PC before a
+// functional gap; the next fetch resumes there.
+func (t *Thread) SetPC(pc uint64) { t.pc = pc }
+
+// SaveArchState serializes only the architectural thread state — registers,
+// PC, halted — the portable slice a region-of-interest checkpoint carries.
+// Timing state (cycle, stalls, issue slots, taint, commit count) is
+// config-dependent and deliberately excluded.
+func (t *Thread) SaveArchState(e *checkpoint.Encoder) {
+	e.Mark("cpu.arch")
+	for _, r := range t.regs {
+		e.U64(r)
+	}
+	e.U64(t.pc)
+	e.Bool(t.halted)
+}
+
+// LoadArchState restores what SaveArchState wrote, leaving timing state
+// untouched.
+func (t *Thread) LoadArchState(d *checkpoint.Decoder) error {
+	d.Expect("cpu.arch")
+	for i := range t.regs {
+		t.regs[i] = d.U64()
+	}
+	t.pc = d.U64()
+	t.halted = d.Bool()
+	return d.Err()
+}

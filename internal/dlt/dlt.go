@@ -223,6 +223,41 @@ func (t *Table) UpdateAt(pc, addr uint64, miss bool, missLatency, now int64) boo
 	return false
 }
 
+// Warm maintains an already-monitored load's stride predictor across a
+// functional fast-forward gap (DESIGN §14): last address, stride, and
+// confidence advance exactly as UpdateAt would advance them, so the
+// optimizer's stride-predictability judgement stays current. The window
+// counters are deliberately untouched — warm execution observes no miss
+// latencies, so counting its accesses would dilute the average the
+// delinquency criterion compares, and freezing here would lose the event
+// (UpdateAt's return value is what raises it; warm raises nothing). Loads
+// absent from the table are ignored: allocation is a detailed-mode decision
+// driven by in-trace execution, and warming every original-code load would
+// evict genuinely monitored entries.
+func (t *Table) Warm(pc, addr uint64) {
+	e := t.lookup(pc)
+	if e == nil {
+		return
+	}
+	if e.seenAddr {
+		stride := int64(addr) - int64(e.LastAddr)
+		if stride == e.Stride {
+			if e.Confidence < StrideConfidenceMax {
+				e.Confidence++
+			}
+		} else {
+			if e.Confidence > strideMissPenalty {
+				e.Confidence -= strideMissPenalty
+			} else {
+				e.Confidence = 0
+			}
+			e.Stride = stride
+		}
+	}
+	e.LastAddr = addr
+	e.seenAddr = true
+}
+
 // allocate inserts a fresh entry for pc, evicting LRU if needed.
 func (t *Table) allocate(pc uint64, now int64) *Entry {
 	si := t.setIndex(pc)

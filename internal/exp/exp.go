@@ -45,6 +45,10 @@ type Options struct {
 	// JITThreshold, when non-nil, overrides core.Config.JITThreshold in
 	// every run (0 = compile every block on first use).
 	JITThreshold *uint32
+	// Sampled runs every figure under the interval-sampling controller
+	// (DESIGN §14) and computes cells from the extrapolated Results. Exact
+	// mode (the default) is untouched — its tables stay byte-identical.
+	Sampled bool
 	// Retries is how many extra attempts a failed run (panic or timeout)
 	// gets before its cells are holed ("—") and the failure lands in the
 	// table's manifest.
@@ -102,6 +106,9 @@ func (o Options) applyEngine(cfg *core.Config) {
 
 // run executes one benchmark under one configuration.
 func run(bm workloads.Benchmark, cfg core.Config, o Options) core.Results {
+	if o.Sampled {
+		return sampledRun(bm, cfg, o).Sampled
+	}
 	o.applyEngine(&cfg)
 	p := bm.Build(o.Scale)
 	return core.NewSystem(cfg, p).Run(o.Instrs)
@@ -235,6 +242,7 @@ func All() []Experiment {
 		{"fig9", "Software vs hardware prefetching alone", Figure9},
 		{"ablations", "Design-choice ablations (not in the paper)", Ablations},
 		{"resilience", "Self-repair resilience under fault injection (not in the paper)", Resilience},
+		{"sampleval", "Sampled-vs-exact validation (not in the paper)", SampleVal},
 	}
 }
 

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"tridentsp/internal/workloads"
+)
+
+// The differential suite for sampled mode (DESIGN §14): every workload runs
+// exact and sampled to the same budget, and the extrapolated results must
+// land within the estimator's own error bars (or a floor tolerance — with a
+// handful of intervals the spread estimate itself is noisy). Determinism
+// across worker counts rides along: the same table must come out at any -j.
+
+// diffOptions is the differential scale: big enough that the optimizer's
+// startup transient is behind the sampling schedule (SampleConfig caps the
+// startup prefix at half the budget), small enough that 14 workloads × two
+// modes stay test-sized.
+func diffOptions() Options {
+	return Options{Scale: workloads.ScaleTest, Instrs: 3_000_000}
+}
+
+func TestSampledDifferentialSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite differential")
+	}
+	tb := SampleVal(diffOptions())
+	if len(tb.Failures) > 0 {
+		t.Fatalf("failed runs: %+v", tb.Failures)
+	}
+	if n := len(tb.Rows); n != 15 { // 14 workloads + average
+		t.Fatalf("rows = %d, want 15", n)
+	}
+	for _, r := range tb.Rows {
+		if r.Label == "average" {
+			continue
+		}
+		cells := r.Cells // see SampleVal's column order
+		ipcErr, covErr, accErr, ipcCI := cells[2], cells[5], cells[8], cells[9]
+		for i, v := range cells {
+			if math.IsNaN(v) {
+				t.Errorf("%s: cell %d is a hole", r.Label, i)
+			}
+		}
+		// Within the reported error bars, floored: sub-percent CIs from a
+		// handful of intervals are not sharp enough to gate on alone.
+		if tol := math.Max(ipcCI, 5); ipcErr > tol {
+			t.Errorf("%s: ipc err %.2f%% exceeds max(CI %.2f%%, 5%%)", r.Label, ipcErr, ipcCI)
+		}
+		if covErr > 10 {
+			t.Errorf("%s: coverage err %.2f%% exceeds 10%%", r.Label, covErr)
+		}
+		if accErr > 10 {
+			t.Errorf("%s: accuracy err %.2f%% exceeds 10%%", r.Label, accErr)
+		}
+	}
+}
+
+// TestSampledJobsDeterminism: sampled tables are byte-identical at any
+// worker count, like exact ones (each run owns a private system; the pool
+// assembles rows in submission order).
+func TestSampledJobsDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sampled suite twice")
+	}
+	o := diffOptions()
+	o.Benchmarks = []string{"mcf", "swim", "parser", "dot"}
+	o.Jobs = 1
+	serial := SampleVal(o)
+	o.Jobs = 8
+	wide := SampleVal(o)
+	if !reflect.DeepEqual(serial, wide) {
+		t.Fatalf("sampled table differs across -j\n-- j=1 --\n%s-- j=8 --\n%s",
+			serial.Render(), wide.Render())
+	}
+}
+
+// TestSampledFigureSmoke: any figure runs under Options.Sampled (the
+// controller path replaces every run); exact mode stays the default.
+func TestSampledFigureSmoke(t *testing.T) {
+	o := QuickOptions()
+	o.Instrs = 600_000
+	o.Benchmarks = []string{"mcf"}
+	o.Sampled = true
+	tb := Figure4(o)
+	if len(tb.Failures) > 0 {
+		t.Fatalf("failed runs: %+v", tb.Failures)
+	}
+	for _, r := range tb.Rows {
+		for i, v := range r.Cells {
+			if math.IsNaN(v) {
+				t.Errorf("%s: cell %d is a hole", r.Label, i)
+			}
+		}
+	}
+}

@@ -162,6 +162,12 @@ type Hierarchy struct {
 	// issued within one memory latency of now, so it stays tiny.
 	fillHeap []int64
 
+	// warming neutralizes StartFill's timing side effects while the warm
+	// probes (warm.go) train the prefetcher: fills answer "ready now" with
+	// no bus, stats, or lower-level traffic. Transient — set and cleared
+	// around individual warm calls, never serialized.
+	warming bool
+
 	// Stats is exported for the stats collector; it is not safe for
 	// concurrent mutation (the simulator is single-goroutine).
 	Stats Stats
@@ -410,6 +416,11 @@ func (h *Hierarchy) StartFill(lineAddr uint64, now int64) (ready int64, ok bool)
 	}
 	if h.inflight.contains(lineAddr) {
 		return 0, false
+	}
+	if h.warming {
+		// Warm probes: the line is considered fetched instantly — no bus
+		// occupancy, level stats, or install (see warm.go).
+		return now, true
 	}
 	lat, _ := h.probeBelow(lineAddr, now, true, false)
 	return now + lat, true

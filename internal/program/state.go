@@ -27,17 +27,41 @@ func (m *Memory) SaveState(e *checkpoint.Encoder) {
 	e.Int(m.mapped)
 }
 
-// LoadState restores state saved by SaveState, replacing all pages.
+// LoadState restores state saved by SaveState, replacing all pages. Pages
+// this memory already owns are overwritten in place rather than reallocated:
+// sampled runs restore a region-of-interest snapshot once per interval, and
+// a fresh 4KB allocation per page per restore made garbage-collection churn
+// the dominant restore cost. Owned pages are referenced only by this memory
+// (clones share the pristine image's pages, which stay owned by the image),
+// so in-place reuse is invisible to every other Memory.
 func (m *Memory) LoadState(d *checkpoint.Decoder) error {
 	d.Expect("program.memory")
 	n := d.Len()
 	if d.Err() != nil {
 		return d.Err()
 	}
-	m.tab, m.high = nil, nil
+	// The dense table is reconciled in place rather than rebuilt: pages
+	// arrive in ascending index order (SaveState's contract), so stale
+	// entries are nilled as the decode sweeps past them. Rebuilding meant
+	// reallocating and re-zeroing the whole table per restore, which
+	// dominated even the page copies.
+	oldHigh := m.high
+	m.high = nil
+	next := uint64(0) // dense entries below next are reconciled
 	for i := 0; i < n; i++ {
 		idx := d.U64()
-		pg := &memPage{owner: m}
+		for ; next < idx && next < uint64(len(m.tab)); next++ {
+			m.tab[next] = nil
+		}
+		var pg *memPage
+		if idx < uint64(len(m.tab)) {
+			pg = m.tab[idx]
+		} else if oldHigh != nil {
+			pg = oldHigh[idx]
+		}
+		if pg == nil || pg.owner != m {
+			pg = &memPage{owner: m}
+		}
 		for j := range pg.words {
 			pg.words[j] = d.U64()
 		}
@@ -48,6 +72,12 @@ func (m *Memory) LoadState(d *checkpoint.Decoder) error {
 			return d.Err()
 		}
 		m.setPage(idx, pg)
+		if idx >= next {
+			next = idx + 1
+		}
+	}
+	for ; next < uint64(len(m.tab)); next++ {
+		m.tab[next] = nil
 	}
 	m.mapped = d.Int()
 	return d.Err()

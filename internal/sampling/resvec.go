@@ -1,0 +1,84 @@
+package sampling
+
+import (
+	"math"
+	"reflect"
+
+	"tridentsp/internal/core"
+)
+
+// Results as a numeric vector. The stratified estimator needs three
+// operations over every flow counter in core.Results — delta across a
+// detailed window, scale by a stratum weight, accumulate — and hand-written
+// field lists rot the moment Results grows a counter. flatten/unflatten walk
+// the struct reflectively in declaration order (deterministic), visiting
+// every integer leaf (uint64, int64, int, including nested structs and
+// arrays) and skipping strings, bools, and float64s (ratios and labels are
+// not flows). The walk happens a handful of times per run; reflection cost
+// is irrelevant here.
+
+// flatten extracts the integer leaves of r in declaration order.
+func flatten(r *core.Results) []float64 {
+	out := make([]float64, 0, 64)
+	walkResults(reflect.ValueOf(r).Elem(), func(v reflect.Value) {
+		switch v.Kind() {
+		case reflect.Uint64:
+			out = append(out, float64(v.Uint()))
+		default:
+			out = append(out, float64(v.Int()))
+		}
+	})
+	return out
+}
+
+// unflatten writes vals back into r's integer leaves (rounding, clamping
+// unsigned fields at zero), leaving every other field untouched.
+func unflatten(r *core.Results, vals []float64) {
+	i := 0
+	walkResults(reflect.ValueOf(r).Elem(), func(v reflect.Value) {
+		x := math.Round(vals[i])
+		i++
+		switch v.Kind() {
+		case reflect.Uint64:
+			if x < 0 {
+				x = 0
+			}
+			v.SetUint(uint64(x))
+		default:
+			v.SetInt(int64(x))
+		}
+	})
+}
+
+// walkResults visits every integer leaf of a Results value in declaration
+// order.
+func walkResults(v reflect.Value, visit func(reflect.Value)) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			walkResults(v.Field(i), visit)
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			walkResults(v.Index(i), visit)
+		}
+	case reflect.Uint64, reflect.Int64, reflect.Int:
+		visit(v)
+	}
+}
+
+// vecSub returns a-b element-wise.
+func vecSub(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// vecAccum adds scale*src into dst.
+func vecAccum(dst, src []float64, scale float64) {
+	for i := range dst {
+		dst[i] += scale * src[i]
+	}
+}

@@ -1,0 +1,75 @@
+package sampling
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tridentsp/internal/checkpoint"
+)
+
+// ROICache is an on-disk library of region-of-interest checkpoints: one
+// architectural snapshot per interval-grid boundary, taken at the point the
+// warm-up window begins. Functional execution is config-independent
+// (architectural transparency), so a sweep builds the cache once — whichever
+// variant runs first pays for the functional work — and every later
+// (config, seed) variant of the same workload restores snapshots instead of
+// re-executing the gaps.
+//
+// The key binds workload, scale, and the sampling grid (interval and warm-up
+// lengths fix each snapshot's position); each file's meta line additionally
+// pins its boundary index and instruction position, so a misplaced or stale
+// file reads as a miss, never as silent corruption (payload integrity is the
+// checkpoint codec's CRC).
+type ROICache struct {
+	Dir      string
+	Bench    string
+	Scale    string
+	Interval uint64
+	Warmup   uint64
+
+	// Hits and Misses count lookups this process made.
+	Hits   int
+	Misses int
+}
+
+// NewROICache describes (without touching) the cache directory for one
+// workload under one sampling grid.
+func NewROICache(dir, bench, scale string, cfg Config) *ROICache {
+	cfg = cfg.WithDefaults()
+	return &ROICache{Dir: dir, Bench: bench, Scale: scale, Interval: cfg.Interval, Warmup: cfg.Warmup}
+}
+
+func (r *ROICache) key() string {
+	return fmt.Sprintf("%s_%s_i%d_w%d", r.Bench, r.Scale, r.Interval, r.Warmup)
+}
+
+// Path returns the file holding boundary k's snapshot.
+func (r *ROICache) Path(k uint64) string {
+	return filepath.Join(r.Dir, fmt.Sprintf("%s_k%d.roi", r.key(), k))
+}
+
+func (r *ROICache) meta(k uint64) string {
+	return fmt.Sprintf("roi %s k=%d at=%d", r.key(), k, k*r.Interval-r.Warmup)
+}
+
+// Load fetches boundary k's snapshot; a missing, corrupt, or mismatched
+// file is a miss.
+func (r *ROICache) Load(k uint64) ([]byte, bool) {
+	meta, payload, err := checkpoint.ReadFile(r.Path(k))
+	if err != nil || meta != r.meta(k) {
+		r.Misses++
+		return nil, false
+	}
+	r.Hits++
+	return payload, true
+}
+
+// Save atomically writes boundary k's snapshot, creating the cache
+// directory on first use.
+func (r *ROICache) Save(k uint64, payload []byte) error {
+	if err := os.MkdirAll(r.Dir, 0o755); err != nil {
+		return err
+	}
+	return checkpoint.WriteFile(r.Path(k), r.meta(k), payload)
+}

@@ -1,0 +1,209 @@
+package sampling
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"tridentsp/internal/checkpoint"
+	"tridentsp/internal/core"
+	"tridentsp/internal/workloads"
+)
+
+// testConfig is a small grid so unit-test budgets produce many intervals.
+func testConfig() Config {
+	return Config{Interval: 100_000, Detailed: 20_000, Warmup: 10_000, PhaseDelta: 0.5, Startup: 300_000}
+}
+
+func newSystem(t *testing.T, bench string) *core.System {
+	t.Helper()
+	b, ok := workloads.ByName(bench)
+	if !ok {
+		t.Fatalf("no benchmark %q", bench)
+	}
+	return core.NewSystem(core.DefaultConfig(), b.Build(workloads.ScaleTest))
+}
+
+func runSampledCfg(t *testing.T, bench string, total uint64, cfg Config, roi *ROICache) Estimate {
+	t.Helper()
+	ctrl, err := NewController(newSystem(t, bench), cfg, roi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := ctrl.Run(total)
+	if err := ctrl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func runSampled(t *testing.T, bench string, total uint64, roi *ROICache) Estimate {
+	t.Helper()
+	return runSampledCfg(t, bench, total, testConfig(), roi)
+}
+
+// The extrapolated Results of a sampled run must track an exact run of the
+// same length: this is the package's whole reason to exist. Budgets sit past
+// each workload's optimizer-convergence point (the startup prefix covers the
+// transient; sampling only ever extrapolates steady state).
+func TestSampledTracksExact(t *testing.T) {
+	cases := []struct {
+		bench string
+		total uint64
+		cfg   Config
+	}{
+		{"mcf", 1_000_000, Config{Interval: 100_000, Detailed: 20_000, Warmup: 10_000, PhaseDelta: 0.5, Startup: 300_000}},
+		{"swim", 1_000_000, Config{Interval: 100_000, Detailed: 20_000, Warmup: 10_000, PhaseDelta: 0.5, Startup: 300_000}},
+		{"parser", 3_000_000, Config{Interval: 200_000, Detailed: 40_000, Warmup: 20_000, PhaseDelta: 0.5, Startup: 1_200_000}},
+	}
+	for _, tc := range cases {
+		bench, total := tc.bench, tc.total
+		exact := newSystem(t, bench).Run(total)
+		est := runSampledCfg(t, bench, total, tc.cfg, nil)
+
+		if est.Total != total {
+			t.Errorf("%s: sampled progress = %d, want %d", bench, est.Total, total)
+		}
+		if est.FFwdInstrs == 0 || est.DetailedInstrs >= total {
+			t.Errorf("%s: nothing was fast-forwarded (detailed=%d ffwd=%d)",
+				bench, est.DetailedInstrs, est.FFwdInstrs)
+		}
+		if est.Intervals < 5 {
+			t.Errorf("%s: only %d detailed intervals", bench, est.Intervals)
+		}
+		relErr := func(a, b float64) float64 {
+			if b == 0 {
+				return math.Abs(a - b)
+			}
+			return math.Abs(a-b) / math.Abs(b)
+		}
+		if e := relErr(est.Sampled.IPC(), exact.IPC()); e > 0.05 {
+			t.Errorf("%s: IPC error %.2f%% (sampled %.4f exact %.4f)",
+				bench, 100*e, est.Sampled.IPC(), exact.IPC())
+		}
+		if e := relErr(est.Sampled.PrefetchMissCoverage(), exact.PrefetchMissCoverage()); e > 0.10 {
+			t.Errorf("%s: coverage error %.2f%% (sampled %.4f exact %.4f)",
+				bench, 100*e, est.Sampled.PrefetchMissCoverage(), exact.PrefetchMissCoverage())
+		}
+		for _, k := range []string{"ipc", "coverage", "accuracy"} {
+			if _, ok := est.Err[k]; !ok {
+				t.Errorf("%s: missing error bar %q", bench, k)
+			}
+		}
+	}
+}
+
+// Sampled runs are deterministic: two runs from scratch agree exactly.
+func TestSampledDeterminism(t *testing.T) {
+	a := runSampled(t, "mcf", 600_000, nil)
+	b := runSampled(t, "mcf", 600_000, nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two sampled runs disagree:\n%+v\n%+v", a, b)
+	}
+}
+
+// A run checkpointed between intervals and resumed into a fresh machine
+// finishes with the identical estimate.
+func TestSampledResumeDeterminism(t *testing.T) {
+	const total = 800_000
+
+	ref := runSampled(t, "mcf", total, nil)
+
+	sys := newSystem(t, "mcf")
+	ctrl, err := NewController(sys, testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7 && ctrl.Step(total); i++ {
+	}
+	if !sys.Quiesce(10_000_000) {
+		t.Fatal("did not quiesce")
+	}
+	sysBlob, err := sys.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := checkpoint.NewEncoder()
+	ctrl.SaveState(e)
+
+	sys2 := newSystem(t, "mcf")
+	if err := sys2.RestoreState(sysBlob); err != nil {
+		t.Fatal(err)
+	}
+	ctrl2, err := NewController(sys2, testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl2.LoadState(checkpoint.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got := ctrl2.Run(total)
+	if err := ctrl2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("resumed estimate differs:\nresumed: %+v\nstraight: %+v", got, ref)
+	}
+}
+
+// Building the ROI cache (cold) and reusing it (warm) produce bit-identical
+// estimates: neither path touches microarchitectural state during the pure
+// part of a gap, and the architectural state restored is exactly the state
+// the cold run reaches functionally.
+func TestROICacheColdWarmIdentical(t *testing.T) {
+	const total = 800_000
+	dir := t.TempDir()
+
+	roiCold := NewROICache(dir, "mcf", "test", testConfig())
+	cold := runSampled(t, "mcf", total, roiCold)
+	if roiCold.Misses == 0 || roiCold.Hits != 0 {
+		t.Fatalf("cold run: hits=%d misses=%d", roiCold.Hits, roiCold.Misses)
+	}
+
+	roiWarm := NewROICache(dir, "mcf", "test", testConfig())
+	warm := runSampled(t, "mcf", total, roiWarm)
+	if roiWarm.Hits == 0 || roiWarm.Misses != 0 {
+		t.Fatalf("warm run: hits=%d misses=%d", roiWarm.Hits, roiWarm.Misses)
+	}
+
+	cold.ROIHits, cold.ROIMisses = 0, 0
+	warm.ROIHits, warm.ROIMisses = 0, 0
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm ROI run differs from cold:\ncold: %+v\nwarm: %+v", cold, warm)
+	}
+
+	// The no-cache run matches too: the cache only relocates functional work.
+	plain := runSampled(t, "mcf", total, nil)
+	if !reflect.DeepEqual(plain, warm) {
+		t.Fatalf("cached run differs from uncached:\nplain: %+v\ncached: %+v", plain, warm)
+	}
+}
+
+// A stale or foreign file must read as a miss, not corrupt the run.
+func TestROICacheRejectsMismatchedKey(t *testing.T) {
+	dir := t.TempDir()
+	a := NewROICache(dir, "mcf", "test", testConfig())
+	if err := a.Save(3, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Load(3); !ok {
+		t.Fatal("self-saved checkpoint should load")
+	}
+	other := testConfig()
+	other.Warmup = 5_000
+	b := NewROICache(dir, "mcf", "test", other)
+	if _, ok := b.Load(3); ok {
+		t.Fatal("checkpoint from a different grid must not load")
+	}
+}
+
+// Schedules that cannot alternate are rejected up front.
+func TestConfigValidate(t *testing.T) {
+	bad := Config{Interval: 100, Detailed: 80, Warmup: 40}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want error for detailed+warmup > interval")
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

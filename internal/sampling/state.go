@@ -1,0 +1,68 @@
+package sampling
+
+import "tridentsp/internal/checkpoint"
+
+// Controller checkpoint/restore. The driver snapshots between Steps (never
+// mid-interval), so the schedule position, the phase-detection baseline,
+// and the accumulated interval records are the whole mutable state; a
+// restored controller replays the remaining schedule bit-identically.
+// ROI hit/miss counters are per-process and deliberately not carried.
+
+// SaveState serializes the controller.
+func (c *Controller) SaveState(e *checkpoint.Encoder) {
+	e.Mark("sampling.controller")
+	e.Bool(c.nextDetailed)
+	e.Bool(c.prevSigOK)
+	for _, v := range c.prevSig {
+		e.F64(v)
+	}
+	e.Int(c.phaseExtras)
+	e.Len(len(c.intervals))
+	for i := range c.intervals {
+		iv := &c.intervals[i]
+		e.U64(iv.Start)
+		e.U64(iv.End)
+		e.Len(len(iv.Vec))
+		for _, v := range iv.Vec {
+			e.F64(v)
+		}
+		e.U64(iv.TierSlow)
+		e.U64(iv.TierBatch)
+		e.U64(iv.TierJIT)
+		e.Bool(iv.Phase)
+	}
+}
+
+// LoadState restores what SaveState wrote.
+func (c *Controller) LoadState(d *checkpoint.Decoder) error {
+	d.Expect("sampling.controller")
+	c.nextDetailed = d.Bool()
+	c.prevSigOK = d.Bool()
+	for i := range c.prevSig {
+		c.prevSig[i] = d.F64()
+	}
+	c.phaseExtras = d.Int()
+	n := d.Len()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	c.intervals = make([]Interval, n)
+	for i := range c.intervals {
+		iv := &c.intervals[i]
+		iv.Start = d.U64()
+		iv.End = d.U64()
+		m := d.Len()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		iv.Vec = make([]float64, m)
+		for j := range iv.Vec {
+			iv.Vec[j] = d.F64()
+		}
+		iv.TierSlow = d.U64()
+		iv.TierBatch = d.U64()
+		iv.TierJIT = d.U64()
+		iv.Phase = d.Bool()
+	}
+	return d.Err()
+}

@@ -90,6 +90,18 @@ const (
 	// The System rewinds to the window start, quarantines its decoded
 	// blocks, and demotes itself to the reference loop.
 	KindSentinelDivergence
+	// KindSampleDetail (engine): a sampled run finished one detailed
+	// interval (DESIGN §14). PC = pc at the interval's end, Aux = total
+	// program progress (detailed + fast-forwarded original instructions),
+	// Arg = original instructions retired in the interval, Arg2 = 1 when
+	// the interval's signals flagged a phase change (forcing the next
+	// interval detailed too), else 0.
+	KindSampleDetail
+	// KindSampleFF (engine): one functional fast-forward gap completed.
+	// PC = pc after the gap, Aux = total program progress afterwards,
+	// Arg = original instructions fast-forwarded, Arg2 = how many of them
+	// ran with warm-up probes enabled.
+	KindSampleFF
 	// NumKinds bounds the kind space.
 	NumKinds
 )
@@ -102,6 +114,7 @@ var kindNames = [NumKinds]string{
 	"chaos-edge", "watchdog-probe",
 	"fast-enter", "fast-exit",
 	"sentinel-check", "sentinel-divergence",
+	"sample-detail", "sample-ff",
 }
 
 // String names the kind.

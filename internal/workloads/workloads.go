@@ -41,6 +41,17 @@ const (
 	ScaleFull
 )
 
+// LongFactor is the instruction-budget multiplier of the "long" workload
+// variants. Every kernel is an effectively endless outer loop (see
+// outerForever), so a 100×-longer workload is the same program run to 100×
+// the instruction budget — the regime interval sampling (internal/sampling,
+// DESIGN §14) exists for: repair convergence is a long-horizon phenomenon
+// that short budgets truncate.
+const LongFactor = 100
+
+// LongInstrs scales a base instruction budget to the 100× variant.
+func LongInstrs(base uint64) uint64 { return base * LongFactor }
+
 // Benchmark is one synthetic workload.
 type Benchmark struct {
 	Name string

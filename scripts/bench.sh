@@ -8,9 +8,17 @@
 #   scripts/bench.sh BENCH_after.json    # explicit output name
 #   BENCHTIME=5x scripts/bench.sh       # more iterations (default 1x)
 #   BENCHFILTER=Figure5 scripts/bench.sh # subset of benches
+#   scripts/bench.sh BENCH_pr8_sampled.json  # sampled-mode bench family
 #
 # Snapshot naming convention: BENCH_baseline.json is the seed,
 # BENCH_after.json the first perf PR, BENCH_prN.json each later perf PR.
+# Sampled-mode benches (BenchmarkSampled*, internal/sampling) are a separate
+# snapshot family: an output name containing "_sampled" enables them (they
+# self-skip otherwise) and points the run at the sampling package, so
+# exact-mode snapshots never mix with sampled numbers — and the exact-mode
+# test binary never links the sampling package, keeping its code layout
+# (and thus ns/op) comparable across snapshots. benchdiff's auto-pick
+# skips the sampled family entirely.
 # Compare two snapshots with cmd/benchdiff (non-zero exit on regression):
 #
 #   go run ./cmd/benchdiff BENCH_after.json BENCH_pr3.json
@@ -24,9 +32,19 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_$(date +%Y%m%d).json}"
 benchtime="${BENCHTIME:-1x}"
-filter="${BENCHFILTER:-.}"
+case "$out" in
+*_sampled*)
+	filter="${BENCHFILTER:-Sampled}"
+	pkg="./internal/sampling"
+	export BENCH_SAMPLED=1
+	;;
+*)
+	filter="${BENCHFILTER:-.}"
+	pkg="."
+	;;
+esac
 
-raw=$(go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" .)
+raw=$(go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" "$pkg")
 
 printf '%s\n' "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
 	-v gover="$(go env GOVERSION)" -v benchtime="$benchtime" '
@@ -34,7 +52,7 @@ BEGIN {
 	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", date, gover, benchtime
 	n = 0
 }
-/^Benchmark/ {
+/^Benchmark/ && /ns\/op/ {
 	# Benchmark<Name>-<procs>  <iters>  <ns> ns/op  [<metric> <unit>]...  <B> B/op  <allocs> allocs/op
 	name = $1
 	sub(/-[0-9]+$/, "", name)

@@ -45,15 +45,26 @@ go tool cover -func=/tmp/telemetry.cover | awk '
 # Checkpoint torture: truncation at every byte boundary, bit flips at every
 # position, and kill-mid-write must all fail loudly, never load garbage.
 go test -run 'TestFileTorture|TestFileKillMidWrite' -count=2 ./internal/checkpoint/
+# Sampled-mode smoke (DESIGN §14): one workload under interval sampling with
+# an ROI cache, checkpointed; then resumed from the final checkpoint with a
+# warm cache. The resumed report must be byte-identical to the straight
+# sampled run — cache logistics go to stderr precisely so this diff holds.
+smokedir=$(mktemp -d)
+go run ./cmd/tridentsim -bench mcf -scale small -instrs 2000000 -sample \
+	-sample-interval 500000 -sample-startup 500000 -roi-cache "$smokedir/roi" \
+	-checkpoint-every 400000 -checkpoint-dir "$smokedir/ckpt" > "$smokedir/sampled.out"
+go run ./cmd/tridentsim -bench mcf -scale small -instrs 2000000 -sample \
+	-sample-interval 500000 -sample-startup 500000 -roi-cache "$smokedir/roi" \
+	-restore "$smokedir/ckpt/mcf.ckpt" | diff "$smokedir/sampled.out" -
+rm -rf "$smokedir"
 # One-iteration bench smoke: keeps the benchmark path compiling and running.
 go test -run '^$' -bench BenchmarkFigure5 -benchtime 1x .
-# benchdiff gate over the two newest checked-in snapshots (version sort
-# orders BENCH_pr9 < BENCH_pr10; baseline/after predate the prN series):
+# benchdiff gate over the two newest checked-in snapshots (benchdiff's
+# auto-pick: version sort orders BENCH_pr9 < BENCH_pr10, baseline/after
+# predate the prN series, and BENCH_*_sampled.json snapshots are excluded):
 # exercises the comparison tool and asserts the committed perf trajectory
 # has no >5% ns/op regression step, without editing this script per PR.
-old=$(ls BENCH_*.json | sort -V | tail -2 | head -1)
-new=$(ls BENCH_*.json | sort -V | tail -1)
-go run ./cmd/benchdiff -threshold 0.05 "$old" "$new"
+go run ./cmd/benchdiff -threshold 0.05
 # Durability must be free when off: the sentinel gate and checkpoint hooks
 # sit on the hot simulation loop, so PR6 holds the figure benches within 1%
 # of the pre-durability snapshot.
