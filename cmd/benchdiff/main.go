@@ -13,7 +13,9 @@
 // (version order, so pr10 sorts after pr9) are compared; sampled-mode
 // snapshots (BENCH_*_sampled.json) are excluded from auto-picking, since
 // their benchmarks measure a different execution mode and would never match
-// the exact-mode names anyway. -old/-new name the files explicitly without
+// the exact-mode names anyway. -sampled flips auto-pick to exactly that
+// family, so the sampled benchmarks gate against their own history instead
+// of silently falling out of CI. -old/-new name the files explicitly without
 // relying on position.
 //
 // With -json the same comparison is emitted as a machine-readable document —
@@ -66,15 +68,18 @@ func main() {
 		"emit the comparison as machine-readable JSON instead of a table")
 	oldPath := flag.String("old", "", "baseline snapshot (with -new; overrides positional args)")
 	newPath := flag.String("new", "", "candidate snapshot (with -old; overrides positional args)")
+	sampled := flag.Bool("sampled", false,
+		"auto-pick from the BENCH_*_sampled.json family instead of the exact-mode snapshots")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: benchdiff [-threshold 0.10] [-json] [OLD.json NEW.json | -old F -new F]\n"+
-				"with no files named, the two newest BENCH_*.json (excluding *_sampled) are compared\n")
+			"usage: benchdiff [-threshold 0.10] [-json] [-sampled] [OLD.json NEW.json | -old F -new F]\n"+
+				"with no files named, the two newest BENCH_*.json (excluding *_sampled) are compared;\n"+
+				"-sampled compares the two newest BENCH_*_sampled.json instead\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	oldFile, newFile, err := resolvePair(*oldPath, *newPath, flag.Args())
+	oldFile, newFile, err := resolvePair(*oldPath, *newPath, *sampled, flag.Args())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		flag.Usage()
@@ -111,8 +116,9 @@ func main() {
 
 // resolvePair decides which two snapshots to compare: explicit -old/-new
 // flags, two positional arguments, or (with neither) the two newest
-// BENCH_*.json files in the current directory.
-func resolvePair(oldFlag, newFlag string, args []string) (oldFile, newFile string, err error) {
+// BENCH_*.json files in the current directory — the exact-mode family by
+// default, the sampled family with -sampled.
+func resolvePair(oldFlag, newFlag string, sampled bool, args []string) (oldFile, newFile string, err error) {
 	switch {
 	case oldFlag != "" && newFlag != "":
 		if len(args) > 0 {
@@ -124,30 +130,36 @@ func resolvePair(oldFlag, newFlag string, args []string) (oldFile, newFile strin
 	case len(args) == 2:
 		return args[0], args[1], nil
 	case len(args) == 0:
-		return autoPick()
+		return autoPick(sampled)
 	default:
 		return "", "", fmt.Errorf("expected 0 or 2 snapshot files, got %d", len(args))
 	}
 }
 
 // autoPick selects the two newest BENCH_*.json snapshots by version order
-// (numeric runs compare numerically, so pr10 sorts after pr9). Sampled-mode
-// snapshots are skipped: their benchmark names measure a different execution
-// mode and must never gate an exact-mode comparison.
-func autoPick() (oldFile, newFile string, err error) {
+// (numeric runs compare numerically, so pr10 sorts after pr9). The two
+// snapshot families never mix: exact-mode picking skips BENCH_*_sampled.json
+// and sampled-mode picking admits only it, because the families' benchmark
+// names measure different execution modes and must gate against their own
+// history.
+func autoPick(sampled bool) (oldFile, newFile string, err error) {
 	all, err := filepath.Glob("BENCH_*.json")
 	if err != nil {
 		return "", "", err
 	}
 	var files []string
 	for _, f := range all {
-		if strings.Contains(f, "_sampled") {
+		if strings.Contains(f, "_sampled") != sampled {
 			continue
 		}
 		files = append(files, f)
 	}
+	family := "excluding *_sampled"
+	if sampled {
+		family = "*_sampled only"
+	}
 	if len(files) < 2 {
-		return "", "", fmt.Errorf("auto-pick needs at least two BENCH_*.json snapshots (excluding *_sampled), found %d", len(files))
+		return "", "", fmt.Errorf("auto-pick needs at least two BENCH_*.json snapshots (%s), found %d", family, len(files))
 	}
 	sort.Slice(files, func(i, j int) bool { return versionLess(files[i], files[j]) })
 	oldFile, newFile = files[len(files)-2], files[len(files)-1]

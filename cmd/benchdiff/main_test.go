@@ -136,10 +136,10 @@ func TestDiffJSON(t *testing.T) {
 }
 
 func TestResolvePair(t *testing.T) {
-	if o, n, err := resolvePair("a.json", "b.json", nil); err != nil || o != "a.json" || n != "b.json" {
+	if o, n, err := resolvePair("a.json", "b.json", false, nil); err != nil || o != "a.json" || n != "b.json" {
 		t.Fatalf("flags: got %q %q %v", o, n, err)
 	}
-	if o, n, err := resolvePair("", "", []string{"x.json", "y.json"}); err != nil || o != "x.json" || n != "y.json" {
+	if o, n, err := resolvePair("", "", false, []string{"x.json", "y.json"}); err != nil || o != "x.json" || n != "y.json" {
 		t.Fatalf("positional: got %q %q %v", o, n, err)
 	}
 	for name, c := range map[string]struct {
@@ -152,7 +152,7 @@ func TestResolvePair(t *testing.T) {
 		"one-positional":   {"", "", []string{"x.json"}},
 		"three-positional": {"", "", []string{"x", "y", "z"}},
 	} {
-		if _, _, err := resolvePair(c.oldF, c.newF, c.args); err == nil {
+		if _, _, err := resolvePair(c.oldF, c.newF, false, c.args); err == nil {
 			t.Errorf("%s: expected an error", name)
 		}
 	}
@@ -177,7 +177,7 @@ func TestAutoPick(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	o, n, err := autoPick()
+	o, n, err := autoPick(false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,14 +187,29 @@ func TestAutoPick(t *testing.T) {
 		t.Fatalf("auto-picked %q -> %q, want BENCH_pr9.json -> BENCH_pr10.json", o, n)
 	}
 
+	// -sampled flips the family: only the *_sampled snapshots are eligible.
+	o, n, err = autoPick(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != "BENCH_pr10_sampled.json" || n != "BENCH_pr11_sampled.json" {
+		t.Fatalf("sampled auto-picked %q -> %q, want pr10_sampled -> pr11_sampled", o, n)
+	}
+
 	if err := os.Remove("BENCH_pr2.json"); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.Remove("BENCH_pr9.json"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := autoPick(); err == nil {
+	if _, _, err := autoPick(false); err == nil {
 		t.Fatal("auto-pick with one eligible snapshot must fail")
+	}
+	if err := os.Remove("BENCH_pr11_sampled.json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := autoPick(true); err == nil {
+		t.Fatal("sampled auto-pick with one eligible snapshot must fail")
 	}
 }
 

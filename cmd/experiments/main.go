@@ -54,7 +54,8 @@ func realMain() int {
 		retries    = flag.Int("retries", 0, "extra attempts for a panicked or timed-out run")
 		taskTO     = flag.Duration("task-timeout", 0, "per-attempt wall-clock deadline (0 = none)")
 		failPolicy = flag.String("fail-policy", "strict", "strict: exit 1 if any run failed every attempt; degrade: exit 0 with holed tables")
-		sample     = flag.Bool("sample", false, "run every figure under the interval-sampling controller (DESIGN §14); cells come from extrapolated results")
+		sample     = flag.Bool("sample", false, "run every figure under the interval-sampling scheduler (DESIGN §14, §15); cells come from extrapolated results")
+		sampleJobs = flag.Int("sample-jobs", 1, "concurrent detailed-window chains inside each sampled run; tables are byte-identical at any value (with -j unset, the pool narrows to NumCPU/sample-jobs)")
 		slowpath   = flag.Bool("slowpath", false, "force the reference one-step simulation loop (disable the block-batched engine)")
 		jit        = flag.Bool("jit", true, "compile hot superblocks to closure chains (the tier above the batch engine; moot under -slowpath)")
 		jitHeat    = flag.Int("jit-threshold", -1, "override the JIT promotion threshold (-1 = config default, 0 = compile on first use)")
@@ -90,6 +91,7 @@ func realMain() int {
 	}
 	opts.Jobs = *jobs
 	opts.Sampled = *sample
+	opts.SampleJobs = *sampleJobs
 	opts.DisableFastPath = *slowpath
 	opts.DisableJIT = !*jit
 	if *jitHeat >= 0 {

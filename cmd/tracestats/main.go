@@ -272,11 +272,16 @@ func triggerHistogram(events []telemetry.Event) string {
 }
 
 // samplingTimeline renders a sampled run's interval sequence from the
-// controller's telemetry (DESIGN §14): one line per detailed window —
+// scheduler's telemetry (DESIGN §14, §15): one line per detailed window —
 // labelled "phase" when its signals triggered extra detail — and per
-// fast-forward gap, then the detailed/fast-forward residency split. Sampling
-// events are engine-class and ring-buffered, so on overflow the timeline
-// covers the retained tail of the run.
+// fast-forward gap, then the detailed/fast-forward residency split. The
+// scheduler merges per-chain streams in slot order before export, so the
+// timeline reads as one serial schedule and is identical at every
+// -sample-jobs; only the trailing speculation line (from the sample-spec
+// summary marker) is jobs-dependent, since discarded speculation exists
+// only when speculating. Sampling events are engine-class and ring-
+// buffered, so on overflow the timeline covers the retained tail of the
+// run.
 func samplingTimeline(events []telemetry.Event) string {
 	var sb strings.Builder
 	sb.WriteString("sampling timeline:\n")
@@ -285,6 +290,8 @@ func samplingTimeline(events []telemetry.Event) string {
 		det, ff, warm int64
 		windows, gaps int
 		phases        int
+		waste, sjobs  int64
+		spec          bool
 	)
 	widths := []int{-10, 14, 12, 12}
 	for _, e := range events {
@@ -306,6 +313,9 @@ func samplingTimeline(events []telemetry.Event) string {
 			lines = append(lines, "  "+render.Columns(" ", widths, "ffwd",
 				fmt.Sprintf("@%d", e.Aux), fmt.Sprintf("%d", e.Arg),
 				fmt.Sprintf("warm %d", e.Arg2)))
+		case telemetry.KindSampleSpec:
+			spec = true
+			waste, sjobs = e.Arg, e.Arg2
 		}
 	}
 	if windows+gaps == 0 {
@@ -323,6 +333,9 @@ func samplingTimeline(events []telemetry.Event) string {
 	}
 	fmt.Fprintf(&sb, "  residency: detailed %d (%.1f%%), fast-forward %d (of which warm %d); %d windows (%d phase-triggered), %d gaps\n",
 		det, dpct, ff, warm, windows, phases, gaps)
+	if spec {
+		fmt.Fprintf(&sb, "  speculation: %d windows executed and discarded (jobs=%d)\n", waste, sjobs)
+	}
 	return sb.String()
 }
 

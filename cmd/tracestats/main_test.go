@@ -84,6 +84,17 @@ func TestSamplingTimeline(t *testing.T) {
 			t.Errorf("sampling timeline missing %q:\n%s", want, out)
 		}
 	}
+	// A serial stream carries no sample-spec marker and renders no
+	// speculation line; a parallel stream's trailing marker adds exactly one.
+	if strings.Contains(out, "speculation") {
+		t.Errorf("speculation line without a sample-spec marker:\n%s", out)
+	}
+	spec := append(events, telemetry.Event{Seq: 3, Cycle: 110_000,
+		Kind: telemetry.KindSampleSpec, Aux: 1_050_000, Arg: 3, Arg2: 8})
+	out = samplingTimeline(spec)
+	if want := "speculation: 3 windows executed and discarded (jobs=8)"; !strings.Contains(out, want) {
+		t.Errorf("sampling timeline missing %q:\n%s", want, out)
+	}
 }
 
 func TestTierResidency(t *testing.T) {

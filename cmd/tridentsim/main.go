@@ -31,14 +31,18 @@
 // chaos configuration — not the instruction budget, which may grow across
 // resumes) and refuses to load into a mismatched invocation.
 //
-// With -sample, the run is interval-sampled (DESIGN §14): detailed windows
-// on the full engine alternate with functional fast-forward gaps, statistics
-// are extrapolated from the windows with error bars, and -roi-cache lets a
-// sweep reuse one run's fast-forward work as on-disk region-of-interest
-// checkpoints. Sampled runs compose with -checkpoint-every/-restore (the
-// checkpoint then carries the controller's schedule state too) but not with
-// -chaos (the shadow machine cannot advance across a functional gap) or
-// -sentinel (replay windows cannot span one).
+// With -sample, the run is interval-sampled (DESIGN §14, §15): detailed
+// windows on the full engine alternate with functional fast-forward gaps,
+// statistics are extrapolated from the windows with error bars, and
+// -roi-cache lets a sweep reuse one run's fast-forward work as on-disk
+// region-of-interest checkpoints. -sample-jobs N fans the detailed windows
+// across N concurrent worker machines; estimates, error bars, trigger
+// decisions, and exported telemetry are byte-identical at every N (only the
+// speculation-waste diagnostic on stderr is jobs-dependent). Sampled runs
+// compose with -checkpoint-every/-restore (the checkpoint then carries the
+// scheduler's schedule state too) but not with -chaos (the shadow machine
+// cannot advance across a functional gap) or -sentinel (replay windows
+// cannot span one).
 package main
 
 import (
@@ -84,6 +88,7 @@ func main() {
 		sampleDetailed = flag.Uint64("sample-detailed", 0, "detailed window length in original instructions (0 = default)")
 		sampleWarmup   = flag.Uint64("sample-warmup", 0, "warm fast-forward window before each detailed window (0 = default)")
 		sampleStartup  = flag.Uint64("sample-startup", 0, "fully detailed startup prefix so the optimizer converges before sampling (0 = default)")
+		sampleJobs     = flag.Int("sample-jobs", 1, "concurrent detailed-window chains inside a sampled run (DESIGN §15); estimates are byte-identical at any value")
 		roiCache       = flag.String("roi-cache", "", "directory of region-of-interest checkpoints; sampled gaps restore from (or populate) it")
 
 		ckptEvery  = flag.Uint64("checkpoint-every", 0, "write a crash-safe checkpoint every N original instructions (single -bench only; 0 = off)")
@@ -210,7 +215,7 @@ func main() {
 	// two run modes whose semantics need every instruction simulated in
 	// detail (chaos shadow, divergence sentinel) are rejected up front.
 	if !*sample {
-		for _, f := range []string{"sample-interval", "sample-detailed", "sample-warmup", "sample-startup", "roi-cache"} {
+		for _, f := range []string{"sample-interval", "sample-detailed", "sample-warmup", "sample-startup", "sample-jobs", "roi-cache"} {
 			if flagWasSet(f) {
 				fmt.Fprintf(os.Stderr, "-%s requires -sample\n", f)
 				os.Exit(2)
@@ -265,6 +270,7 @@ func main() {
 			metricsOut: *metricsOut,
 			sample:     *sample,
 			smpCfg:     smpCfg,
+			sampleJobs: *sampleJobs,
 			roiDir:     *roiCache,
 		}))
 	}
@@ -296,27 +302,31 @@ func main() {
 			if telemetryOn {
 				ccfg.Telemetry = &telemetry.Options{RingCap: *traceRing}
 			}
-			sys := core.NewSystem(ccfg, bm.Build(sc))
+			build := func() *core.System { return core.NewSystem(ccfg, bm.Build(sc)) }
+			sys := build()
 			var report string
 			var failed bool
+			events := func() []telemetry.Event { return sys.Telemetry().AllEvents() }
 			if *sample {
 				var roi *sampling.ROICache
 				if *roiCache != "" {
 					roi = sampling.NewROICache(*roiCache, bm.Name, *scale, smpCfg)
 				}
-				ctrl, cerr := sampling.NewController(sys, smpCfg, roi)
+				schd, cerr := sampling.NewScheduler(sys, smpCfg, roi,
+					sampling.Options{Jobs: *sampleJobs, NewSystem: build})
 				if cerr != nil {
 					outs[i] <- outcome{failed: true, err: cerr}
 					return
 				}
-				est := ctrl.Run(*instrs)
-				if cerr := ctrl.Err(); cerr != nil {
+				est := schd.Run(*instrs)
+				if cerr := schd.Err(); cerr != nil {
 					outs[i] <- outcome{failed: true, err: cerr}
 					return
 				}
 				report = renderSampled(est, *verbose)
 				reportROI(est)
 				failed = est.Raw.Aborted != "" || est.Raw.InvariantViolations > 0
+				events = schd.Events
 			} else {
 				res := sys.Run(*instrs)
 				report = renderRun(res, *verbose)
@@ -324,7 +334,7 @@ func main() {
 			}
 			var err error
 			if telemetryOn {
-				err = exportTelemetry(sys.Telemetry(), bm.Name, multi,
+				err = exportTelemetry(events(), sys.Telemetry(), bm.Name, multi,
 					*traceOut, *chromeOut, *metricsOut)
 			}
 			outs[i] <- outcome{report: report, failed: failed, err: err}
@@ -362,14 +372,17 @@ type ckptOptions struct {
 	metricsOut string
 	sample     bool
 	smpCfg     sampling.Config // effective (defaulted) schedule when sample is set
+	sampleJobs int
 	roiDir     string
 }
 
 // identity is the invocation fingerprint stored in every checkpoint file.
 // Everything that shapes the simulation is included — for sampled runs that
-// covers the whole schedule, since a resumed controller replays the grid the
-// checkpoint was cut on; the instruction budget is deliberately excluded so
-// a resume may extend the run.
+// covers the whole schedule, since a resumed scheduler replays the grid the
+// checkpoint was cut on. The instruction budget is deliberately excluded so
+// a resume may extend the run, and so is -sample-jobs: estimates are
+// byte-identical at any parallelism, so a checkpoint cut at one jobs
+// setting may legitimately resume under another.
 func (o ckptOptions) identity(bm workloads.Benchmark, cfg core.Config) string {
 	id := fmt.Sprintf("tridentsim bench=%s scale=%s hw=%s sw=%s trident=%v link=%v "+
 		"backout=%v valspec=%v phase=%v slowpath=%v jit=%v/%d sentinel=%d/%d "+
@@ -400,7 +413,7 @@ func runCheckpointed(bm workloads.Benchmark, cfg core.Config, sched *chaos.Sched
 	sys := core.NewSystem(cfg, bm.Build(sc))
 	meta := o.identity(bm, cfg)
 	if o.sample {
-		return runSampledCkpt(bm, sys, meta, o)
+		return runSampledCkpt(bm, sys, cfg, sc, meta, o)
 	}
 
 	if o.restore != "" {
@@ -464,7 +477,7 @@ func runCheckpointed(bm workloads.Benchmark, cfg core.Config, sched *chaos.Sched
 	fmt.Print(renderRun(res, o.verbose))
 	code := 0
 	if o.telemetry {
-		if err := exportTelemetry(sys.Telemetry(), bm.Name, false,
+		if err := exportTelemetry(sys.Telemetry().AllEvents(), sys.Telemetry(), bm.Name, false,
 			o.traceOut, o.chromeOut, o.metricsOut); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			code = 1
@@ -476,17 +489,54 @@ func runCheckpointed(bm workloads.Benchmark, cfg core.Config, sched *chaos.Sched
 	return code
 }
 
-// runSampledCkpt is the checkpointed driver for sampled runs: the controller
-// advances interval by interval, and the checkpoint payload carries the
-// controller's schedule state in front of the machine state so a resumed run
-// replays the identical interval sequence. Checkpoints are cut between
-// intervals (the controller quiesces the machine at every window edge).
-func runSampledCkpt(bm workloads.Benchmark, sys *core.System, meta string, o ckptOptions) int {
+// runSampledCkpt is the checkpointed driver for sampled runs. The scheduler
+// fires OnCommit at every snapshot-safe point — each startup window and each
+// completed window chain — and the checkpoint payload is the scheduler's own
+// state (which embeds the machine snapshot it needs: the full master during
+// startup, the startup snapshot plus the committed record afterwards), so a
+// resumed run replays the identical schedule, trigger decisions, and even
+// speculation waste.
+func runSampledCkpt(bm workloads.Benchmark, sys *core.System, cfg core.Config,
+	sc workloads.Scale, meta string, o ckptOptions) int {
 	var roi *sampling.ROICache
 	if o.roiDir != "" {
 		roi = sampling.NewROICache(o.roiDir, bm.Name, o.scale, o.smpCfg)
 	}
-	ctrl, err := sampling.NewController(sys, o.smpCfg, roi)
+
+	path := ""
+	if o.every > 0 {
+		if err := os.MkdirAll(o.dir, 0o777); err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint dir: %v\n", err)
+			return 1
+		}
+		path = filepath.Join(o.dir, bm.Name+".ckpt")
+	}
+
+	var schd *sampling.Scheduler
+	nextCkpt := uint64(0)
+	opts := sampling.Options{
+		Jobs:      o.sampleJobs,
+		NewSystem: func() *core.System { return core.NewSystem(cfg, bm.Build(sc)) },
+	}
+	if path != "" {
+		opts.OnCommit = func(progress uint64) {
+			if progress < nextCkpt {
+				return
+			}
+			e := checkpoint.NewEncoder()
+			e.Mark("tridentsim.sampled")
+			if err := schd.SaveState(e); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: checkpoint at %d instructions: %v\n", progress, err)
+				return
+			}
+			if err := checkpoint.WriteFile(path, meta, e.Bytes()); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: writing %s: %v\n", path, err)
+				return
+			}
+			nextCkpt = progress + o.every
+		}
+	}
+	schd, err := sampling.NewScheduler(sys, o.smpCfg, roi, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		return 1
@@ -505,59 +555,27 @@ func runSampledCkpt(bm workloads.Benchmark, sys *core.System, meta string, o ckp
 		}
 		d := checkpoint.NewDecoder(payload)
 		d.Expect("tridentsim.sampled")
-		if err := ctrl.LoadState(d); err != nil {
+		if err := schd.LoadState(d); err != nil {
 			fmt.Fprintf(os.Stderr, "restore %s: %v\n", o.restore, err)
 			return 1
 		}
-		blob := d.Blob()
 		if err := d.Finish(); err != nil {
 			fmt.Fprintf(os.Stderr, "restore %s: %v\n", o.restore, err)
 			return 1
 		}
-		if err := sys.RestoreState(blob); err != nil {
-			fmt.Fprintf(os.Stderr, "restore %s: %v\n", o.restore, err)
-			return 1
-		}
 	}
+	nextCkpt = sys.Progress() + o.every
 
-	path := ""
-	if o.every > 0 {
-		if err := os.MkdirAll(o.dir, 0o777); err != nil {
-			fmt.Fprintf(os.Stderr, "checkpoint dir: %v\n", err)
-			return 1
-		}
-		path = filepath.Join(o.dir, bm.Name+".ckpt")
-	}
-
-	nextCkpt := sys.Progress() + o.every
-	for ctrl.Step(o.instrs) {
-		if path == "" || sys.Progress() < nextCkpt {
-			continue
-		}
-		blob, err := sys.SaveState()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "warning: checkpoint at %d instructions: %v\n", sys.Progress(), err)
-			continue
-		}
-		e := checkpoint.NewEncoder()
-		e.Mark("tridentsim.sampled")
-		ctrl.SaveState(e)
-		e.Blob(blob)
-		if err := checkpoint.WriteFile(path, meta, e.Bytes()); err != nil {
-			fmt.Fprintf(os.Stderr, "warning: writing %s: %v\n", path, err)
-		}
-		nextCkpt = sys.Progress() + o.every
-	}
-	if err := ctrl.Err(); err != nil {
+	est := schd.Run(o.instrs)
+	if err := schd.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		return 1
 	}
-	est := ctrl.Estimate()
 	fmt.Print(renderSampled(est, o.verbose))
 	reportROI(est)
 	code := 0
 	if o.telemetry {
-		if err := exportTelemetry(sys.Telemetry(), bm.Name, false,
+		if err := exportTelemetry(schd.Events(), sys.Telemetry(), bm.Name, false,
 			o.traceOut, o.chromeOut, o.metricsOut); err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			code = 1
@@ -582,7 +600,12 @@ func outPath(path, bench string, multi bool) string {
 }
 
 // exportTelemetry writes the requested telemetry artifacts for one run.
-func exportTelemetry(tel *telemetry.Tracer, bench string, multi bool,
+// events is the run's stream — the tracer's own for exact runs, the
+// scheduler's slot-ordered merge for sampled ones (identical at every
+// -sample-jobs). The metrics registry always comes from the master tracer:
+// chain workers run on private machines whose registries die with them, a
+// documented limitation of sampled-mode -metrics-out.
+func exportTelemetry(events []telemetry.Event, tel *telemetry.Tracer, bench string, multi bool,
 	traceOut, chromeOut, metricsOut string) error {
 	write := func(path string, fn func(w io.Writer) error) error {
 		f, err := os.Create(path)
@@ -596,7 +619,6 @@ func exportTelemetry(tel *telemetry.Tracer, bench string, multi bool,
 		return f.Close()
 	}
 	if traceOut != "" {
-		events := tel.AllEvents()
 		err := write(outPath(traceOut, bench, multi), func(w io.Writer) error {
 			return telemetry.WriteJSONL(w, events)
 		})
@@ -605,7 +627,6 @@ func exportTelemetry(tel *telemetry.Tracer, bench string, multi bool,
 		}
 	}
 	if chromeOut != "" {
-		events := tel.AllEvents()
 		err := write(outPath(chromeOut, bench, multi), func(w io.Writer) error {
 			return telemetry.WriteChromeTrace(w, events)
 		})
@@ -667,13 +688,18 @@ func renderSampled(est sampling.Estimate, verbose bool) string {
 	return sb.String()
 }
 
-// reportROI prints region-of-interest cache statistics to stderr. They stay
-// out of the stdout report deliberately: a cold run (all misses), a warm one
-// (all hits), and a resumed one (fewer gaps left) produce byte-identical
-// simulation reports, and cache logistics must not break that diff.
+// reportROI prints region-of-interest cache statistics and speculation
+// waste to stderr. They stay out of the stdout report deliberately: a cold
+// run (all misses), a warm one (all hits), a resumed one (fewer gaps left),
+// and runs at different -sample-jobs (different waste) all produce
+// byte-identical simulation reports, and execution logistics must not break
+// that diff.
 func reportROI(est sampling.Estimate) {
 	if est.ROIHits+est.ROIMisses > 0 {
 		fmt.Fprintf(os.Stderr, "roi cache: %d hits, %d misses\n", est.ROIHits, est.ROIMisses)
+	}
+	if est.SpecWaste > 0 {
+		fmt.Fprintf(os.Stderr, "speculation: %d windows executed and discarded\n", est.SpecWaste)
 	}
 }
 

@@ -124,11 +124,16 @@ func mapTracePC(pl *trident.Placement, pc uint64) uint64 {
 // (config, seed) variant of the same workload: that is the region-of-
 // interest cache's whole trick. Unlike SaveState, no quiescing is needed;
 // microarchitectural and optimizer state is deliberately not captured.
+// Memory is diff-encoded against the program's immutable data image (the
+// format mark is "core.roi2"; pre-diff blobs read as cache misses): the
+// blob carries only the written working set, and any System built from the
+// same workload reconstructs the rest by sharing the image's pages
+// copy-on-write.
 func (s *System) SaveROI() []byte {
 	e := checkpoint.NewEncoder()
-	e.Mark("core.roi")
+	e.Mark("core.roi2")
 	s.thread.SaveArchState(e)
-	s.mem.SaveState(e)
+	s.mem.SaveStateDiff(e, s.image)
 	e.U64(s.Progress())
 	return e.Bytes()
 }
@@ -140,11 +145,11 @@ func (s *System) SaveROI() []byte {
 // skipped gap, origInstrs keeps this run's own detailed accounting.
 func (s *System) RestoreROI(blob []byte) error {
 	d := checkpoint.NewDecoder(blob)
-	d.Expect("core.roi")
+	d.Expect("core.roi2")
 	if err := s.thread.LoadArchState(d); err != nil {
 		return err
 	}
-	if err := s.mem.LoadState(d); err != nil {
+	if err := s.mem.LoadStateDiff(d, s.image); err != nil {
 		return err
 	}
 	at := d.U64()

@@ -28,7 +28,12 @@ type System struct {
 
 	pristine *program.Program
 	mem      *program.Memory
-	hier     *memsys.Hierarchy
+	// image is the program's immutable paged data image: the copy-on-write
+	// base mem was cloned from, and the diff base for region-of-interest
+	// checkpoints (SaveROI). Shared read-only across every run of the same
+	// workload master.
+	image *program.Memory
+	hier  *memsys.Hierarchy
 	sb       *streambuf.StreamBuffers
 	bp       *branchpred.Predictor
 	live     *cpu.ProgramSpace
@@ -172,8 +177,9 @@ func NewSystem(cfg Config, prog *program.Program) *System {
 	}
 	s := &System{
 		cfg:         cfg,
-		pristine:    prog.ClonePristine(),
+		pristine:    prog.Pristine(),
 		mem:         program.NewMemory(prog),
+		image:       prog.Image(),
 		hier:        memsys.New(cfg.Mem),
 		bp:          branchpred.New(branchpred.DefaultConfig()),
 		patched:     make([]bool, len(prog.Code)),

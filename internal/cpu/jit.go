@@ -231,14 +231,33 @@ func compileCond(op isa.Op, ra isa.Reg) func(*Thread) bool {
 // scratch — compilation was a top-five profile entry for whole-figure runs.
 // Keys carry a content hash; a hit still verifies with Matches before reuse,
 // so a collision degrades to a recompile, never to wrong code.
-var (
-	jitShareMu sync.Mutex
-	jitShared  = map[jitKey]*CompiledBlock{}
-)
+//
+// The cache is sharded by key hash: parallel sampled windows run many
+// Systems of the same workload concurrently, all compiling the same hot
+// blocks at once, and a single mutex over one map serialized every
+// promotion across the pool (visible as lock contention in the race-leg
+// profiles). Sixteen shards with per-shard mutexes keep the fast path one
+// uncontended lock.
+const jitShardCount = 16 // power of two; shard picked from the content hash
 
-// jitSharedCap bounds the shared cache; on overflow the whole map is dropped
-// (a simple epoch flush — long test runs build many distinct programs).
-const jitSharedCap = 1 << 14
+type jitShard struct {
+	mu sync.Mutex
+	m  map[jitKey]*CompiledBlock
+}
+
+var jitShards [jitShardCount]jitShard
+
+// jitShardCap bounds each shard; on overflow the shard's map is dropped (a
+// simple epoch flush — long test runs build many distinct programs). The
+// total capacity matches the previous single-map bound.
+const jitShardCap = (1 << 14) / jitShardCount
+
+// shardFor routes a key to its shard. The content hash's low bits are
+// well-mixed (FNV-1a), and folding in the entry address separates identical
+// bodies placed at different addresses.
+func shardFor(k jitKey) *jitShard {
+	return &jitShards[(k.hash^k.entry)&(jitShardCount-1)]
+}
 
 type jitKey struct {
 	entry uint64
@@ -272,9 +291,10 @@ func Compile(b Block, entry uint64) *CompiledBlock {
 		return nil
 	}
 	k := blockKey(b, entry)
-	jitShareMu.Lock()
-	cb := jitShared[k]
-	jitShareMu.Unlock()
+	sh := shardFor(k)
+	sh.mu.Lock()
+	cb := sh.m[k]
+	sh.mu.Unlock()
 	if cb != nil && cb.entry == entry && cb.Matches(b) {
 		return cb
 	}
@@ -282,12 +302,15 @@ func Compile(b Block, entry uint64) *CompiledBlock {
 	if cb == nil {
 		return nil
 	}
-	jitShareMu.Lock()
-	if len(jitShared) >= jitSharedCap {
-		jitShared = map[jitKey]*CompiledBlock{}
+	sh.mu.Lock()
+	if len(sh.m) >= jitShardCap {
+		sh.m = nil
 	}
-	jitShared[k] = cb
-	jitShareMu.Unlock()
+	if sh.m == nil {
+		sh.m = map[jitKey]*CompiledBlock{}
+	}
+	sh.m[k] = cb
+	sh.mu.Unlock()
 	return cb
 }
 

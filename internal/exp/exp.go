@@ -10,6 +10,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"time"
 
@@ -45,10 +46,16 @@ type Options struct {
 	// JITThreshold, when non-nil, overrides core.Config.JITThreshold in
 	// every run (0 = compile every block on first use).
 	JITThreshold *uint32
-	// Sampled runs every figure under the interval-sampling controller
-	// (DESIGN §14) and computes cells from the extrapolated Results. Exact
-	// mode (the default) is untouched — its tables stay byte-identical.
+	// Sampled runs every figure under the interval-sampling scheduler
+	// (DESIGN §14, §15) and computes cells from the extrapolated Results.
+	// Exact mode (the default) is untouched — its tables stay byte-identical.
 	Sampled bool
+	// SampleJobs bounds concurrent detailed-window chains inside each
+	// sampled run (sampling.Options.Jobs); 0 or 1 runs windows one at a
+	// time. Estimates are byte-identical at any value. When set above 1
+	// with Jobs unset, the pool width defaults to NumCPU/SampleJobs so the
+	// nested parallelism does not oversubscribe the host.
+	SampleJobs int
 	// Retries is how many extra attempts a failed run (panic or timeout)
 	// gets before its cells are holed ("—") and the failure lands in the
 	// table's manifest.
@@ -65,6 +72,13 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Scale == 0 {
 		o.Scale = workloads.ScaleFull
+	}
+	// Nested-parallelism budget: -j × -sample-jobs worker goroutines run
+	// hot, so when the caller asks for intra-run parallelism but leaves the
+	// pool width on auto, divide the host between the two levels instead of
+	// oversubscribing it.
+	if o.Sampled && o.SampleJobs > 1 && o.Jobs <= 0 {
+		o.Jobs = max(1, runtime.NumCPU()/o.SampleJobs)
 	}
 	return o
 }
@@ -104,10 +118,14 @@ func (o Options) applyEngine(cfg *core.Config) {
 	}
 }
 
-// run executes one benchmark under one configuration.
-func run(bm workloads.Benchmark, cfg core.Config, o Options) core.Results {
+// run executes one benchmark under one configuration. stop and m are the
+// pool's cooperation handles for sampled mode — the attempt deadline closes
+// stop so nested window chains wind down at the next boundary, and a retry
+// resumes the window schedule from m instead of restarting the run. Exact
+// runs ignore both (pure compute, no cancellation point).
+func run(bm workloads.Benchmark, cfg core.Config, o Options, stop <-chan struct{}, m *memo) core.Results {
 	if o.Sampled {
-		return sampledRun(bm, cfg, o).Sampled
+		return sampledRun(bm, cfg, o, stop, m).Sampled
 	}
 	o.applyEngine(&cfg)
 	p := bm.Build(o.Scale)

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"tridentsp/internal/core"
@@ -86,6 +87,39 @@ type task[T any] struct {
 	done  bool
 }
 
+// memo carries resumable progress across one task's retry attempts: sampled
+// runs store their scheduler snapshot at every commit point, and the next
+// attempt resumes the window schedule from it instead of restarting the
+// run. The mutex matters because a timed-out attempt is abandoned, not
+// killed — it may publish one last commit while the retry is already
+// reading; the snapshot it writes is still a valid commit point (resuming
+// from an older point only redoes work, never changes the result), so the
+// race is benign by construction.
+type memo struct {
+	mu   sync.Mutex
+	snap []byte
+}
+
+// store publishes a snapshot (nil-safe).
+func (m *memo) store(b []byte) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.snap = b
+	m.mu.Unlock()
+}
+
+// load returns the latest snapshot, nil when none was stored (nil-safe).
+func (m *memo) load() []byte {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snap
+}
+
 // wait returns the task's value — the zero value when every attempt failed,
 // in which case the failure is recorded in the pool's manifest (once, on
 // the first wait).
@@ -112,14 +146,28 @@ func (t *task[T]) ok() bool {
 // eagerly and gate on the pool's slots, so submission never blocks. The
 // label names the run in the failure manifest and seeds its retry jitter.
 func submit[T any](p *pool, label string, fn func() T) *task[T] {
+	return submitStop(p, label, func(<-chan struct{}, *memo) T { return fn() })
+}
+
+// submitStop is submit for tasks that cooperate with the fault boundary:
+// fn's stop channel closes when the attempt's deadline expires (nested
+// window workers abort at the next safe point instead of burning CPU until
+// process exit), and with retries enabled, its memo carries the scheduler
+// snapshot across attempts so a retry resumes the window schedule rather
+// than the whole run.
+func submitStop[T any](p *pool, label string, fn func(stop <-chan struct{}, m *memo) T) *task[T] {
 	t := &task[T]{p: p, label: label, ch: make(chan outcome[T], 1)}
+	var m *memo
+	if p.retries > 0 {
+		m = &memo{}
+	}
 	go func() {
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
 		var out outcome[T]
 		for n := 0; ; n++ {
 			out.attempts = n + 1
-			out.v, out.err = attempt(p, fn)
+			out.v, out.err = attempt(p, fn, m)
 			if out.err == nil || n >= p.retries {
 				break
 			}
@@ -133,10 +181,12 @@ func submit[T any](p *pool, label string, fn func() T) *task[T] {
 }
 
 // attempt runs fn once behind the fault boundary: a panic becomes an error,
-// and with a deadline set, an overlong run is abandoned (its goroutine is
-// left to finish and be discarded — simulator runs are pure compute with no
-// cancellation point) and reported as a timeout.
-func attempt[T any](p *pool, fn func() T) (T, error) {
+// and with a deadline set, an overlong run is reported as a timeout and
+// abandoned — its stop channel is closed so cooperating tasks (sampled
+// runs' window chains) wind down at their next boundary, while pure-compute
+// exact runs are simply left to finish and be discarded.
+func attempt[T any](p *pool, fn func(stop <-chan struct{}, m *memo) T, m *memo) (T, error) {
+	stop := make(chan struct{})
 	resc := make(chan outcome[T], 1)
 	go func() {
 		var o outcome[T]
@@ -146,7 +196,7 @@ func attempt[T any](p *pool, fn func() T) (T, error) {
 			}
 			resc <- o
 		}()
-		o.v = fn()
+		o.v = fn(stop, m)
 	}()
 	if p.timeout <= 0 {
 		o := <-resc
@@ -158,6 +208,7 @@ func attempt[T any](p *pool, fn func() T) (T, error) {
 	case o := <-resc:
 		return o.v, o.err
 	case <-timer.C:
+		close(stop)
 		var zero T
 		return zero, fmt.Errorf("timed out after %v", p.timeout)
 	}
@@ -191,7 +242,9 @@ func splitmix64(x uint64) uint64 {
 // submitRun schedules one benchmark under one configuration.
 func (p *pool) submitRun(bm workloads.Benchmark, cfg core.Config, o Options) *task[core.Results] {
 	label := fmt.Sprintf("%s %s/%s", bm.Name, cfg.HW, cfg.SW)
-	return submit(p, label, func() core.Results { return run(bm, cfg, o) })
+	return submitStop(p, label, func(stop <-chan struct{}, m *memo) core.Results {
+		return run(bm, cfg, o, stop, m)
+	})
 }
 
 // allOK waits for every listed run (recording any failures in wait order)

@@ -4,18 +4,29 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
 
 // quietPool builds a single-job pool whose backoff sleeps are recorded
 // instead of slept, so retry tests run instantly and can assert on the
-// delays the scheduler would have used.
-func quietPool(o Options) (*pool, *[]time.Duration) {
+// delays the scheduler would have used. The recorder locks: a multi-job
+// pool's workers back off concurrently.
+func quietPool(o Options) (*pool, func() []time.Duration) {
 	p := newPool(o)
+	var mu sync.Mutex
 	var delays []time.Duration
-	p.pause = func(d time.Duration) { delays = append(delays, d) }
-	return p, &delays
+	p.pause = func(d time.Duration) {
+		mu.Lock()
+		delays = append(delays, d)
+		mu.Unlock()
+	}
+	return p, func() []time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]time.Duration(nil), delays...)
+	}
 }
 
 func TestPoolRecoversPanicAndRetries(t *testing.T) {
@@ -37,8 +48,8 @@ func TestPoolRecoversPanicAndRetries(t *testing.T) {
 	if calls != 3 {
 		t.Fatalf("fn ran %d times, want 3", calls)
 	}
-	if len(*delays) != 2 {
-		t.Fatalf("backoff slept %d times, want 2", len(*delays))
+	if n := len(delays()); n != 2 {
+		t.Fatalf("backoff slept %d times, want 2", n)
 	}
 	if m := p.manifest(); len(m) != 0 {
 		t.Fatalf("manifest has %d entries for a recovered task: %+v", len(m), m)

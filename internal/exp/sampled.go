@@ -3,6 +3,7 @@ package exp
 import (
 	"math"
 
+	"tridentsp/internal/checkpoint"
 	"tridentsp/internal/core"
 	"tridentsp/internal/sampling"
 	"tridentsp/internal/workloads"
@@ -53,18 +54,39 @@ func SampleConfig(instrs uint64) sampling.Config {
 	return cfg
 }
 
-// sampledRun executes one benchmark under the sampling controller. A
-// controller failure surfaces as a panic so the pool's fault boundary
-// records it like any other failed run.
-func sampledRun(bm workloads.Benchmark, cfg core.Config, o Options) sampling.Estimate {
+// sampledRun executes one benchmark under the sampling scheduler, fanning
+// window chains across o.SampleJobs workers. A scheduler failure surfaces
+// as a panic so the pool's fault boundary records it like any other failed
+// run. The pool's stop channel reaches the scheduler, so a blown attempt
+// deadline winds the nested window workers down at the next boundary; with
+// a memo, every commit point snapshots the scheduler and a retry resumes
+// the window schedule where the failed attempt left off (the resumed
+// estimate is byte-identical to an unbroken run's — the scheduler's
+// resume-determinism contract).
+func sampledRun(bm workloads.Benchmark, cfg core.Config, o Options, stop <-chan struct{}, m *memo) sampling.Estimate {
 	o.applyEngine(&cfg)
-	sys := core.NewSystem(cfg, bm.Build(o.Scale))
-	ctrl, err := sampling.NewController(sys, SampleConfig(o.Instrs), nil)
+	build := func() *core.System { return core.NewSystem(cfg, bm.Build(o.Scale)) }
+	var sched *sampling.Scheduler
+	opts := sampling.Options{Jobs: o.SampleJobs, NewSystem: build, Stop: stop}
+	if m != nil {
+		opts.OnCommit = func(uint64) {
+			e := checkpoint.NewEncoder()
+			if err := sched.SaveState(e); err == nil {
+				m.store(e.Bytes())
+			}
+		}
+	}
+	sched, err := sampling.NewScheduler(build(), SampleConfig(o.Instrs), nil, opts)
 	if err != nil {
 		panic(err)
 	}
-	est := ctrl.Run(o.Instrs)
-	if err := ctrl.Err(); err != nil {
+	if snap := m.load(); snap != nil {
+		if err := sched.LoadState(checkpoint.NewDecoder(snap)); err != nil {
+			panic(err)
+		}
+	}
+	est := sched.Run(o.Instrs)
+	if err := sched.Err(); err != nil {
 		panic(err)
 	}
 	return est
@@ -97,8 +119,8 @@ func SampleVal(o Options) Table {
 		cfg := core.DefaultConfig()
 		runs[i] = futs{
 			exact: p.submitRun(bm, cfg, o),
-			sampled: submit(p, bm.Name+" sampled", func() sampling.Estimate {
-				return sampledRun(bm, cfg, o)
+			sampled: submitStop(p, bm.Name+" sampled", func(stop <-chan struct{}, m *memo) sampling.Estimate {
+				return sampledRun(bm, cfg, o, stop, m)
 			}),
 		}
 	}

@@ -77,6 +77,32 @@ func TestSampledJobsDeterminism(t *testing.T) {
 	}
 }
 
+// TestSampledSampleJobsDeterminism: the table is also byte-identical at any
+// -sample-jobs (DESIGN §15) — the window scheduler fans detailed-window
+// chains across workers but the reconciler consumes them in slot order, so
+// the extrapolated estimate every cell is computed from never depends on the
+// fan-out width. This is the table-level leg of the byte-identity contract;
+// the scheduler-level leg (estimates, intervals, events) lives in
+// internal/sampling.
+func TestSampledSampleJobsDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sampled suite three times")
+	}
+	o := diffOptions()
+	o.Benchmarks = []string{"mcf", "swim", "parser", "dot"}
+	var tables []Table
+	for _, sj := range []int{1, 2, 8} {
+		o.SampleJobs = sj
+		tables = append(tables, SampleVal(o))
+	}
+	for i, sj := range []int{2, 8} {
+		if !reflect.DeepEqual(tables[0], tables[i+1]) {
+			t.Errorf("sampled table differs across -sample-jobs\n-- jobs=1 --\n%s-- jobs=%d --\n%s",
+				tables[0].Render(), sj, tables[i+1].Render())
+		}
+	}
+}
+
 // TestSampledFigureSmoke: any figure runs under Options.Sampled (the
 // controller path replaces every run); exact mode stays the default.
 func TestSampledFigureSmoke(t *testing.T) {

@@ -38,6 +38,14 @@ type Program struct {
 	// matches, so entries added after a build are never silently dropped.
 	memImage    *Memory
 	memImageLen int
+
+	// master points at the immutable, predecoded program this one was
+	// cloned from (nil when the source had not been predecoded at clone
+	// time). Predecode's contract makes a predecoded program's Code
+	// immutable, so the master can be shared read-only across any number
+	// of concurrent runs; Pristine exploits that to hand every System the
+	// same pristine image instead of a per-run deep copy.
+	master *Program
 }
 
 // CodeEnd returns the first address past the code segment.
@@ -99,7 +107,8 @@ func (p *Program) WordAt(pc uint64) (uint64, bool) {
 // do so on the source before cloning; the length check in NewMemory catches
 // entries added afterwards, silent in-place overwrites are not tracked.
 func (p *Program) Clone() *Program {
-	c := &Program{Base: p.Base, Entry: p.Entry, Name: p.Name, Data: p.Data}
+	c := &Program{Base: p.Base, Entry: p.Entry, Name: p.Name, Data: p.Data,
+		master: p.masterRef()}
 	c.Code = append([]uint64(nil), p.Code...)
 	if c.Data == nil {
 		c.Data = map[uint64]uint64{}
@@ -113,11 +122,48 @@ func (p *Program) Clone() *Program {
 // must not reach the pristine copy), while Data — which the simulator never
 // mutates — and the built memory image are shared with the source.
 func (p *Program) ClonePristine() *Program {
-	c := &Program{Base: p.Base, Entry: p.Entry, Name: p.Name, Data: p.Data}
+	c := &Program{Base: p.Base, Entry: p.Entry, Name: p.Name, Data: p.Data,
+		master: p.masterRef()}
 	c.Code = append([]uint64(nil), p.Code...)
 	c.memImage, c.memImageLen = p.ensureMemImage(), len(p.Data)
 	return c
 }
+
+// masterRef resolves the immutable ancestor a clone should remember: the
+// source's own master when it has one, or the source itself when it has been
+// predecoded (and its Code is therefore frozen by Predecode's contract).
+func (p *Program) masterRef() *Program {
+	if p.master != nil {
+		return p.master
+	}
+	if p.insts != nil {
+		return p
+	}
+	return nil
+}
+
+// Pristine returns a read-only pristine image of the original binary. When
+// the program descends from a predecoded master (the workload cache
+// prebuilds every master before publishing it), the master itself is
+// returned: zero-copy, with the predecoded instruction cache and the paged
+// memory image shared by every run of the workload — parallel sampled
+// windows construct one System per window, and a per-window code copy plus
+// re-decode was most of the construction cost. Callers must not mutate the
+// result; use ClonePristine for a writable copy. Only valid while the
+// program's Code is still the original (a System takes its pristine image
+// before the live image sees its first patch).
+func (p *Program) Pristine() *Program {
+	if p.master != nil {
+		return p.master
+	}
+	return p.ClonePristine()
+}
+
+// Image returns the program's cached paged memory image (built on first
+// use). The image is shared and immutable once built: it is the
+// copy-on-write base every run's Memory clones from, and the base the
+// diff-encoded region-of-interest checkpoints compare against.
+func (p *Program) Image() *Memory { return p.ensureMemImage() }
 
 // Listing disassembles the whole code segment, one instruction per line.
 func (p *Program) Listing() []string {

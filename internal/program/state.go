@@ -82,3 +82,112 @@ func (m *Memory) LoadState(d *checkpoint.Decoder) error {
 	m.mapped = d.Int()
 	return d.Err()
 }
+
+// SaveStateDiff serializes the memory as a sparse diff against base (the
+// program's immutable paged image). Clones share base's pages until first
+// write, so "page pointer differs from base's" is an O(1) exact test for
+// "this page may have diverged": only such pages are written, plus the
+// indices of base pages this memory no longer maps. For a sampled run's
+// region-of-interest checkpoints the diff is the written working set — a
+// small fraction of the image — which shrinks both the blob and the encode
+// time. The encoding is deterministic (ascending page index, like
+// SaveState).
+func (m *Memory) SaveStateDiff(e *checkpoint.Encoder, base *Memory) {
+	e.Mark("program.memdiff")
+	var diff []uint64
+	m.forEachPage(func(idx uint64, pg *memPage) {
+		if base.page(idx<<memPageShift) != pg {
+			diff = append(diff, idx)
+		}
+	})
+	e.Len(len(diff))
+	for _, idx := range diff {
+		pg := m.page(idx << memPageShift)
+		e.U64(idx)
+		for _, w := range pg.words {
+			e.U64(w)
+		}
+		for _, v := range pg.valid {
+			e.U64(v)
+		}
+	}
+	var gone []uint64
+	base.forEachPage(func(idx uint64, pg *memPage) {
+		if m.page(idx<<memPageShift) == nil {
+			gone = append(gone, idx)
+		}
+	})
+	e.Len(len(gone))
+	for _, idx := range gone {
+		e.U64(idx)
+	}
+	e.Int(m.mapped)
+}
+
+// LoadStateDiff restores state saved by SaveStateDiff against the same base
+// image: the memory becomes base-with-the-diff-applied, sharing every
+// untouched page with base copy-on-write (exactly the shape a fresh
+// NewMemory clone has after replaying the same stores). Pages this memory
+// already owns are reused in place, mirroring LoadState's allocation
+// discipline.
+func (m *Memory) LoadStateDiff(d *checkpoint.Decoder, base *Memory) error {
+	d.Expect("program.memdiff")
+	nDiff := d.Len()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	// Stash owned pages for reuse before the table is rewritten; owned
+	// pages are referenced only by this memory (see LoadState).
+	var own map[uint64]*memPage
+	m.forEachPage(func(idx uint64, pg *memPage) {
+		if pg.owner == m {
+			if own == nil {
+				own = make(map[uint64]*memPage)
+			}
+			own[idx] = pg
+		}
+	})
+	// Reset to the base layout: shared page pointers, copy-on-write.
+	if len(base.tab) > len(m.tab) {
+		m.tab = make([]*memPage, len(base.tab))
+	}
+	n := copy(m.tab, base.tab)
+	for i := n; i < len(m.tab); i++ {
+		m.tab[i] = nil
+	}
+	m.high = nil
+	if base.high != nil {
+		m.high = make(map[uint64]*memPage, len(base.high))
+		for idx, pg := range base.high {
+			m.high[idx] = pg
+		}
+	}
+	for i := 0; i < nDiff; i++ {
+		idx := d.U64()
+		pg := own[idx]
+		if pg == nil {
+			pg = &memPage{owner: m}
+		}
+		for j := range pg.words {
+			pg.words[j] = d.U64()
+		}
+		for j := range pg.valid {
+			pg.valid[j] = d.U64()
+		}
+		if d.Err() != nil {
+			return d.Err()
+		}
+		m.setPage(idx, pg)
+	}
+	nGone := d.Len()
+	for i := 0; i < nGone; i++ {
+		idx := d.U64()
+		if idx < uint64(len(m.tab)) {
+			m.tab[idx] = nil
+		} else if m.high != nil {
+			delete(m.high, idx)
+		}
+	}
+	m.mapped = d.Int()
+	return d.Err()
+}

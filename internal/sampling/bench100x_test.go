@@ -1,14 +1,16 @@
 package sampling_test
 
-// BenchmarkSampled100x demonstrates the sampling PR's headline claim: a
+// BenchmarkSampled100x demonstrates the sampling PRs' headline claims: a
 // 100×-longer workload (workloads.LongInstrs) under interval sampling with a
 // warm region-of-interest cache completes within 2× the wall clock of the 1×
-// exact run. The exact 1× reference is timed outside the harness inside the
-// bench and the ratio reported as wall_vs_exact_1x; the cold pass that
-// populates the ROI cache is also outside the timer — a sweep pays it once
-// and every (config, seed) variant after that restores instead of
-// re-executing, which is the cache's whole point (its cost is still
-// reported, as roi_cold_build_s).
+// exact run, and the parallel window scheduler scales that run across cores
+// (the jobs=N sub-benchmarks; speedup is read as the jobs=1/jobs=N wall
+// ratio — meaningful only on a multi-core host). The exact 1× reference is
+// timed outside the harness inside the bench and the ratio reported as
+// wall_vs_exact_1x; the cold pass that populates the ROI cache is also
+// outside the timer — a sweep pays it once and every (config, seed) variant
+// after that restores instead of re-executing, which is the cache's whole
+// point (its cost is still reported, as roi_cold_build_s).
 //
 // The bench lives here, NOT in the root bench_test.go, on purpose: linking
 // this package into the root test binary perturbs the interpreter loop's
@@ -19,6 +21,7 @@ package sampling_test
 // bench also skips unless BENCH_SAMPLED=1.
 
 import (
+	"fmt"
 	"os"
 	"testing"
 	"time"
@@ -51,32 +54,41 @@ func BenchmarkSampled100x(b *testing.B) {
 	}
 
 	dir := b.TempDir()
-	sampled := func() sampling.Estimate {
+	sampled := func(jobs int) sampling.Estimate {
 		sys := core.NewSystem(core.DefaultConfig(), bm.Build(workloads.ScaleSmall))
 		roi := sampling.NewROICache(dir, bm.Name, "small", cfg)
-		ctrl, err := sampling.NewController(sys, cfg, roi)
+		sched, err := sampling.NewScheduler(sys, cfg, roi, sampling.Options{
+			Jobs: jobs,
+			NewSystem: func() *core.System {
+				return core.NewSystem(core.DefaultConfig(), bm.Build(workloads.ScaleSmall))
+			},
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		est := ctrl.Run(long)
-		if err := ctrl.Err(); err != nil {
+		est := sched.Run(long)
+		if err := sched.Err(); err != nil {
 			b.Fatal(err)
 		}
 		return est
 	}
 	coldStart := time.Now()
-	sampled() // populate the ROI cache
+	sampled(1) // populate the ROI cache
 	coldWall := time.Since(coldStart)
 
-	b.ResetTimer()
-	var est sampling.Estimate
-	for i := 0; i < b.N; i++ {
-		est = sampled()
+	for _, jobs := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			var est sampling.Estimate
+			for i := 0; i < b.N; i++ {
+				est = sampled(jobs)
+			}
+			wall := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(wall/exactWall.Seconds(), "wall_vs_exact_1x")
+			b.ReportMetric(coldWall.Seconds(), "roi_cold_build_s")
+			b.ReportMetric(float64(est.Total)/wall, "sim_instrs/s")
+			b.ReportMetric(float64(est.ROIHits), "roi_hits")
+			b.ReportMetric(float64(est.SpecWaste), "spec_waste")
+			b.ReportMetric(est.Sampled.IPC(), "ipc_sampled")
+		})
 	}
-	wall := b.Elapsed().Seconds() / float64(b.N)
-	b.ReportMetric(wall/exactWall.Seconds(), "wall_vs_exact_1x")
-	b.ReportMetric(coldWall.Seconds(), "roi_cold_build_s")
-	b.ReportMetric(float64(est.Total)/wall, "sim_instrs/s")
-	b.ReportMetric(float64(est.ROIHits), "roi_hits")
-	b.ReportMetric(est.Sampled.IPC(), "ipc_sampled")
 }

@@ -50,7 +50,10 @@ type Estimate struct {
 	// steady-state estimate. Level fields (code-cache size, live traces)
 	// and ratios stay as measured.
 	Sampled core.Results
-	// Raw is the unscaled Results — detailed-interval work only.
+	// Raw is the unscaled Results — detailed-interval work only. In
+	// window-chained runs the integer counters are the startup prefix plus
+	// every committed window's delta; levels, ratios, and strings come from
+	// the last committed chain's machine.
 	Raw core.Results
 
 	// Total is final program progress; DetailedInstrs and FFwdInstrs split
@@ -64,6 +67,12 @@ type Estimate struct {
 	Intervals   int
 	PhaseExtras int
 
+	// SpecWaste counts speculative windows executed but discarded because
+	// the replayed serial schedule never reached their slot. It is the one
+	// jobs-dependent output (always zero at -sample-jobs=1) and is excluded
+	// from cross-jobs identity comparisons for exactly that reason.
+	SpecWaste int
+
 	// ROIHits/ROIMisses count region-of-interest checkpoint reuse (zero
 	// without a cache).
 	ROIHits   int
@@ -75,33 +84,68 @@ type Estimate struct {
 	Err map[string]float64
 }
 
-// Estimate extrapolates the run so far.
-func (c *Controller) Estimate() Estimate {
-	raw := c.sys.Results()
-	total := c.sys.Progress()
-	est := Estimate{
-		Raw:            raw,
-		Sampled:        raw,
-		Total:          total,
-		DetailedInstrs: raw.OrigInstrs,
-		FFwdInstrs:     c.sys.FFwdInstrs(),
-		Intervals:      len(c.intervals),
-		PhaseExtras:    c.phaseExtras,
-		Err:            c.errorBars(),
+// Estimate extrapolates the run so far. Master-only runs (the budget, a
+// halt, or an abort landed inside the startup prefix) read the master
+// machine directly and are exact. Window-chained runs assemble Raw from the
+// startup snapshot's Results plus every committed window delta — the
+// per-chain machines are gone by now; their windows are the record.
+func (s *Scheduler) Estimate() Estimate {
+	var est Estimate
+	if !s.windowed {
+		raw := s.sys.Results()
+		est = Estimate{
+			Raw:            raw,
+			Sampled:        raw,
+			Total:          s.sys.Progress(),
+			DetailedInstrs: raw.OrigInstrs,
+			FFwdInstrs:     s.sys.FFwdInstrs(),
+		}
+	} else {
+		total := s.totalRan
+		if s.haltSeen {
+			total = s.haltAt
+		} else if s.err != nil || s.stopped || s.lastRes.Aborted != "" {
+			total = s.lastEnd
+		}
+		raw := s.lastRes
+		acc := flatten(&s.s0Res)
+		for i := s.nStartupIvs; i < len(s.intervals); i++ {
+			vecAccum(acc, s.intervals[i].Vec, 1)
+		}
+		unflatten(&raw, acc)
+		est = Estimate{
+			Raw:            raw,
+			Sampled:        raw,
+			Total:          total,
+			DetailedInstrs: raw.OrigInstrs,
+			FFwdInstrs:     total - raw.OrigInstrs,
+		}
 	}
-	if c.roi != nil {
-		est.ROIHits, est.ROIMisses = c.roi.Hits, c.roi.Misses
+	est.Intervals = len(s.intervals)
+	est.PhaseExtras = s.phaseExtras
+	est.SpecWaste = s.specWaste
+	est.Err = errorBars(s.intervals)
+	if s.roi != nil {
+		est.ROIHits, est.ROIMisses = s.roi.Stats()
 	}
-	if len(c.intervals) == 0 || est.FFwdInstrs == 0 {
+	if len(s.intervals) == 0 || est.FFwdInstrs == 0 {
 		return est // fully detailed: the measurement is exact
 	}
+	est.Sampled = extrapolate(est.Raw, s.intervals, est.Total)
+	return est
+}
 
-	acc := make([]float64, len(c.intervals[0].Vec))
-	for i := range c.intervals {
-		iv := &c.intervals[i]
+// extrapolate scales each interval's counter deltas over its stratum (its
+// start to the next interval's start, or the run's end for the last one).
+// Intervals must be in ascending start order — the scheduler commits them
+// that way regardless of execution order.
+func extrapolate(raw core.Results, intervals []Interval, total uint64) core.Results {
+	acc := make([]float64, len(intervals[0].Vec))
+	for i := range intervals {
+		iv := &intervals[i]
 		end := total
-		if i+1 < len(c.intervals) {
-			end = c.intervals[i+1].Start
+		if i+1 < len(intervals) {
+			end = intervals[i+1].Start
 		}
 		instrs := iv.Instrs()
 		if instrs == 0 {
@@ -115,8 +159,7 @@ func (c *Controller) Estimate() Estimate {
 	sampled.OrigInstrs = total
 	sampled.CodeCacheBytes = raw.CodeCacheBytes
 	sampled.LiveTraces = raw.LiveTraces
-	est.Sampled = sampled
-	return est
+	return sampled
 }
 
 // PrefetchAccuracy is the useful-prefetch fraction a validation figure
@@ -134,15 +177,15 @@ func PrefetchAccuracy(r core.Results) float64 {
 // reported metric from the spread of its per-interval values, each interval
 // weighted by its share of the metric's denominator (the standard ratio-
 // estimator treatment: intervals are the samples).
-func (c *Controller) errorBars() map[string]float64 {
-	ipcX := make([]float64, 0, len(c.intervals))
-	ipcW := make([]float64, 0, len(c.intervals))
-	covX := make([]float64, 0, len(c.intervals))
-	covW := make([]float64, 0, len(c.intervals))
-	accX := make([]float64, 0, len(c.intervals))
-	accW := make([]float64, 0, len(c.intervals))
-	for i := range c.intervals {
-		r := c.intervals[i].Res()
+func errorBars(intervals []Interval) map[string]float64 {
+	ipcX := make([]float64, 0, len(intervals))
+	ipcW := make([]float64, 0, len(intervals))
+	covX := make([]float64, 0, len(intervals))
+	covW := make([]float64, 0, len(intervals))
+	accX := make([]float64, 0, len(intervals))
+	accW := make([]float64, 0, len(intervals))
+	for i := range intervals {
+		r := intervals[i].Res()
 		if r.Cycles > 0 {
 			ipcX = append(ipcX, float64(r.OrigInstrs)/float64(r.Cycles))
 			ipcW = append(ipcW, float64(r.Cycles))

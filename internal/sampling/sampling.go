@@ -1,10 +1,10 @@
-// Package sampling drives interval-sampled simulation (DESIGN §14): the
-// machine alternates detailed intervals — the full three-tier engine with
-// every statistic recorded — and functional fast-forward gaps where only
-// architectural state advances, with a live warm-up window at each gap's
-// tail so caches, stream buffers, the branch predictor, and the DLT enter
-// the next detailed interval lived-in. Full-run Results are extrapolated
-// from the detailed intervals with per-metric error bars.
+// Package sampling drives interval-sampled simulation (DESIGN §14, §15):
+// the machine alternates detailed intervals — the full three-tier engine
+// with every statistic recorded — and functional fast-forward gaps where
+// only architectural state advances, with a live warm-up window at each
+// gap's tail so caches, stream buffers, the branch predictor, and the DLT
+// enter the next detailed interval lived-in. Full-run Results are
+// extrapolated from the detailed intervals with per-metric error bars.
 //
 // Phase detection is Pac-Sim-flavoured rather than blindly periodic: each
 // detailed interval produces a signal vector from the telemetry the machine
@@ -15,13 +15,21 @@
 // trigger: tier attribution is engine-class (it shifts at a restore seam by
 // construction), and the trigger must consume only semantic signals so a
 // resumed sampled run replays the exact decision sequence.
+//
+// Execution is window-chained (parallel.go): after the fully detailed
+// startup prefix, every detailed window runs on a private machine seeded
+// from the startup snapshot, an architectural region-of-interest restore,
+// and the deterministic warm-up replay — at any -sample-jobs, including 1.
+// Chains are therefore independent of each other by construction, which is
+// what lets the Scheduler fan them across a worker pool while producing
+// byte-identical estimates, error bars, and trigger decisions at every
+// parallelism level.
 package sampling
 
 import (
 	"fmt"
 
 	"tridentsp/internal/core"
-	"tridentsp/internal/telemetry"
 )
 
 // Config shapes the sampling schedule. All instruction counts are in
@@ -117,185 +125,31 @@ var sigFloor = [numSignals]float64{
 	0.01,  // helper-active cycles per cycle (repair-budget burn)
 }
 
-// Controller owns one sampled run over one System. Step-at-a-time operation
-// exists so the checkpointing driver can snapshot between intervals; Run
-// loops Step to completion.
-type Controller struct {
-	cfg Config
-	sys *core.System
-	roi *ROICache
-
-	nextDetailed bool
-	prevSig      [numSignals]float64
-	prevSigOK    bool
-	phaseExtras  int
-	intervals    []Interval
-	err          error
-}
-
-// NewController builds a controller for sys. cfg is taken after
-// WithDefaults; roi may be nil (no checkpoint reuse). The first interval is
-// always detailed — the run starts cold exactly as an exact run does.
-func NewController(sys *core.System, cfg Config, roi *ROICache) (*Controller, error) {
-	cfg = cfg.WithDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	return &Controller{cfg: cfg, sys: sys, roi: roi, nextDetailed: true}, nil
-}
-
-// Config returns the effective (defaulted) schedule.
-func (c *Controller) Config() Config { return c.cfg }
-
-// Intervals returns the detailed-interval records accumulated so far.
-func (c *Controller) Intervals() []Interval { return c.intervals }
-
-// PhaseExtras counts intervals that ran detailed because the previous one
-// flagged a phase change.
-func (c *Controller) PhaseExtras() int { return c.phaseExtras }
-
-// Err reports a controller-level failure (a region-of-interest restore that
-// passed integrity checks but failed structurally). The run stops rather
-// than continue from half-replaced state.
-func (c *Controller) Err() error { return c.err }
-
-// Done reports whether the run is over: the progress budget is spent, the
-// program halted, the machine aborted, or the controller failed.
-func (c *Controller) Done(total uint64) bool {
-	return c.err != nil || c.sys.Progress() >= total ||
-		c.sys.Thread().Halted() || c.sys.Aborted() != ""
-}
-
-// Step advances the run by one interval (detailed window or fast-forward
-// gap) and reports whether it did anything. The driver may checkpoint the
-// machine between Steps; a restored controller replays the same sequence.
-func (c *Controller) Step(total uint64) bool {
-	if c.Done(total) {
-		return false
-	}
-	if c.nextDetailed {
-		c.runDetailed(total)
-	} else {
-		c.runGap(total)
-	}
-	return true
-}
-
-// Run drives the schedule to completion and returns the extrapolation.
-func (c *Controller) Run(total uint64) Estimate {
-	for c.Step(total) {
-	}
-	return c.Estimate()
-}
-
-// runDetailed executes one detailed window on the full engine and records
-// its statistic deltas, then decides whether the next interval stays
-// detailed (phase change) or fast-forwards.
-func (c *Controller) runDetailed(total uint64) {
-	start := c.sys.Progress()
-	n := c.cfg.Detailed
-	if rem := total - start; rem < n {
-		n = rem
-	}
-	beforeRes := c.sys.Results()
+// runWindow executes one detailed window of up to n instructions on sys's
+// full engine and returns the interval record plus the machine's Results at
+// the window's end. The machine is quiesced before the edge: the apply hook
+// only runs under detailed execution, so a patch left pending here would
+// sit frozen across the following functional gap (an exact run lands it
+// promptly), and the machine would be unserializable between windows. Every
+// window edge quiesces — on the master and on every chain — so straight,
+// resumed, and parallel runs replay identical schedules.
+func runWindow(sys *core.System, n uint64) (Interval, core.Results) {
+	start := sys.Progress()
+	beforeRes := sys.Results()
 	before := flatten(&beforeRes)
-	tS, tB, tJ := c.sys.TierInstrs()
-	c.sys.Run(c.sys.OrigInstrs() + n)
-	// Drain any in-flight optimization before leaving the window: the apply
-	// hook only runs under detailed execution, so a patch left pending here
-	// would sit frozen across the whole functional gap (an exact run lands
-	// it promptly), and the machine would be unserializable between Steps.
-	// Both the straight and a resumed run quiesce at every window edge, so
-	// the schedule replays identically.
-	c.sys.Quiesce(quiesceBound)
-	after := c.sys.Results()
-	tS2, tB2, tJ2 := c.sys.TierInstrs()
-
-	iv := Interval{
+	tS, tB, tJ := sys.TierInstrs()
+	sys.Run(sys.OrigInstrs() + n)
+	sys.Quiesce(quiesceBound)
+	after := sys.Results()
+	tS2, tB2, tJ2 := sys.TierInstrs()
+	return Interval{
 		Start:     start,
-		End:       c.sys.Progress(),
+		End:       sys.Progress(),
 		Vec:       vecSub(flatten(&after), before),
 		TierSlow:  tS2 - tS,
 		TierBatch: tB2 - tB,
 		TierJIT:   tJ2 - tJ,
-	}
-	sig := signals(&iv)
-	inStartup := c.sys.Progress() < c.cfg.Startup
-	phase := !inStartup && c.prevSigOK && c.cfg.PhaseDelta >= 0 &&
-		sigChanged(sig, c.prevSig, c.cfg.PhaseDelta)
-	iv.Phase = phase
-	if phase {
-		c.phaseExtras++
-	}
-	c.prevSig, c.prevSigOK = sig, true
-	c.intervals = append(c.intervals, iv)
-	c.nextDetailed = phase || inStartup
-
-	var p2 int64
-	if phase {
-		p2 = 1
-	}
-	c.sys.Telemetry().Emit(telemetry.KindSampleDetail, after.Cycles,
-		c.sys.Thread().PC(), c.sys.Progress(), int64(iv.Instrs()), p2)
-}
-
-// runGap fast-forwards to the next grid boundary (or the end of the
-// budget), warming the microarchitecture over the gap's tail. With a
-// region-of-interest cache, the pure part of a full gap is restored from —
-// or contributed to — the cache, so a sweep pays for functional execution
-// once.
-func (c *Controller) runGap(total uint64) {
-	p := c.sys.Progress()
-	b := (p/c.cfg.Interval + 1) * c.cfg.Interval
-	end := b
-	if end > total {
-		end = total
-	}
-	gap := end - p
-	warm := c.cfg.Warmup
-	if end < b {
-		// The budget ends inside this gap; no detailed window follows, so
-		// warming would be wasted work.
-		warm = 0
-	}
-	if warm > gap {
-		warm = gap
-	}
-	c.nextDetailed = true
-	defer func() {
-		if c.err != nil {
-			return
-		}
-		res := c.sys.Results()
-		c.sys.Telemetry().Emit(telemetry.KindSampleFF, res.Cycles,
-			c.sys.Thread().PC(), c.sys.Progress(), int64(c.sys.Progress()-p), int64(warm))
-	}()
-
-	if c.roi == nil || end < b || warm >= gap {
-		c.sys.FastForward(gap, warm)
-		return
-	}
-	k := b / c.cfg.Interval
-	if blob, ok := c.roi.Load(k); ok {
-		if err := c.sys.RestoreROI(blob); err != nil {
-			// The file passed CRC and meta checks but did not decode; the
-			// machine may be half-replaced, so stop rather than guess.
-			c.err = fmt.Errorf("sampling: restore ROI checkpoint %d: %w", k, err)
-		} else if warm > 0 {
-			c.sys.FastForward(warm, warm)
-		}
-		return
-	}
-	c.sys.FastForward(gap-warm, 0)
-	if !c.sys.Thread().Halted() && c.sys.Aborted() == "" {
-		if err := c.roi.Save(k, c.sys.SaveROI()); err != nil {
-			c.err = fmt.Errorf("sampling: save ROI checkpoint %d: %w", k, err)
-			return
-		}
-	}
-	if warm > 0 {
-		c.sys.FastForward(warm, warm)
-	}
+	}, after
 }
 
 // signals builds the phase vector from one interval's deltas.

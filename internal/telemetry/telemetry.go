@@ -102,6 +102,13 @@ const (
 	// Arg = original instructions fast-forwarded, Arg2 = how many of them
 	// ran with warm-up probes enabled.
 	KindSampleFF
+	// KindSampleSpec (engine): a sampled run's schedule completed; one
+	// summary marker for the parallel window scheduler (DESIGN §15).
+	// Aux = final program progress, Arg = speculative windows executed but
+	// discarded, Arg2 = the -sample-jobs setting. The payload is jobs-
+	// dependent by design (waste only exists when speculating), so
+	// cross-jobs stream comparisons drop this kind.
+	KindSampleSpec
 	// NumKinds bounds the kind space.
 	NumKinds
 )
@@ -114,7 +121,7 @@ var kindNames = [NumKinds]string{
 	"chaos-edge", "watchdog-probe",
 	"fast-enter", "fast-exit",
 	"sentinel-check", "sentinel-divergence",
-	"sample-detail", "sample-ff",
+	"sample-detail", "sample-ff", "sample-spec",
 }
 
 // String names the kind.

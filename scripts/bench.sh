@@ -17,8 +17,12 @@
 # self-skip otherwise) and points the run at the sampling package, so
 # exact-mode snapshots never mix with sampled numbers — and the exact-mode
 # test binary never links the sampling package, keeping its code layout
-# (and thus ns/op) comparable across snapshots. benchdiff's auto-pick
-# skips the sampled family entirely.
+# (and thus ns/op) comparable across snapshots. benchdiff's auto-pick skips
+# the sampled family by default; gate it with benchdiff -sampled. Sampled
+# snapshots record host_cpus and the swept -sample-jobs values in the
+# header: the parallel scheduler's jobs=N sub-benchmarks only show speedup
+# when N has cores to spread over, so a reader needs the host width to
+# interpret the ratios.
 # Compare two snapshots with cmd/benchdiff (non-zero exit on regression):
 #
 #   go run ./cmd/benchdiff BENCH_after.json BENCH_pr3.json
@@ -32,11 +36,15 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_$(date +%Y%m%d).json}"
 benchtime="${BENCHTIME:-1x}"
+sampledmeta=""
 case "$out" in
 *_sampled*)
 	filter="${BENCHFILTER:-Sampled}"
 	pkg="./internal/sampling"
 	export BENCH_SAMPLED=1
+	# The jobs values swept by the Sampled benches' sub-benchmarks; kept in
+	# the header so the snapshot is self-describing alongside host_cpus.
+	sampledmeta='"sample_jobs": [1, 2, 8], '
 	;;
 *)
 	filter="${BENCHFILTER:-.}"
@@ -47,9 +55,11 @@ esac
 raw=$(go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" "$pkg")
 
 printf '%s\n' "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-	-v gover="$(go env GOVERSION)" -v benchtime="$benchtime" '
+	-v gover="$(go env GOVERSION)" -v benchtime="$benchtime" \
+	-v ncpu="$(nproc 2>/dev/null || sysctl -n hw.ncpu)" \
+	-v sampledmeta="$sampledmeta" '
 BEGIN {
-	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", date, gover, benchtime
+	printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  %s\"host_cpus\": %d,\n  \"benchmarks\": [", date, gover, benchtime, sampledmeta, ncpu
 	n = 0
 }
 /^Benchmark/ && /ns\/op/ {

@@ -45,17 +45,28 @@ go tool cover -func=/tmp/telemetry.cover | awk '
 # Checkpoint torture: truncation at every byte boundary, bit flips at every
 # position, and kill-mid-write must all fail loudly, never load garbage.
 go test -run 'TestFileTorture|TestFileKillMidWrite' -count=2 ./internal/checkpoint/
-# Sampled-mode smoke (DESIGN §14): one workload under interval sampling with
-# an ROI cache, checkpointed; then resumed from the final checkpoint with a
-# warm cache. The resumed report must be byte-identical to the straight
-# sampled run — cache logistics go to stderr precisely so this diff holds.
+# Parallel window scheduler race leg (DESIGN §15): the producer/worker/
+# reconciler pipeline and the singleflight ROI cache are the repo's only
+# intentionally concurrent simulator internals, so their byte-identity and
+# resume tests run under -race explicitly (fast failure; go test -race ./...
+# above covers them again in the full sweep).
+go test -race -run 'TestParallelMatchesSerial|TestSampledResumeDeterminism|TestROILoadOrBuildSingleflight' ./internal/sampling/
+# Sampled-mode smoke (DESIGN §14, §15): one workload under interval sampling
+# with an ROI cache, checkpointed; then the same schedule fanned across 8
+# window workers, and finally a resume from the serial run's checkpoint at
+# jobs=8 (-sample-jobs is excluded from checkpoint identity). All three
+# reports must be byte-identical — cache and speculation logistics go to
+# stderr precisely so these diffs hold.
 smokedir=$(mktemp -d)
 go run ./cmd/tridentsim -bench mcf -scale small -instrs 2000000 -sample \
 	-sample-interval 500000 -sample-startup 500000 -roi-cache "$smokedir/roi" \
 	-checkpoint-every 400000 -checkpoint-dir "$smokedir/ckpt" > "$smokedir/sampled.out"
 go run ./cmd/tridentsim -bench mcf -scale small -instrs 2000000 -sample \
 	-sample-interval 500000 -sample-startup 500000 -roi-cache "$smokedir/roi" \
-	-restore "$smokedir/ckpt/mcf.ckpt" | diff "$smokedir/sampled.out" -
+	-sample-jobs 8 | diff "$smokedir/sampled.out" -
+go run ./cmd/tridentsim -bench mcf -scale small -instrs 2000000 -sample \
+	-sample-interval 500000 -sample-startup 500000 -roi-cache "$smokedir/roi" \
+	-sample-jobs 8 -restore "$smokedir/ckpt/mcf.ckpt" | diff "$smokedir/sampled.out" -
 rm -rf "$smokedir"
 # One-iteration bench smoke: keeps the benchmark path compiling and running.
 go test -run '^$' -bench BenchmarkFigure5 -benchtime 1x .
@@ -73,3 +84,8 @@ go run ./cmd/benchdiff -threshold 0.01 BENCH_pr5.json BENCH_pr6.json
 # gate versus the pre-JIT snapshot, and the machine-readable output carries
 # the same verdict the table mode gates on.
 go run ./cmd/benchdiff -threshold 0.01 -json BENCH_pr6.json BENCH_pr7.json | grep '"regressed": false'
+# Sampled-family gate: -sampled flips auto-pick to BENCH_*_sampled.json so
+# the sampled benches track their own history. PR9 split the bench into
+# jobs=N sub-benchmarks, so the pr8->pr9 comparison has no matched pairs and
+# gates nothing yet; real gating starts with the next sampled snapshot.
+go run ./cmd/benchdiff -sampled -threshold 0.10
