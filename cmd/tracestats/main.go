@@ -10,7 +10,10 @@
 //     control back to the reference one-step loop;
 //   - the sampling timeline — for traces from tridentsim -sample, every
 //     detailed window (with its phase label) and fast-forward gap, plus the
-//     detailed/fast-forward residency split.
+//     detailed/fast-forward residency split;
+//   - the prefetch-policy breakdown — for traces from tridentsim
+//     -hw selector, per-backend residency, probe counts, and exploit wins
+//     reconstructed from the selector's switch events.
 //
 // With -metrics, a registry snapshot written by tridentsim -metrics-out adds
 // a fourth view: per-tier residency (reference loop / batch engine / JIT
@@ -34,6 +37,7 @@ import (
 	"strings"
 
 	"tridentsp/internal/exp/render"
+	"tridentsp/internal/hwpref"
 	"tridentsp/internal/telemetry"
 )
 
@@ -43,11 +47,12 @@ func main() {
 		residency = flag.Bool("residency", false, "print only the fast-path residency summary")
 		triggers  = flag.Bool("triggers", false, "print only the slow-path trigger histogram")
 		sampled   = flag.Bool("sampling", false, "print only the sampled-run interval timeline")
+		prefetch  = flag.Bool("prefetch", false, "print only the prefetch-policy backend breakdown")
 		metrics   = flag.String("metrics", "", "metrics registry JSON (tridentsim -metrics-out); adds the tier-residency section")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: tracestats [-repairs|-residency|-triggers|-sampling] [-metrics METRICS.json] TRACE.jsonl\n")
+			"usage: tracestats [-repairs|-residency|-triggers|-sampling|-prefetch] [-metrics METRICS.json] TRACE.jsonl\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -66,7 +71,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tracestats: %v\n", err)
 		os.Exit(1)
 	}
-	all := !*repairs && !*residency && !*triggers && !*sampled
+	all := !*repairs && !*residency && !*triggers && !*sampled && !*prefetch
 	if all || *repairs {
 		fmt.Print(repairTimelines(events))
 	}
@@ -78,6 +83,9 @@ func main() {
 	}
 	if all || *sampled {
 		fmt.Print(samplingTimeline(events))
+	}
+	if all || *prefetch {
+		fmt.Print(prefetchPolicy(events))
 	}
 	if *metrics != "" {
 		blob, err := os.ReadFile(*metrics)
@@ -339,10 +347,90 @@ func samplingTimeline(events []telemetry.Event) string {
 	return sb.String()
 }
 
+// prefetchPolicy renders the arsenal selector's backend-residency breakdown
+// (DESIGN §16) from its switch events: PC = backend index, Aux = committed
+// loads at the switch, Arg2 = exploit flag. Loads between consecutive
+// switches belong to the backend the earlier switch activated; the stretch
+// before the first switch is the startup grace window, which runs backend 0.
+// The tail past the last switch has unknown length (the stream does not
+// carry the final load count), so the shares cover loads up to the last
+// switch. Switch events are semantic-class, so the reconstruction sees the
+// whole run, not a ring-buffered window.
+func prefetchPolicy(events []telemetry.Event) string {
+	var sb strings.Builder
+	sb.WriteString("prefetch policy:\n")
+	var decs []telemetry.Event
+	for _, e := range events {
+		if e.Kind == telemetry.KindHWPrefSwitch {
+			decs = append(decs, e)
+		}
+	}
+	if len(decs) == 0 {
+		sb.WriteString("  (no policy-switch events; static prefetch config or selector never switched)\n")
+		return sb.String()
+	}
+	var names []string
+	for _, b := range hwpref.Arsenal(hwpref.DefaultConfig()) {
+		names = append(names, b.Name())
+	}
+	name := func(i int) string {
+		if i >= 0 && i < len(names) {
+			return names[i]
+		}
+		return fmt.Sprintf("backend %d", i)
+	}
+	maxIdx := 0
+	for _, d := range decs {
+		if int(d.PC) > maxIdx {
+			maxIdx = int(d.PC)
+		}
+	}
+	resident := make([]uint64, maxIdx+1)
+	probes := make([]uint64, maxIdx+1)
+	wins := make([]uint64, maxIdx+1)
+	prevLoads, prevBackend := uint64(0), 0 // startup grace runs backend 0
+	switches, lastWin := 0, -1
+	for _, d := range decs {
+		if d.Aux >= prevLoads {
+			resident[prevBackend] += d.Aux - prevLoads
+		}
+		prevLoads, prevBackend = d.Aux, int(d.PC)
+		if d.Arg2 == 1 {
+			if lastWin >= 0 && int(d.PC) != lastWin {
+				switches++
+			}
+			lastWin = int(d.PC)
+			wins[d.PC]++
+		} else {
+			probes[d.PC]++
+		}
+	}
+	var total uint64
+	for _, r := range resident {
+		total += r
+	}
+	widths := []int{-12, 12, 8, 8, 8}
+	sb.WriteString("  " + render.Columns(" ", widths,
+		"backend", "loads", "", "probes", "wins") + "\n")
+	for i := range resident {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(resident[i]) / float64(total)
+		}
+		sb.WriteString("  " + render.Columns(" ", widths, name(i),
+			fmt.Sprintf("%d", resident[i]), fmt.Sprintf("%.1f%%", pct),
+			fmt.Sprintf("%d", probes[i]), fmt.Sprintf("%d", wins[i])) + "\n")
+	}
+	fmt.Fprintf(&sb, "  decisions: %d  winner changes: %d  (loads counted through the last switch at %d)\n",
+		len(decs), switches, prevLoads)
+	return sb.String()
+}
+
 // summarize renders every section; split from main for tests.
 func summarize(w io.Writer, events []telemetry.Event) {
 	io.WriteString(w, repairTimelines(events))
 	io.WriteString(w, fastPathResidency(events))
 	io.WriteString(w, triggerHistogram(events))
 	io.WriteString(w, samplingTimeline(events))
+	io.WriteString(w, prefetchPolicy(events))
 }

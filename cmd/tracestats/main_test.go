@@ -58,7 +58,8 @@ func TestEmptyStreamSections(t *testing.T) {
 	summarize(&sb, nil)
 	out := sb.String()
 	for _, want := range []string{"(no prefetch events)", "(no fast-path events",
-		"(no fast-path exits recorded)", "(no sampling events"} {
+		"(no fast-path exits recorded)", "(no sampling events",
+		"(no policy-switch events"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("empty-stream output missing %q:\n%s", want, out)
 		}
@@ -94,6 +95,34 @@ func TestSamplingTimeline(t *testing.T) {
 	out = samplingTimeline(spec)
 	if want := "speculation: 3 windows executed and discarded (jobs=8)"; !strings.Contains(out, want) {
 		t.Errorf("sampling timeline missing %q:\n%s", want, out)
+	}
+}
+
+func TestPrefetchPolicy(t *testing.T) {
+	// Two probe rounds over the four-backend arsenal: round one crowns
+	// stride (backend 1), round two crowns ghb (backend 3) — one winner
+	// change. The 40 loads before the first probe are the startup grace
+	// window, attributed to backend 0.
+	sw := func(seq uint64, backend, loads uint64, exploit int64) telemetry.Event {
+		return telemetry.Event{Seq: seq, Cycle: int64(loads) * 10,
+			Kind: telemetry.KindHWPrefSwitch, PC: backend, Aux: loads, Arg2: exploit}
+	}
+	events := []telemetry.Event{
+		sw(0, 0, 40, 0), sw(1, 1, 50, 0), sw(2, 2, 60, 0), sw(3, 3, 70, 0),
+		sw(4, 1, 80, 1), // exploit: stride wins round 1
+		sw(5, 0, 120, 0), sw(6, 1, 130, 0), sw(7, 2, 140, 0), sw(8, 3, 150, 0),
+		sw(9, 3, 160, 1), // exploit: ghb wins round 2
+	}
+	out := prefetchPolicy(events)
+	for _, want := range []string{
+		"next-line", "stride", "best-offset", "ghb",
+		"37.5%", // next-line: 40 grace + 2x10 probe of 160 attributed loads
+		"decisions: 10  winner changes: 1",
+		"last switch at 160",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prefetch section missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -64,9 +64,10 @@ import (
 )
 
 func main() {
+	defCfg := core.DefaultConfig()
 	var (
 		bench   = flag.String("bench", "mcf", "comma-separated benchmark names")
-		hw      = flag.String("hw", "8x8", "hardware prefetcher: none, 4x4, 8x8")
+		hw      = flag.String("hw", "8x8", "hardware prefetcher: none, 4x4, 8x8, next-line, stride, best-offset, ghb, selector")
 		sw      = flag.String("sw", "self-repair", "software prefetching: off, basic, whole-object, self-repair")
 		trident = flag.Bool("trident", true, "enable the Trident framework")
 		link    = flag.Bool("link", true, "link optimized traces (false = §5.1 overhead mode)")
@@ -82,6 +83,10 @@ func main() {
 		slow    = flag.Bool("slowpath", false, "force the reference one-step simulation loop (disable the block-batched engine)")
 		jit     = flag.Bool("jit", true, "compile hot superblocks to closure chains (the tier above the batch engine; moot under -slowpath)")
 		jitHeat = flag.Uint("jit-threshold", 8, "interpreted launches before a block is JIT-compiled (0 = compile on first use)")
+
+		hwDegree   = flag.Int("hw-degree", defCfg.HWDegree, "prefetch degree for the arsenal backends (-hw next-line/stride/best-offset/ghb/selector)")
+		selProbe   = flag.Uint64("selector-probe", defCfg.SelectorProbe, "committed loads per backend probe epoch (-hw selector)")
+		selExploit = flag.Uint64("selector-exploit", defCfg.SelectorExploit, "exploit phase length as a multiple of the probe epoch (-hw selector)")
 
 		sample         = flag.Bool("sample", false, "interval-sampled run: detailed windows + functional fast-forward with live warmup (DESIGN §14)")
 		sampleInterval = flag.Uint64("sample-interval", 0, "sampling grid period in original instructions (0 = default)")
@@ -131,9 +136,30 @@ func main() {
 		cfg.HW = core.HW4x4
 	case "8x8":
 		cfg.HW = core.HW8x8
+	case "next-line":
+		cfg.HW = core.HWNextLine
+	case "stride":
+		cfg.HW = core.HWStride
+	case "best-offset":
+		cfg.HW = core.HWBestOffset
+	case "ghb":
+		cfg.HW = core.HWGHB
+	case "selector":
+		cfg.HW = core.HWSelector
 	default:
 		fmt.Fprintf(os.Stderr, "unknown hw config %q\n", *hw)
 		os.Exit(1)
+	}
+	cfg.HWDegree = *hwDegree
+	cfg.SelectorProbe = *selProbe
+	cfg.SelectorExploit = *selExploit
+	if !cfg.HW.Arsenal() {
+		for _, f := range []string{"hw-degree", "selector-probe", "selector-exploit"} {
+			if flagWasSet(f) {
+				fmt.Fprintf(os.Stderr, "-%s requires an arsenal backend (-hw next-line/stride/best-offset/ghb/selector)\n", f)
+				os.Exit(2)
+			}
+		}
 	}
 	switch *sw {
 	case "off":
@@ -391,6 +417,12 @@ func (o ckptOptions) identity(bm workloads.Benchmark, cfg core.Config) string {
 		cfg.Backout, cfg.ValueSpecialize, cfg.PhaseClearMature, cfg.DisableFastPath,
 		cfg.JIT, cfg.JITThreshold, cfg.SentinelEvery, cfg.SentinelWindow,
 		o.preset, o.seed, int64(o.instrs)*2, o.telemetry)
+	if cfg.HW.Arsenal() {
+		// The arsenal knobs shape every prefetch decision, so a resume with
+		// a different degree or selector cadence must be refused.
+		id += fmt.Sprintf(" hw-degree=%d selector=%d/%d",
+			cfg.HWDegree, cfg.SelectorProbe, cfg.SelectorExploit)
+	}
 	if o.sample {
 		id += fmt.Sprintf(" sample=%d/%d/%d/%d/%g", o.smpCfg.Interval,
 			o.smpCfg.Detailed, o.smpCfg.Warmup, o.smpCfg.Startup, o.smpCfg.PhaseDelta)

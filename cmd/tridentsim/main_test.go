@@ -92,6 +92,56 @@ func TestRestoreRejectsMismatchedInvocation(t *testing.T) {
 	}
 }
 
+// TestRestoreRejectsMismatchedArsenal: the arsenal knobs are part of the
+// checkpoint identity. A checkpoint cut under -hw selector must refuse to
+// resume under a different backend or a different selector cadence, with an
+// error that names both invocations.
+func TestRestoreRejectsMismatchedArsenal(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-bench", "mcf", "-scale", "small", "-instrs", "200000",
+		"-hw", "selector", "-selector-probe", "2000"}
+	args := append(append([]string{}, base...),
+		"-checkpoint-every", "50000", "-checkpoint-dir", dir)
+	if _, stderr, code := tridentsim(t, args...); code != 0 {
+		t.Fatalf("checkpointing selector run failed (%d):\n%s", code, stderr)
+	}
+	ckpt := filepath.Join(dir, "mcf.ckpt")
+
+	cases := map[string][]string{
+		"different-backend": {"-bench", "mcf", "-scale", "small", "-instrs", "200000",
+			"-hw", "ghb", "-restore", ckpt},
+		"different-probe": {"-bench", "mcf", "-scale", "small", "-instrs", "200000",
+			"-hw", "selector", "-selector-probe", "3000", "-restore", ckpt},
+		"different-degree": {"-bench", "mcf", "-scale", "small", "-instrs", "200000",
+			"-hw", "selector", "-selector-probe", "2000", "-hw-degree", "2", "-restore", ckpt},
+	}
+	for name, args := range cases {
+		name, args := name, args
+		t.Run(name, func(t *testing.T) {
+			_, stderr, code := tridentsim(t, args...)
+			if code != 2 {
+				t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, stderr)
+			}
+			if !strings.Contains(stderr, "different invocation") {
+				t.Fatalf("stderr does not explain the identity mismatch:\n%s", stderr)
+			}
+		})
+	}
+}
+
+// TestArsenalFlagValidation: the arsenal shaping flags are rejected when the
+// selected hardware prefetcher is not an arsenal backend.
+func TestArsenalFlagValidation(t *testing.T) {
+	_, stderr, code := tridentsim(t, "-bench", "mcf", "-scale", "test",
+		"-hw", "8x8", "-selector-probe", "1000")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "-selector-probe") {
+		t.Fatalf("stderr does not name the offending flag:\n%s", stderr)
+	}
+}
+
 func TestSampleFlagValidation(t *testing.T) {
 	cases := map[string][]string{
 		"shaping-without-sample": {"-sample-interval", "500000"},

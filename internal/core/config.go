@@ -12,6 +12,7 @@ import (
 	"tridentsp/internal/chaos"
 	"tridentsp/internal/cpu"
 	"tridentsp/internal/dlt"
+	"tridentsp/internal/hwpref"
 	"tridentsp/internal/isa"
 	"tridentsp/internal/memsys"
 	"tridentsp/internal/prefetch"
@@ -24,11 +25,19 @@ import (
 // HWPrefetch selects the hardware stream-buffer configuration (Figure 2).
 type HWPrefetch uint8
 
-// Hardware prefetcher configurations.
+// Hardware prefetcher configurations. HWNone/HW4x4/HW8x8 select the
+// paper's stream-buffer machine; the rest select internal/hwpref arsenal
+// backends (DESIGN §16) — four static predictors and the online per-phase
+// selector that probes all of them and exploits the epoch winner.
 const (
 	HWNone HWPrefetch = iota
 	HW4x4
 	HW8x8
+	HWNextLine
+	HWStride
+	HWBestOffset
+	HWGHB
+	HWSelector
 )
 
 // String names the configuration.
@@ -38,9 +47,23 @@ func (h HWPrefetch) String() string {
 		return "hw-4x4"
 	case HW8x8:
 		return "hw-8x8"
+	case HWNextLine:
+		return "hw-next-line"
+	case HWStride:
+		return "hw-stride"
+	case HWBestOffset:
+		return "hw-best-offset"
+	case HWGHB:
+		return "hw-ghb"
+	case HWSelector:
+		return "hw-selector"
 	}
 	return "hw-none"
 }
+
+// Arsenal reports whether the configuration selects an internal/hwpref
+// backend rather than the stream buffers.
+func (h HWPrefetch) Arsenal() bool { return h >= HWNextLine }
 
 // SWMode selects the software prefetching scheme (Figure 5).
 type SWMode uint8
@@ -71,8 +94,17 @@ type Config struct {
 	CPU cpu.Config
 	Mem memsys.Config
 
-	// HW selects the baseline hardware stream buffers.
+	// HW selects the baseline hardware stream buffers or an arsenal
+	// backend (HWPrefetch.Arsenal).
 	HW HWPrefetch
+	// HWDegree is the arsenal backends' prefetch degree (lines proposed
+	// per trigger); ignored by the stream-buffer configurations.
+	HWDegree int
+	// SelectorProbe is the HWSelector probe-epoch length in committed
+	// loads; SelectorExploit scales the exploit epoch (probe × factor).
+	// Both ignored unless HW is HWSelector.
+	SelectorProbe   uint64
+	SelectorExploit uint64
 	// SW selects dynamic software prefetching; SWOff disables Trident's
 	// prefetch optimizer (trace formation still runs if Trident is on).
 	SW SWMode
@@ -205,21 +237,24 @@ type Config struct {
 // 8x8 stream buffers, Trident with self-repairing prefetching.
 func DefaultConfig() Config {
 	return Config{
-		CPU:            cpu.DefaultConfig(),
-		Mem:            memsys.DefaultConfig(),
-		HW:             HW8x8,
-		SW:             SWSelfRepair,
-		Trident:        true,
-		LinkTraces:     true,
-		DLT:            dlt.DefaultConfig(),
-		Profiler:       trident.DefaultProfilerConfig(),
-		WatchCapacity:  256,
-		Form:           trace.DefaultFormConfig(),
-		Cost:           trident.DefaultCostModel(),
-		EventQueueCap:  32,
-		ScratchReg:     30,
-		MaxDistanceCap: 64,
-		DerefPointers:  true,
+		CPU:             cpu.DefaultConfig(),
+		Mem:             memsys.DefaultConfig(),
+		HW:              HW8x8,
+		HWDegree:        4,
+		SelectorProbe:   2000,
+		SelectorExploit: 16,
+		SW:              SWSelfRepair,
+		Trident:         true,
+		LinkTraces:      true,
+		DLT:             dlt.DefaultConfig(),
+		Profiler:        trident.DefaultProfilerConfig(),
+		WatchCapacity:   256,
+		Form:            trace.DefaultFormConfig(),
+		Cost:            trident.DefaultCostModel(),
+		EventQueueCap:   32,
+		ScratchReg:      30,
+		MaxDistanceCap:  64,
+		DerefPointers:   true,
 
 		VPT:      trident.DefaultVPTConfig(),
 		GuardReg: 29,
@@ -290,6 +325,16 @@ func (c Config) Validate() error {
 	}
 	if c.ScratchReg >= uint8(isa.NumRegs) {
 		return fmt.Errorf("core: ScratchReg %d outside register file (0..%d)", c.ScratchReg, isa.NumRegs-1)
+	}
+	if c.HW > HWSelector {
+		return fmt.Errorf("core: unknown HW prefetch configuration %d", c.HW)
+	}
+	if c.HW.Arsenal() && c.HWDegree < 1 {
+		return fmt.Errorf("core: HWDegree must be at least 1 with an arsenal prefetcher, got %d", c.HWDegree)
+	}
+	if c.HW == HWSelector && (c.SelectorProbe < 1 || c.SelectorExploit < 1) {
+		return fmt.Errorf("core: SelectorProbe and SelectorExploit must be positive with hw-selector, got %d/%d",
+			c.SelectorProbe, c.SelectorExploit)
 	}
 	if c.Trident {
 		if c.WatchCapacity < 1 {
@@ -366,4 +411,28 @@ func (c Config) streambufConfig() (streambuf.Config, bool) {
 		return sc, true
 	}
 	return streambuf.Config{}, false
+}
+
+// buildArsenal constructs the hwpref selector for an arsenal configuration
+// (nil otherwise). Static backends are single-backend selectors — the same
+// engine, buffer, and checkpoint shape, with the epoch machinery inert.
+func (c Config) buildArsenal(port hwpref.FillPort) *hwpref.Selector {
+	if !c.HW.Arsenal() {
+		return nil
+	}
+	pc := hwpref.DefaultConfig()
+	pc.LineSize = c.Mem.LineSize
+	pc.Degree = c.HWDegree
+	sc := hwpref.SelectorConfig{ProbeLoads: c.SelectorProbe, ExploitFactor: c.SelectorExploit}
+	switch c.HW {
+	case HWNextLine:
+		return hwpref.New(pc, sc, port, hwpref.NewNextLine(pc))
+	case HWStride:
+		return hwpref.New(pc, sc, port, hwpref.NewStride(pc))
+	case HWBestOffset:
+		return hwpref.New(pc, sc, port, hwpref.NewBestOffset(pc))
+	case HWGHB:
+		return hwpref.New(pc, sc, port, hwpref.NewGHB(pc))
+	}
+	return hwpref.New(pc, sc, port, hwpref.Arsenal(pc)...)
 }

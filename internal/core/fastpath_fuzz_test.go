@@ -27,9 +27,9 @@ import (
 // run proves the rewritten word, not the stale chain, is what executes.
 func FuzzFastPathDifferential(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{0x66, 0x99, 0xb3})                       // load/store/prefetch
-	f.Add([]byte{0xc4, 0xd5, 0xe6, 0xf7})                 // fdiv + branches
-	f.Add(bytes.Repeat([]byte{0x67}, 24))                 // load-dense body
+	f.Add([]byte{0x66, 0x99, 0xb3})                        // load/store/prefetch
+	f.Add([]byte{0xc4, 0xd5, 0xe6, 0xf7})                  // fdiv + branches
+	f.Add(bytes.Repeat([]byte{0x67}, 24))                  // load-dense body
 	f.Add(bytes.Repeat([]byte{0x9a, 0x08, 0xd1, 0x3f}, 8)) // store/ldnf/branch mix
 	seq := make([]byte, 64)
 	for i := range seq {

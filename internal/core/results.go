@@ -180,6 +180,13 @@ func (s *System) results() Results {
 		r.SBSupplies = s.sb.Stats.Supplies
 		r.SBFills = s.sb.Stats.Fills
 	}
+	if s.hwp != nil {
+		// The arsenal reports through the same fields: supplies and fills
+		// mean the same thing whichever hardware prefetcher ran.
+		t := s.hwp.TotalStats()
+		r.SBSupplies = t.Supplies
+		r.SBFills = t.Fills
+	}
 	if s.cfg.Trident {
 		r.HelperActiveCycles = s.helper.ActiveCycles
 		r.HelperInvocations = s.helper.Invocations

@@ -71,6 +71,10 @@ func (s *System) saveState(e *checkpoint.Encoder) {
 	if s.sb != nil {
 		s.sb.SaveState(e)
 	}
+	e.Bool(s.hwp != nil)
+	if s.hwp != nil {
+		s.hwp.SaveState(e)
+	}
 	s.bp.SaveState(e)
 	s.cache.SaveState(e)
 	e.Bool(s.cfg.Trident)
@@ -219,6 +223,14 @@ func (s *System) loadState(d *checkpoint.Decoder) error {
 	}
 	if s.sb != nil {
 		if err := s.sb.LoadState(d); err != nil {
+			return err
+		}
+	}
+	if err := present(d, s.hwp != nil, "an arsenal prefetcher"); err != nil {
+		return err
+	}
+	if s.hwp != nil {
+		if err := s.hwp.LoadState(d); err != nil {
 			return err
 		}
 	}

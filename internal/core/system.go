@@ -7,6 +7,7 @@ import (
 	"tridentsp/internal/chaos"
 	"tridentsp/internal/cpu"
 	"tridentsp/internal/dlt"
+	"tridentsp/internal/hwpref"
 	"tridentsp/internal/isa"
 	"tridentsp/internal/memsys"
 	"tridentsp/internal/prefetch"
@@ -32,13 +33,14 @@ type System struct {
 	// base mem was cloned from, and the diff base for region-of-interest
 	// checkpoints (SaveROI). Shared read-only across every run of the same
 	// workload master.
-	image *program.Memory
-	hier  *memsys.Hierarchy
-	sb       *streambuf.StreamBuffers
-	bp       *branchpred.Predictor
-	live     *cpu.ProgramSpace
-	cache    *trident.CodeCache
-	thread   *cpu.Thread
+	image  *program.Memory
+	hier   *memsys.Hierarchy
+	sb     *streambuf.StreamBuffers
+	hwp    *hwpref.Selector
+	bp     *branchpred.Predictor
+	live   *cpu.ProgramSpace
+	cache  *trident.CodeCache
+	thread *cpu.Thread
 
 	prof   *trident.Profiler
 	watch  *trident.WatchTable
@@ -127,9 +129,9 @@ type System struct {
 
 // Execution tiers (tierStat indices).
 const (
-	tierSlow = iota // reference one-step loop
-	tierBatch       // superblock interpreter (ExecSuperBlock)
-	tierJIT         // compiled closure chains (ExecCompiled)
+	tierSlow  = iota // reference one-step loop
+	tierBatch        // superblock interpreter (ExecSuperBlock)
+	tierJIT          // compiled closure chains (ExecCompiled)
 	numTiers
 )
 
@@ -195,6 +197,10 @@ func NewSystem(cfg Config, prog *program.Program) *System {
 	if sc, ok := cfg.streambufConfig(); ok {
 		s.sb = streambuf.New(sc, s.hier)
 		s.hier.SetPrefetcher(s.sb)
+	} else if hwp := cfg.buildArsenal(s.hier); hwp != nil {
+		s.hwp = hwp
+		s.hwp.SetTracer(s.tel)
+		s.hier.SetPrefetcher(s.hwp)
 	}
 	s.live = cpu.NewProgramSpace(prog)
 	s.cache = trident.NewCodeCache(prog.CodeEnd() + codeCacheOffset)
@@ -291,6 +297,11 @@ func (s *System) Optimizer() *prefetch.Optimizer { return s.opt }
 
 // DLT exposes the delinquent load table (nil without Trident).
 func (s *System) DLT() *dlt.Table { return s.table }
+
+// HWPref exposes the arsenal prefetch selector (nil unless Config.HW
+// selects an arsenal backend); the determinism and re-convergence suites
+// compare its decision log.
+func (s *System) HWPref() *hwpref.Selector { return s.hwp }
 
 // Run executes until origInstrs original instructions have committed (or
 // the program halts), returning the results. When LivelockWindow is set

@@ -91,6 +91,19 @@ func (s *System) snapshotMetrics() {
 		g("codecache_bytes", float64(s.cache.Size()))
 		g("live_traces", float64(s.cache.LiveTraces()))
 	}
+	if s.hwp != nil {
+		u("hwpref_rounds", s.hwp.Rounds())
+		u("hwpref_switches", s.hwp.Switches())
+		u("hwpref_decisions", s.hwp.DecisionCount())
+		res := s.hwp.Residency()
+		for i, name := range s.hwp.Names() {
+			st := s.hwp.EngineStatsAt(i)
+			u("hwpref_"+name+"_fills", st.Fills)
+			u("hwpref_"+name+"_supplies", st.Supplies)
+			u("hwpref_"+name+"_evicted_unused", st.EvictedUnused)
+			u("hwpref_"+name+"_resident_loads", res[i])
+		}
+	}
 	if s.opt != nil {
 		u("prefetch_insertions", s.opt.Stats.Insertions)
 		u("prefetch_repairs", s.opt.Stats.Repairs)

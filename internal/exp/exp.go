@@ -261,6 +261,7 @@ func All() []Experiment {
 		{"ablations", "Design-choice ablations (not in the paper)", Ablations},
 		{"resilience", "Self-repair resilience under fault injection (not in the paper)", Resilience},
 		{"sampleval", "Sampled-vs-exact validation (not in the paper)", SampleVal},
+		{"prefarsenal", "Prefetcher arsenal vs the per-phase selector (not in the paper)", PrefArsenal},
 	}
 }
 

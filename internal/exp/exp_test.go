@@ -8,7 +8,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	ids := []string{"fig2", "overhead", "fig3", "fig4", "fig5", "fig6",
 		"fig7", "fig8", "extracache", "fig9", "ablations", "resilience",
-		"sampleval"}
+		"sampleval", "prefarsenal"}
 	if len(All()) != len(ids) {
 		t.Fatalf("experiments = %d, want %d", len(All()), len(ids))
 	}

@@ -72,6 +72,13 @@ const (
 	// KindWatchdogProbe: one invariant-watchdog round. Arg = violations
 	// found this round, Arg2 = violations recorded in total.
 	KindWatchdogProbe
+	// KindHWPrefSwitch: the prefetch-policy selector activated a backend
+	// (internal/hwpref, DESIGN §16). PC = backend index in arsenal order,
+	// Aux = committed loads observed at the switch, Arg = the winner's
+	// epoch score (0 for probe activations), Arg2 = 1 for an exploit
+	// activation, 0 for a probe. Semantic: switch points derive from the
+	// committed load stream only, so the streams match across engines.
+	KindHWPrefSwitch
 	// KindFastEnter (engine): the fast path started a batching session.
 	// PC = entry pc.
 	KindFastEnter
@@ -118,7 +125,7 @@ var kindNames = [NumKinds]string{
 	"trace-form", "trace-specialize", "trace-back-out",
 	"prefetch-insert", "prefetch-repair", "prefetch-mature",
 	"helper-run", "event-dropped", "phase-clear",
-	"chaos-edge", "watchdog-probe",
+	"chaos-edge", "watchdog-probe", "hwpref-switch",
 	"fast-enter", "fast-exit",
 	"sentinel-check", "sentinel-divergence",
 	"sample-detail", "sample-ff", "sample-spec",

@@ -89,3 +89,16 @@ go run ./cmd/benchdiff -threshold 0.01 -json BENCH_pr6.json BENCH_pr7.json | gre
 # jobs=N sub-benchmarks, so the pr8->pr9 comparison has no matched pairs and
 # gates nothing yet; real gating starts with the next sampled snapshot.
 go run ./cmd/benchdiff -sampled -threshold 0.10
+# Prefetch arsenal legs (DESIGN §16): the conformance suite and the selector
+# determinism oracle under -race (the selector sits on the memsys hot path
+# the parallel harnesses all share), then fast-vs-slowpath byte-identity
+# smokes at the binary boundary for both a static arsenal backend and the
+# online selector — the contract that epoch switch points derive from the
+# committed load stream, not the execution engine.
+go test -race ./internal/hwpref/
+go test -race -run 'FuzzSelectorDeterminism|TestRestoreRejectsMismatchedArsenal|TestArsenalFlagValidation' \
+	./internal/core/ ./cmd/tridentsim/
+go run ./cmd/tridentsim -bench swim,mcf,art -scale small -instrs 400000 -hw stride > /tmp/hwstride.out
+go run ./cmd/tridentsim -bench swim,mcf,art -scale small -instrs 400000 -hw stride -slowpath | diff /tmp/hwstride.out -
+go run ./cmd/tridentsim -bench swim,mcf,art -scale small -instrs 400000 -hw selector > /tmp/hwsel.out
+go run ./cmd/tridentsim -bench swim,mcf,art -scale small -instrs 400000 -hw selector -slowpath | diff /tmp/hwsel.out -

@@ -54,8 +54,8 @@ func TestPublicAPIAssemble(t *testing.T) {
 }
 
 func TestPublicAPIExperiments(t *testing.T) {
-	if len(tridentsp.Experiments()) != 13 {
-		t.Fatalf("experiments = %d, want 13", len(tridentsp.Experiments()))
+	if len(tridentsp.Experiments()) != 14 {
+		t.Fatalf("experiments = %d, want 14", len(tridentsp.Experiments()))
 	}
 	e, ok := tridentsp.ExperimentByID("fig4")
 	if !ok {
